@@ -1,0 +1,173 @@
+//! The Table 1 technique-capability matrix, as queryable data.
+//!
+//! Table 1 positions TurboAttention against prior work along five axes;
+//! encoding it as data lets the figure generator print the table and lets
+//! tests assert the claimed relationships (e.g. only TurboAttention both
+//! compresses the KV cache *and* executes attention quantized).
+
+use std::fmt;
+
+/// How a technique treats one component of the inference stack.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Capability {
+    /// Component untouched (runs at full precision / stock kernel).
+    None,
+    /// Component is quantized.
+    Quantized,
+    /// Component uses a FlashAttention-style fused kernel.
+    Flash,
+    /// Component uses a fused kernel *and* quantized execution.
+    FlashQuantized,
+    /// Component is compressed (storage only, dequantized for compute).
+    Compressed,
+}
+
+impl fmt::Display for Capability {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Capability::None => "-",
+            Capability::Quantized => "Quantized",
+            Capability::Flash => "Flash",
+            Capability::FlashQuantized => "Flash + Quantized",
+            Capability::Compressed => "Compressed",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One row of Table 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TechniqueRow {
+    /// Technique name as printed in the paper.
+    pub name: &'static str,
+    /// QKV projection treatment.
+    pub qkv_projection: Capability,
+    /// Whether the KV cache is compressed.
+    pub kv_cache_compression: bool,
+    /// Attention-execution treatment.
+    pub attention_execution: Capability,
+    /// MLP treatment.
+    pub mlp: Capability,
+    /// Relative memory-overhead arrows (0 = none, 1 = ↓, 2 = ↓↓).
+    pub memory_reduction: u8,
+    /// Relative inference-latency arrows (0 = none, 1 = ↓, 2 = ↓↓).
+    pub latency_reduction: u8,
+}
+
+/// Returns Table 1 verbatim.
+pub fn capability_table() -> Vec<TechniqueRow> {
+    use Capability::*;
+    vec![
+        TechniqueRow {
+            name: "ATOM",
+            qkv_projection: Quantized,
+            kv_cache_compression: true,
+            attention_execution: None,
+            mlp: Quantized,
+            memory_reduction: 1,
+            latency_reduction: 1,
+        },
+        TechniqueRow {
+            name: "QuaRot",
+            qkv_projection: Quantized,
+            kv_cache_compression: true,
+            attention_execution: None,
+            mlp: Quantized,
+            memory_reduction: 1,
+            latency_reduction: 1,
+        },
+        TechniqueRow {
+            name: "Qserve",
+            qkv_projection: Quantized,
+            kv_cache_compression: true,
+            attention_execution: None,
+            mlp: Quantized,
+            memory_reduction: 2,
+            latency_reduction: 1,
+        },
+        TechniqueRow {
+            name: "KIVI",
+            qkv_projection: None,
+            kv_cache_compression: true,
+            attention_execution: None,
+            mlp: None,
+            memory_reduction: 1,
+            latency_reduction: 1,
+        },
+        TechniqueRow {
+            name: "GEAR",
+            qkv_projection: None,
+            kv_cache_compression: true,
+            attention_execution: None,
+            mlp: None,
+            memory_reduction: 1,
+            latency_reduction: 2,
+        },
+        TechniqueRow {
+            name: "FlashAttention",
+            qkv_projection: None,
+            kv_cache_compression: false,
+            attention_execution: Flash,
+            mlp: None,
+            memory_reduction: 0,
+            latency_reduction: 1,
+        },
+        TechniqueRow {
+            name: "TurboAttention",
+            qkv_projection: None,
+            kv_cache_compression: true,
+            attention_execution: FlashQuantized,
+            mlp: None,
+            memory_reduction: 2,
+            latency_reduction: 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_turbo_has_quantized_flash_attention() {
+        let table = capability_table();
+        let quantized_exec: Vec<_> = table
+            .iter()
+            .filter(|r| r.attention_execution == Capability::FlashQuantized)
+            .collect();
+        assert_eq!(quantized_exec.len(), 1);
+        assert_eq!(quantized_exec[0].name, "TurboAttention");
+    }
+
+    #[test]
+    fn turbo_also_compresses_kv_cache() {
+        let turbo = capability_table()
+            .into_iter()
+            .find(|r| r.name == "TurboAttention")
+            .unwrap();
+        assert!(turbo.kv_cache_compression);
+        assert_eq!(turbo.memory_reduction, 2);
+        assert_eq!(turbo.latency_reduction, 2);
+    }
+
+    #[test]
+    fn flash_attention_alone_does_not_compress() {
+        let fa = capability_table()
+            .into_iter()
+            .find(|r| r.name == "FlashAttention")
+            .unwrap();
+        assert!(!fa.kv_cache_compression);
+        assert_eq!(fa.memory_reduction, 0);
+    }
+
+    #[test]
+    fn table_has_seven_rows() {
+        assert_eq!(capability_table().len(), 7);
+    }
+
+    #[test]
+    fn display_strings() {
+        assert_eq!(Capability::FlashQuantized.to_string(), "Flash + Quantized");
+        assert_eq!(Capability::None.to_string(), "-");
+    }
+}

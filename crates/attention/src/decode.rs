@@ -1,0 +1,242 @@
+//! TurboAttention decode — Algorithm 2.
+//!
+//! One new token's query attends to the quantized KV cache:
+//!
+//! 1. The new `k`/`v` vectors enter the INT8 buffer (universal scale,
+//!    flushing to INT4/2 every `n_b` steps).
+//! 2. `q` is symmetrically quantized to INT8.
+//! 3. Each resident block is dequantized *in integer arithmetic*
+//!    (INT4/2 → INT8, `q̂¹ = (q² + z)·s`) — never to floating point — and
+//!    scores come from the INT8 GEMM.
+//! 4. SAS replaces FP32 exponentiation; the probability row is INT8
+//!    re-quantized for the `P⁸·V⁸` product, exactly as in prefill.
+
+use crate::prefill::online_update_quantized;
+use turbo_kvcache::HeadKvCache;
+use turbo_quant::symmetric::{quantize_slice_sym, SymQuantized};
+use turbo_softmax::Sas;
+use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+
+/// Decodes one token for one head: appends `(k_new, v_new)` to the cache,
+/// then computes the attention output of `q_new` over the whole cache.
+///
+/// Returns the `d`-dimensional attention output row.
+///
+/// # Panics
+///
+/// Panics if vector lengths don't match the cache's head dimension.
+pub fn turbo_decode_head(
+    q_new: &[f32],
+    k_new: &[f32],
+    v_new: &[f32],
+    cache: &mut HeadKvCache,
+    sas: &Sas,
+) -> Vec<f32> {
+    let d = cache.head_dim();
+    assert_eq!(q_new.len(), d, "query width mismatch");
+    assert_eq!(k_new.len(), d, "key width mismatch");
+    assert_eq!(v_new.len(), d, "value width mismatch");
+
+    cache.append(k_new, v_new);
+    turbo_attend_cache(q_new, cache, sas)
+}
+
+/// Attends a single query over an existing quantized cache *without*
+/// appending anything — the read-only half of Algorithm 2. Useful when the
+/// same cache serves several queries (e.g. multi-hop retrieval probes).
+///
+/// # Panics
+///
+/// Panics if `q.len()` differs from the cache head dimension or the cache
+/// is empty.
+pub fn turbo_attend_cache(q: &[f32], cache: &HeadKvCache, sas: &Sas) -> Vec<f32> {
+    let d = cache.head_dim();
+    assert_eq!(q.len(), d, "query width mismatch");
+    assert!(!cache.is_empty(), "cannot attend to an empty cache");
+
+    let scale = 1.0 / (d as f32).sqrt();
+    let (q8, s_q) = quantize_slice_sym(q);
+
+    let mut o = Matrix::zeros(1, d);
+    let mut m = vec![f32::NEG_INFINITY; 1];
+    let mut l = vec![0.0f32; 1];
+
+    // Resident progressive blocks: integer dequantization to INT8.
+    let n_blocks = cache.resident_blocks().len();
+    for b in 0..n_blocks {
+        let k8 = cache.resident_blocks()[b].dequantize_to_int8();
+        let v8 = cache.resident_value_blocks()[b].dequantize_to_int8();
+        attend_block(&q8, s_q, scale, &k8, &v8, &mut o, &mut m, &mut l, sas);
+    }
+
+    // Open INT8 buffer.
+    if cache.buffer_len() > 0 {
+        let k8 = cache.key_buffer().as_sym_quantized();
+        let v8 = cache.value_buffer().as_sym_quantized();
+        attend_block(&q8, s_q, scale, &k8, &v8, &mut o, &mut m, &mut l, sas);
+    }
+
+    assert!(l[0] > 0.0, "decode token attended to nothing");
+    let inv = 1.0 / l[0];
+    (0..d).map(|c| o.get(0, c) * inv).collect()
+}
+
+/// Scores the single query row against one INT8 K/V block and folds it
+/// into the online-softmax state.
+#[allow(clippy::too_many_arguments)]
+fn attend_block(
+    q8: &[i8],
+    s_q: f32,
+    scale: f32,
+    k8: &SymQuantized,
+    v8: &SymQuantized,
+    o: &mut Matrix,
+    m: &mut [f32],
+    l: &mut [f32],
+    sas: &Sas,
+) {
+    let d = q8.len();
+    let bc = k8.rows();
+    let s_int = matmul_i8_transposed_b(q8, k8.codes(), 1, d, bc);
+    let s_scale = s_q * k8.scale() * scale;
+    let s = Matrix::from_vec(1, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
+    online_update_quantized(o, m, l, &s, v8, sas);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{naive_attention, Masking};
+    use turbo_kvcache::KvCacheConfig;
+    use turbo_quant::BitWidth;
+    use turbo_tensor::TensorRng;
+
+    fn cache(d: usize, bits: BitWidth, nb: usize) -> HeadKvCache {
+        HeadKvCache::new(
+            d,
+            KvCacheConfig {
+                bits,
+                group_size: 64,
+                buffer_capacity: nb,
+            },
+        )
+    }
+
+    /// Decodes a whole sequence token-by-token and compares against exact
+    /// causal attention computed densely at each step.
+    fn decode_error(seed: u64, n: usize, d: usize, bits: BitWidth, nb: usize) -> f32 {
+        let mut rng = TensorRng::new(seed);
+        let q = rng.normal(n, d, 0.0, 1.0);
+        let k = rng.normal(n, d, 0.0, 1.0);
+        let v = rng.normal(n, d, 0.0, 1.0);
+        let sas = Sas::paper_default();
+        let mut c = cache(d, bits, nb);
+        let mut worst = 0.0f32;
+        for t in 0..n {
+            let out = turbo_decode_head(q.row(t), k.row(t), v.row(t), &mut c, &sas);
+            // Exact: q_t against keys 0..=t.
+            let qt = q.row_block(t, 1);
+            let kt = k.row_block(0, t + 1);
+            let vt = v.row_block(0, t + 1);
+            let exact = naive_attention(&qt, &kt, &vt, Masking::Causal);
+            for (a, b) in out.iter().zip(exact.row(0)) {
+                worst = worst.max((a - b).abs());
+            }
+        }
+        worst
+    }
+
+    #[test]
+    fn single_token_attends_to_itself_exactly() {
+        let sas = Sas::paper_default();
+        let mut c = cache(4, BitWidth::Int4, 8);
+        let k = [0.5f32, -0.25, 1.0, 0.0];
+        let v = [1.0f32, 2.0, -3.0, 0.5];
+        let out = turbo_decode_head(&[0.1, 0.2, 0.3, 0.4], &k, &v, &mut c, &sas);
+        // Softmax over one entry is 1 regardless of approximation.
+        for (a, b) in out.iter().zip(&v) {
+            assert!((a - b).abs() < 0.03, "{a} vs {b}");
+        }
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn decode_tracks_exact_attention_int4() {
+        let err = decode_error(61, 96, 16, BitWidth::Int4, 32);
+        assert!(err < 0.2, "int4 decode error {err}");
+    }
+
+    #[test]
+    fn decode_int2_is_coarser_than_int4() {
+        let e4 = decode_error(62, 64, 16, BitWidth::Int4, 16);
+        let e2 = decode_error(62, 64, 16, BitWidth::Int2, 16);
+        assert!(e4 < e2, "int4 {e4} must beat int2 {e2}");
+    }
+
+    #[test]
+    fn decode_spans_resident_and_buffered_tokens() {
+        // With nb=8 and 20 tokens: 2 flushed blocks + 4 buffered.
+        let mut rng = TensorRng::new(63);
+        let sas = Sas::paper_default();
+        let mut c = cache(8, BitWidth::Int4, 8);
+        let data = rng.normal(20, 8, 0.0, 1.0);
+        let mut last = Vec::new();
+        for t in 0..20 {
+            last = turbo_decode_head(data.row(t), data.row(t), data.row(t), &mut c, &sas);
+        }
+        assert_eq!(c.resident_blocks().len(), 2);
+        assert_eq!(c.buffer_len(), 4);
+        // Exact reference over all 20 tokens.
+        let qt = data.row_block(19, 1);
+        let exact = naive_attention(&qt, &data, &data, Masking::Causal);
+        for (a, b) in last.iter().zip(exact.row(0)) {
+            assert!((a - b).abs() < 0.2, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn prefill_then_decode_composes() {
+        let mut rng = TensorRng::new(64);
+        let d = 16;
+        let n0 = 64;
+        let q0 = rng.normal(n0, d, 0.0, 1.0);
+        let k0 = rng.normal(n0, d, 0.0, 1.0);
+        let v0 = rng.normal(n0, d, 0.0, 1.0);
+        let sas = Sas::paper_default();
+        let mut c = cache(d, BitWidth::Int4, 16);
+        crate::prefill::turbo_prefill_head(&q0, &k0, &v0, Masking::Causal, &sas, 32, 32, &mut c);
+        // Decode 5 more tokens.
+        let mut out = Vec::new();
+        let mut ks = k0.clone();
+        let mut vs = v0.clone();
+        for t in 0..5 {
+            let qt = rng.normal(1, d, 0.0, 1.0);
+            let kt = rng.normal(1, d, 0.0, 1.0);
+            let vt = rng.normal(1, d, 0.0, 1.0);
+            ks.append_rows(&kt);
+            vs.append_rows(&vt);
+            out = turbo_decode_head(qt.row(0), kt.row(0), vt.row(0), &mut c, &sas);
+            assert_eq!(c.len(), n0 + t + 1);
+            let exact = naive_attention(&qt, &ks, &vs, Masking::Causal);
+            for (a, b) in out.iter().zip(exact.row(0)) {
+                assert!((a - b).abs() < 0.25, "step {t}: {a} vs {b}");
+            }
+        }
+        assert_eq!(out.len(), d);
+    }
+
+    #[test]
+    fn buffer_flush_mid_decode_preserves_accuracy() {
+        // Cross the n_b boundary and verify no jump in error.
+        let e = decode_error(65, 17, 8, BitWidth::Int4, 16); // flush at t=15
+        assert!(e < 0.2, "error across flush {e}");
+    }
+
+    #[test]
+    #[should_panic(expected = "query width mismatch")]
+    fn wrong_query_width_panics() {
+        let sas = Sas::paper_default();
+        let mut c = cache(4, BitWidth::Int4, 8);
+        turbo_decode_head(&[0.0; 3], &[0.0; 4], &[0.0; 4], &mut c, &sas);
+    }
+}

@@ -1,0 +1,251 @@
+//! Grouped-query attention (GQA) on top of the quantized engine.
+//!
+//! The models the paper evaluates (LLaMA3-8B, Phi-3) share each KV head
+//! among a *group* of query heads. For FlashQ this matters twice:
+//!
+//! * the KV cache (and therefore compression) is per **KV head**, so the
+//!   head-priority metric ranks KV heads;
+//! * at decode time one integer dequantization of a KV block serves the
+//!   whole query group — amortizing exactly the cost TurboAttention
+//!   already minimizes.
+
+use crate::api::TurboAttention;
+use crate::decode::turbo_attend_cache;
+use crate::head_select::{select_two_bit_heads, HeadStats, SelectionMethod};
+use crate::prefill::turbo_prefill_head;
+use turbo_kvcache::LayerKvCache;
+use turbo_quant::BitWidth;
+use turbo_tensor::Matrix;
+
+/// A GQA layer configuration: `q_heads` query heads sharing `kv_heads`
+/// caches (`q_heads % kv_heads == 0`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GqaLayout {
+    /// Number of query heads.
+    pub q_heads: usize,
+    /// Number of KV heads.
+    pub kv_heads: usize,
+}
+
+impl GqaLayout {
+    /// Creates a layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kv_heads == 0` or `q_heads` is not a multiple of
+    /// `kv_heads`.
+    pub fn new(q_heads: usize, kv_heads: usize) -> Self {
+        assert!(kv_heads > 0, "need at least one KV head");
+        assert_eq!(
+            q_heads % kv_heads,
+            0,
+            "query heads must be a multiple of KV heads"
+        );
+        Self { q_heads, kv_heads }
+    }
+
+    /// Query heads per KV head.
+    pub fn group_size(&self) -> usize {
+        self.q_heads / self.kv_heads
+    }
+
+    /// The KV head serving query head `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= q_heads`.
+    pub fn kv_head_of(&self, q: usize) -> usize {
+        assert!(q < self.q_heads, "query head {q} out of range");
+        q / self.group_size()
+    }
+}
+
+impl TurboAttention {
+    /// GQA prefill: `qs` has one matrix per **query** head, `ks`/`vs` one
+    /// per **KV** head. Returns per-query-head outputs and the per-KV-head
+    /// quantized cache.
+    ///
+    /// `n_two_bit` KV heads are demoted to INT2 by the priority metric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor counts don't match `layout` or shapes are
+    /// inconsistent.
+    pub fn prefill_layer_gqa(
+        &self,
+        layout: GqaLayout,
+        qs: &[Matrix],
+        ks: &[Matrix],
+        vs: &[Matrix],
+        n_two_bit: usize,
+    ) -> (Vec<Matrix>, LayerKvCache) {
+        assert_eq!(qs.len(), layout.q_heads, "one Q per query head");
+        assert_eq!(ks.len(), layout.kv_heads, "one K per KV head");
+        assert_eq!(vs.len(), layout.kv_heads, "one V per KV head");
+        let d = ks[0].cols();
+        let stats: Vec<HeadStats> = ks.iter().map(HeadStats::from_activations).collect();
+        let bits: Vec<BitWidth> =
+            select_two_bit_heads(&stats, n_two_bit, SelectionMethod::Priority);
+        let mut layer = LayerKvCache::new(
+            d,
+            &bits,
+            self.config().group_size,
+            self.config().buffer_capacity,
+        );
+
+        let mut outs = Vec::with_capacity(layout.q_heads);
+        for (q_head, q) in qs.iter().enumerate() {
+            let kv = layout.kv_head_of(q_head);
+            // The first query of each group populates the shared cache;
+            // the rest attend against already-populated K/V (same math —
+            // prefill recomputes scores per query head regardless).
+            if q_head % layout.group_size() == 0 {
+                let out = turbo_prefill_head(
+                    q,
+                    &ks[kv],
+                    &vs[kv],
+                    self.config().masking,
+                    self.sas(),
+                    self.config().block_r,
+                    self.config().block_c,
+                    layer.head_mut(kv),
+                );
+                outs.push(out.output);
+            } else {
+                // Reuse the quantized path without re-writing the cache:
+                // run the same tiled quantized attention against the
+                // original K/V tiles via a scratch cache, keeping the
+                // shared cache untouched.
+                let mut scratch = turbo_kvcache::HeadKvCache::new(
+                    d,
+                    turbo_kvcache::KvCacheConfig {
+                        bits: bits[kv],
+                        group_size: self.config().group_size,
+                        buffer_capacity: self.config().buffer_capacity,
+                    },
+                );
+                let out = turbo_prefill_head(
+                    q,
+                    &ks[kv],
+                    &vs[kv],
+                    self.config().masking,
+                    self.sas(),
+                    self.config().block_r,
+                    self.config().block_c,
+                    &mut scratch,
+                );
+                outs.push(out.output);
+            }
+        }
+        (outs, layer)
+    }
+
+    /// GQA decode: appends one `(k, v)` row per KV head, then attends one
+    /// query row per query head against its group's shared cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if row counts don't match `layout`.
+    pub fn decode_layer_gqa(
+        &self,
+        layout: GqaLayout,
+        qs: &[&[f32]],
+        ks: &[&[f32]],
+        vs: &[&[f32]],
+        layer: &mut LayerKvCache,
+    ) -> Vec<Vec<f32>> {
+        assert_eq!(qs.len(), layout.q_heads, "one query row per query head");
+        assert_eq!(ks.len(), layout.kv_heads, "one key row per KV head");
+        assert_eq!(vs.len(), layout.kv_heads, "one value row per KV head");
+        assert_eq!(layer.num_heads(), layout.kv_heads, "cache head mismatch");
+        for kv in 0..layout.kv_heads {
+            layer.head_mut(kv).append(ks[kv], vs[kv]);
+        }
+        qs.iter()
+            .enumerate()
+            .map(|(q, row)| turbo_attend_cache(row, layer.head(layout.kv_head_of(q)), self.sas()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::api::TurboConfig;
+    use crate::reference::{naive_attention, Masking};
+    use turbo_tensor::{relative_error, TensorRng};
+
+    #[test]
+    fn layout_math() {
+        let l = GqaLayout::new(8, 2);
+        assert_eq!(l.group_size(), 4);
+        assert_eq!(l.kv_head_of(0), 0);
+        assert_eq!(l.kv_head_of(3), 0);
+        assert_eq!(l.kv_head_of(4), 1);
+        assert_eq!(l.kv_head_of(7), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of KV heads")]
+    fn ragged_layout_panics() {
+        GqaLayout::new(6, 4);
+    }
+
+    #[test]
+    fn gqa_prefill_matches_reference_per_query_head() {
+        let layout = GqaLayout::new(4, 2);
+        let mut rng = TensorRng::new(1);
+        let (n, d) = (64usize, 16usize);
+        let qs: Vec<Matrix> = (0..4).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let ks: Vec<Matrix> = (0..2).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let vs: Vec<Matrix> = (0..2).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let engine = TurboAttention::new(TurboConfig::default());
+        let (outs, cache) = engine.prefill_layer_gqa(layout, &qs, &ks, &vs, 0);
+        assert_eq!(outs.len(), 4);
+        assert_eq!(cache.num_heads(), 2);
+        assert_eq!(cache.len(), n);
+        for q_head in 0..4 {
+            let kv = layout.kv_head_of(q_head);
+            let exact = naive_attention(&qs[q_head], &ks[kv], &vs[kv], Masking::Causal);
+            let rel = relative_error(&outs[q_head], &exact);
+            assert!(rel < 0.06, "query head {q_head}: rel {rel}");
+        }
+    }
+
+    #[test]
+    fn gqa_decode_appends_once_per_kv_head() {
+        let layout = GqaLayout::new(4, 2);
+        let mut rng = TensorRng::new(2);
+        let d = 8;
+        let qs: Vec<Matrix> = (0..4).map(|_| rng.normal(8, d, 0.0, 1.0)).collect();
+        let ks: Vec<Matrix> = (0..2).map(|_| rng.normal(8, d, 0.0, 1.0)).collect();
+        let vs: Vec<Matrix> = (0..2).map(|_| rng.normal(8, d, 0.0, 1.0)).collect();
+        let engine = TurboAttention::default();
+        let (_, mut cache) = engine.prefill_layer_gqa(layout, &qs, &ks, &vs, 1);
+        let q_rows: Vec<&[f32]> = qs.iter().map(|m| m.row(0)).collect();
+        let kv_rows: Vec<&[f32]> = ks.iter().map(|m| m.row(0)).collect();
+        let outs = engine.decode_layer_gqa(layout, &q_rows, &kv_rows, &kv_rows, &mut cache);
+        assert_eq!(outs.len(), 4);
+        assert_eq!(cache.len(), 9); // 8 prefill + 1 decoded, per KV head
+                                    // Query heads sharing a KV head but with different queries should
+                                    // produce different outputs.
+        assert_ne!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn gqa_mixed_precision_ranks_kv_heads() {
+        let layout = GqaLayout::new(4, 2);
+        let mut rng = TensorRng::new(3);
+        let d = 16;
+        let qs: Vec<Matrix> = (0..4).map(|_| rng.normal(32, d, 0.0, 1.0)).collect();
+        let ks = vec![
+            rng.normal_with_channel_outliers(32, d, 1.0, &[2], 20.0),
+            rng.normal(32, d, 0.0, 1.0),
+        ];
+        let vs: Vec<Matrix> = (0..2).map(|_| rng.normal(32, d, 0.0, 1.0)).collect();
+        let engine = TurboAttention::default();
+        let (_, cache) = engine.prefill_layer_gqa(layout, &qs, &ks, &vs, 1);
+        assert_eq!(cache.head(0).config().bits, BitWidth::Int4);
+        assert_eq!(cache.head(1).config().bits, BitWidth::Int2);
+    }
+}

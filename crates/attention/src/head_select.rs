@@ -1,0 +1,252 @@
+//! Head-wise mixed precision: choosing which heads get 2-bit KV caches.
+//!
+//! Section 3.2 ranks heads by `priority = gap × std` where `gap` is the
+//! overall value range of the head's key/value activations and `std` is
+//! the standard deviation of the per-channel ranges. The `n_h` lowest-
+//! priority heads are compressed to INT2; the rest stay INT4.
+//!
+//! Figure 7b ablates this metric against three simpler selectors —
+//! entropy, min-max, and variation — all implemented here.
+
+use turbo_quant::BitWidth;
+use turbo_tensor::{col_max_min, Matrix};
+
+/// Per-head statistics backing all selection metrics.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HeadStats {
+    /// Overall `max − min` across every element of the head (Equation 11's
+    /// `gap`).
+    pub gap: f32,
+    /// Standard deviation of the per-channel `max − min` gaps (Equation
+    /// 11's `std`).
+    pub channel_gap_std: f32,
+    /// Shannon entropy (bits) of a 64-bin histogram of the head's values.
+    pub entropy: f32,
+}
+
+impl HeadStats {
+    /// Computes statistics from a head's activation matrix
+    /// (`tokens × channels`), typically the key cache of a calibration
+    /// batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is empty.
+    pub fn from_activations(m: &Matrix) -> Self {
+        assert!(!m.is_empty(), "empty activation matrix");
+        let ranges = col_max_min(m);
+        let channel_gaps: Vec<f32> = ranges.iter().map(|(mx, mn)| mx - mn).collect();
+        let gap = m.max() - m.min();
+        let mean = channel_gaps.iter().sum::<f32>() / channel_gaps.len() as f32;
+        let var = channel_gaps
+            .iter()
+            .map(|g| (g - mean) * (g - mean))
+            .sum::<f32>()
+            / channel_gaps.len() as f32;
+        HeadStats {
+            gap,
+            channel_gap_std: var.sqrt(),
+            entropy: histogram_entropy(m, 64),
+        }
+    }
+
+    /// The paper's priority score `gap × std` (Equation 11). Higher means
+    /// more quantization-sensitive — keep at 4-bit.
+    pub fn priority(&self) -> f32 {
+        self.gap * self.channel_gap_std
+    }
+}
+
+/// Shannon entropy in bits of an equi-width histogram of `m`'s values.
+fn histogram_entropy(m: &Matrix, bins: usize) -> f32 {
+    let min = m.min();
+    let max = m.max();
+    if max == min {
+        return 0.0;
+    }
+    let mut counts = vec![0usize; bins];
+    let width = (max - min) / bins as f32;
+    for &x in m.as_slice() {
+        let b = (((x - min) / width) as usize).min(bins - 1);
+        counts[b] += 1;
+    }
+    let n = m.len() as f32;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f32 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Head-selection strategies compared in Figure 7b.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SelectionMethod {
+    /// The paper's `gap × std` metric (Equation 11).
+    Priority,
+    /// Histogram entropy of the head's values (lower entropy → 2-bit).
+    Entropy,
+    /// Overall min-max range (smaller range → 2-bit).
+    MinMax,
+    /// Standard deviation of channel-wise ranges (lower variation → 2-bit).
+    Variation,
+}
+
+impl SelectionMethod {
+    /// All methods, in the order Figure 7b plots them.
+    pub const ALL: [SelectionMethod; 4] = [
+        SelectionMethod::Priority,
+        SelectionMethod::Entropy,
+        SelectionMethod::MinMax,
+        SelectionMethod::Variation,
+    ];
+
+    /// The scalar score this method assigns a head; heads with the
+    /// *lowest* scores are demoted to 2-bit.
+    pub fn score(self, stats: &HeadStats) -> f32 {
+        match self {
+            SelectionMethod::Priority => stats.priority(),
+            SelectionMethod::Entropy => stats.entropy,
+            SelectionMethod::MinMax => stats.gap,
+            SelectionMethod::Variation => stats.channel_gap_std,
+        }
+    }
+}
+
+impl std::fmt::Display for SelectionMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            SelectionMethod::Priority => "Priority",
+            SelectionMethod::Entropy => "Entropy",
+            SelectionMethod::MinMax => "Min-Max",
+            SelectionMethod::Variation => "Variation",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Assigns a bit width to each head: the `n_two_bit` lowest-scoring heads
+/// get INT2, the rest INT4 (Equation 12).
+///
+/// Ties are broken by head index (stable sort), matching a deterministic
+/// kernel implementation.
+///
+/// # Panics
+///
+/// Panics if `n_two_bit > stats.len()`.
+pub fn select_two_bit_heads(
+    stats: &[HeadStats],
+    n_two_bit: usize,
+    method: SelectionMethod,
+) -> Vec<BitWidth> {
+    assert!(
+        n_two_bit <= stats.len(),
+        "cannot demote {n_two_bit} of {} heads",
+        stats.len()
+    );
+    let mut order: Vec<usize> = (0..stats.len()).collect();
+    order.sort_by(|&a, &b| {
+        method
+            .score(&stats[a])
+            .partial_cmp(&method.score(&stats[b]))
+            .expect("non-finite head score")
+    });
+    let mut bits = vec![BitWidth::Int4; stats.len()];
+    for &h in order.iter().take(n_two_bit) {
+        bits[h] = BitWidth::Int2;
+    }
+    bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    fn outlier_head(seed: u64, scale: f32) -> Matrix {
+        TensorRng::new(seed).normal_with_channel_outliers(128, 16, 1.0, &[2, 9], scale)
+    }
+
+    #[test]
+    fn stats_of_uniform_head_have_small_std() {
+        let m = TensorRng::new(1).normal(128, 16, 0.0, 1.0);
+        let s = HeadStats::from_activations(&m);
+        assert!(s.gap > 0.0);
+        // Channel gaps are all similar -> std much smaller than the gap.
+        assert!(s.channel_gap_std < s.gap * 0.25);
+    }
+
+    #[test]
+    fn outlier_head_scores_higher_priority() {
+        let plain = HeadStats::from_activations(&TensorRng::new(2).normal(128, 16, 0.0, 1.0));
+        let spiky = HeadStats::from_activations(&outlier_head(3, 20.0));
+        assert!(spiky.priority() > 10.0 * plain.priority());
+    }
+
+    #[test]
+    fn priority_selects_plain_heads_for_two_bit() {
+        let heads = vec![
+            HeadStats::from_activations(&outlier_head(4, 25.0)),
+            HeadStats::from_activations(&TensorRng::new(5).normal(128, 16, 0.0, 1.0)),
+            HeadStats::from_activations(&outlier_head(6, 15.0)),
+            HeadStats::from_activations(&TensorRng::new(7).normal(128, 16, 0.0, 1.0)),
+        ];
+        let bits = select_two_bit_heads(&heads, 2, SelectionMethod::Priority);
+        assert_eq!(
+            bits,
+            vec![
+                BitWidth::Int4,
+                BitWidth::Int2,
+                BitWidth::Int4,
+                BitWidth::Int2
+            ]
+        );
+    }
+
+    #[test]
+    fn zero_and_all_demotion_extremes() {
+        let heads =
+            vec![HeadStats::from_activations(&TensorRng::new(8).normal(16, 8, 0.0, 1.0)); 4];
+        assert!(select_two_bit_heads(&heads, 0, SelectionMethod::Priority)
+            .iter()
+            .all(|&b| b == BitWidth::Int4));
+        assert!(select_two_bit_heads(&heads, 4, SelectionMethod::Priority)
+            .iter()
+            .all(|&b| b == BitWidth::Int2));
+    }
+
+    #[test]
+    fn methods_can_disagree() {
+        // A head with a huge but *uniform* range: large gap, small std.
+        let wide = TensorRng::new(9).normal(256, 16, 0.0, 30.0);
+        // A head with a single extreme outlier channel: large std.
+        let spiky = outlier_head(10, 30.0);
+        let stats = vec![
+            HeadStats::from_activations(&wide),
+            HeadStats::from_activations(&spiky),
+        ];
+        let by_minmax = select_two_bit_heads(&stats, 1, SelectionMethod::MinMax);
+        let by_variation = select_two_bit_heads(&stats, 1, SelectionMethod::Variation);
+        // Min-max demotes the spiky head (smaller overall range); variation
+        // demotes the wide head (smaller channel-gap spread).
+        assert_eq!(by_minmax[1], BitWidth::Int2);
+        assert_eq!(by_variation[0], BitWidth::Int2);
+    }
+
+    #[test]
+    fn entropy_of_constant_matrix_is_zero() {
+        let m = Matrix::filled(8, 8, 3.0);
+        let s = HeadStats::from_activations(&m);
+        assert_eq!(s.entropy, 0.0);
+        assert_eq!(s.gap, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot demote")]
+    fn demoting_too_many_panics() {
+        let heads = vec![HeadStats::from_activations(&Matrix::filled(2, 2, 1.0))];
+        select_two_bit_heads(&heads, 2, SelectionMethod::Priority);
+    }
+}

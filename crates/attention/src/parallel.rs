@@ -1,0 +1,169 @@
+//! Thread-parallel layer execution.
+//!
+//! Attention heads are embarrassingly parallel — on a GPU they map to
+//! independent thread blocks; on this CPU substrate they map to scoped
+//! threads. Results are bit-identical to the serial path because each
+//! head's computation is fully independent and deterministic.
+
+use crate::api::TurboAttention;
+use crate::decode::turbo_attend_cache;
+use crate::prefill::turbo_prefill_head;
+use turbo_kvcache::{HeadKvCache, KvCacheConfig, LayerKvCache};
+use turbo_quant::BitWidth;
+use turbo_tensor::Matrix;
+
+impl TurboAttention {
+    /// Parallel variant of [`TurboAttention::prefill_layer`]: one thread
+    /// per head. Output and caches are bit-identical to the serial path.
+    ///
+    /// # Panics
+    ///
+    /// As [`TurboAttention::prefill_layer`].
+    pub fn prefill_layer_parallel(
+        &self,
+        qs: &[Matrix],
+        ks: &[Matrix],
+        vs: &[Matrix],
+        bits_per_head: &[BitWidth],
+    ) -> (Vec<Matrix>, LayerKvCache) {
+        let h = qs.len();
+        assert!(h > 0, "at least one head required");
+        assert_eq!(ks.len(), h, "per-head K count mismatch");
+        assert_eq!(vs.len(), h, "per-head V count mismatch");
+        assert_eq!(bits_per_head.len(), h, "per-head bit-width count mismatch");
+        let d = qs[0].cols();
+        let cfg = *self.config();
+
+        let results: Vec<(Matrix, HeadKvCache)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..h)
+                .map(|i| {
+                    let (q, k, v) = (&qs[i], &ks[i], &vs[i]);
+                    let bits = bits_per_head[i];
+                    let sas = self.sas();
+                    scope.spawn(move || {
+                        let mut cache = HeadKvCache::new(
+                            d,
+                            KvCacheConfig {
+                                bits,
+                                group_size: cfg.group_size,
+                                buffer_capacity: cfg.buffer_capacity,
+                            },
+                        );
+                        let out = turbo_prefill_head(
+                            q,
+                            k,
+                            v,
+                            cfg.masking,
+                            sas,
+                            cfg.block_r,
+                            cfg.block_c,
+                            &mut cache,
+                        );
+                        (out.output, cache)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|hd| hd.join().expect("head worker panicked"))
+                .collect()
+        });
+
+        let mut outs = Vec::with_capacity(h);
+        let mut caches = Vec::with_capacity(h);
+        for (o, c) in results {
+            outs.push(o);
+            caches.push(c);
+        }
+        (outs, LayerKvCache::from_heads(caches))
+    }
+
+    /// Parallel variant of [`TurboAttention::decode_layer`]: appends and
+    /// attends every head concurrently.
+    ///
+    /// # Panics
+    ///
+    /// As [`TurboAttention::decode_layer`].
+    pub fn decode_layer_parallel(
+        &self,
+        qs: &[&[f32]],
+        ks: &[&[f32]],
+        vs: &[&[f32]],
+        layer: &mut LayerKvCache,
+    ) -> Vec<Vec<f32>> {
+        let h = layer.num_heads();
+        assert_eq!(qs.len(), h, "one query row per head required");
+        assert_eq!(ks.len(), h, "one key row per head required");
+        assert_eq!(vs.len(), h, "one value row per head required");
+        let sas = self.sas();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = layer
+                .iter_mut()
+                .zip(qs.iter().zip(ks.iter().zip(vs)))
+                .map(|(cache, (q, (k, v)))| {
+                    scope.spawn(move || {
+                        cache.append(k, v);
+                        turbo_attend_cache(q, cache, sas)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|hd| hd.join().expect("head worker panicked"))
+                .collect()
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    fn heads(seed: u64, h: usize, n: usize, d: usize) -> Vec<Matrix> {
+        let mut rng = TensorRng::new(seed);
+        (0..h).map(|_| rng.normal(n, d, 0.0, 1.0)).collect()
+    }
+
+    #[test]
+    fn parallel_prefill_matches_serial_bit_for_bit() {
+        let qs = heads(1, 6, 96, 16);
+        let ks = heads(2, 6, 96, 16);
+        let vs = heads(3, 6, 96, 16);
+        let bits = [
+            BitWidth::Int4,
+            BitWidth::Int2,
+            BitWidth::Int4,
+            BitWidth::Int4,
+            BitWidth::Int2,
+            BitWidth::Int4,
+        ];
+        let engine = TurboAttention::default();
+        let (serial_out, serial_cache) = engine.prefill_layer(&qs, &ks, &vs, &bits);
+        let (par_out, par_cache) = engine.prefill_layer_parallel(&qs, &ks, &vs, &bits);
+        assert_eq!(serial_out, par_out);
+        for h in 0..6 {
+            assert_eq!(
+                serial_cache.head(h).dequantize_all(),
+                par_cache.head(h).dequantize_all()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_decode_matches_serial() {
+        let qs = heads(4, 4, 32, 8);
+        let ks = heads(5, 4, 32, 8);
+        let vs = heads(6, 4, 32, 8);
+        let engine = TurboAttention::default();
+        let bits = [BitWidth::Int4; 4];
+        let (_, mut serial_cache) = engine.prefill_layer(&qs, &ks, &vs, &bits);
+        let (_, mut par_cache) = engine.prefill_layer(&qs, &ks, &vs, &bits);
+        let step = heads(7, 4, 1, 8);
+        let rows: Vec<&[f32]> = step.iter().map(|m| m.row(0)).collect();
+        let serial = engine.decode_layer(&rows, &rows, &rows, &mut serial_cache);
+        let parallel = engine.decode_layer_parallel(&rows, &rows, &rows, &mut par_cache);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial_cache.len(), par_cache.len());
+    }
+}

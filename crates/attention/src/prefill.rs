@@ -1,0 +1,391 @@
+//! TurboAttention prefill — Algorithm 1.
+//!
+//! A FlashAttention-style sweep where every matmul runs on the INT8 path:
+//!
+//! 1. Each `Q`/`K`/`V` tile is symmetrically quantized to INT8
+//!    (`s = max|x|/119`).
+//! 2. Scores come from the integer GEMM `Q⁸·(K⁸)ᵀ` scaled by
+//!    `s_Q·s_K/√d`.
+//! 3. Exponentiation uses SAS instead of FP32 `exp`.
+//! 4. The probability tile is itself re-quantized to INT8 and the output
+//!    update uses the integer GEMM `P⁸·V⁸` scaled by `s_P·s_V`.
+//! 5. As each `K`/`V` tile is first touched, its INT8 codes are
+//!    progressively re-quantized (INT4/INT2, channel-wise) and written to
+//!    the KV cache for the decode phase.
+
+use crate::reference::Masking;
+use turbo_kvcache::HeadKvCache;
+use turbo_quant::symmetric::SymQuantized;
+use turbo_softmax::Sas;
+use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+
+/// Result of a prefill pass over one head.
+#[derive(Clone, Debug)]
+pub struct PrefillOutput {
+    /// Attention output `O`, `n_q × d`.
+    pub output: Matrix,
+    /// Per-row logsumexp `L = m + ln ℓ` (used by e.g. ring/lean attention
+    /// compositions; exposed because Algorithm 1 returns it).
+    pub lse: Vec<f32>,
+}
+
+/// Runs Algorithm 1 on one head: quantized tiled attention over
+/// `(q, k, v)` while populating `cache` with the progressively quantized
+/// K/V blocks.
+///
+/// `block_r`/`block_c` are the `B_r`/`B_c` tile heights. The cache's own
+/// config decides the resident bit width and channel-group size.
+///
+/// # Panics
+///
+/// Panics if shapes are inconsistent, block sizes are zero, the cache is
+/// non-empty, or its head dimension differs from `q.cols()`.
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn turbo_prefill_head(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    sas: &Sas,
+    block_r: usize,
+    block_c: usize,
+    cache: &mut HeadKvCache,
+) -> PrefillOutput {
+    assert_eq!(q.cols(), k.cols(), "Q/K width mismatch");
+    assert_eq!(k.shape(), v.shape(), "K/V shape mismatch");
+    assert!(block_r > 0 && block_c > 0, "block sizes must be positive");
+    assert!(cache.is_empty(), "prefill requires an empty cache");
+    assert_eq!(cache.head_dim(), q.cols(), "cache head dimension mismatch");
+    if masking.is_causal_like() {
+        assert!(
+            q.rows() <= k.rows(),
+            "causal masking assumes queries are the last positions"
+        );
+    }
+
+    let d = q.cols();
+    let n_q = q.rows();
+    let n_k = k.rows();
+    let scale = 1.0 / (d as f32).sqrt();
+    let offset = if masking.is_causal_like() {
+        n_k - n_q
+    } else {
+        0
+    };
+
+    // Stage-1 quantize all K/V tiles once; write progressive blocks to the
+    // cache as Algorithm 1 does on the first row sweep.
+    let mut k_tiles: Vec<(usize, SymQuantized)> = Vec::new();
+    let mut v_tiles: Vec<SymQuantized> = Vec::new();
+    for (kj, k_blk) in k.row_blocks(block_c) {
+        let v_blk = v.row_block(kj, k_blk.rows());
+        let k8 = SymQuantized::quantize(&k_blk);
+        let v8 = SymQuantized::quantize(&v_blk);
+        cache.append_prefill_block(&k_blk, &v_blk);
+        k_tiles.push((kj, k8));
+        v_tiles.push(v8);
+    }
+
+    let mut out = Matrix::zeros(n_q, d);
+    let mut lse = vec![0.0f32; n_q];
+
+    for (qi, q_blk) in q.row_blocks(block_r) {
+        let br = q_blk.rows();
+        let q8 = SymQuantized::quantize(&q_blk);
+        let mut o = Matrix::zeros(br, d);
+        let mut m = vec![f32::NEG_INFINITY; br];
+        let mut l = vec![0.0f32; br];
+
+        let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
+        let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
+        for (tile_idx, (kj, k8)) in k_tiles.iter().enumerate() {
+            let kj = *kj;
+            let bc = k8.rows();
+            if masking.is_causal_like() {
+                if kj > blk_hi {
+                    break;
+                }
+                if kj + bc <= blk_lo {
+                    continue;
+                }
+            }
+            // Integer score GEMM with the scalar symmetric correction.
+            let s_int = matmul_i8_transposed_b(q8.codes(), k8.codes(), br, d, bc);
+            let s_scale = q8.scale() * k8.scale() * scale;
+            let mut s =
+                Matrix::from_vec(br, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
+            if masking.is_causal_like() {
+                for i in 0..br {
+                    let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
+                    for j in 0..bc {
+                        let key = kj + j;
+                        if key < lo || key > hi {
+                            s.set(i, j, f32::NEG_INFINITY);
+                        }
+                    }
+                }
+            }
+
+            let v8 = &v_tiles[tile_idx];
+            online_update_quantized(&mut o, &mut m, &mut l, &s, v8, sas);
+        }
+
+        for i in 0..br {
+            assert!(l[i] > 0.0, "row {} attended to nothing", qi + i);
+            let inv = 1.0 / l[i];
+            for c in 0..d {
+                out.set(qi + i, c, o.get(i, c) * inv);
+            }
+            lse[qi + i] = m[i] + l[i].ln();
+        }
+    }
+
+    PrefillOutput { output: out, lse }
+}
+
+/// Shared quantized online-softmax update (steps 3–4 of Algorithm 1 and
+/// the body of Algorithm 2): SAS exponentiation, INT8 re-quantization of
+/// the probability tile, and the integer `P⁸·V⁸` accumulation.
+pub(crate) fn online_update_quantized(
+    o: &mut Matrix,
+    m: &mut [f32],
+    l: &mut [f32],
+    s: &Matrix,
+    v8: &SymQuantized,
+    sas: &Sas,
+) {
+    let br = s.rows();
+    let bc = s.cols();
+    let d = o.cols();
+    debug_assert_eq!(v8.rows(), bc, "V tile height mismatch");
+    debug_assert_eq!(v8.cols(), d, "V tile width mismatch");
+
+    // Compute the SAS probability tile row-by-row, then one integer GEMM.
+    let mut p = Matrix::zeros(br, bc);
+    let mut corr = vec![0.0f32; br];
+    for i in 0..br {
+        let row_max = s.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let m_new = m[i].max(row_max);
+        if m_new == f32::NEG_INFINITY {
+            corr[i] = 1.0; // row untouched by this tile
+            continue;
+        }
+        corr[i] = if m[i] == f32::NEG_INFINITY {
+            0.0
+        } else {
+            sas.exp(m[i] - m_new)
+        };
+        let mut row_sum = 0.0f32;
+        for j in 0..bc {
+            let sv = s.get(i, j);
+            let pv = if sv == f32::NEG_INFINITY {
+                0.0
+            } else {
+                sas.exp(sv - m_new)
+            };
+            p.set(i, j, pv);
+            row_sum += pv;
+        }
+        l[i] = l[i] * corr[i] + row_sum;
+        m[i] = m_new;
+    }
+
+    // Quantize the probability tile (Algorithm 1: s_P = max|P̃|/119).
+    let p8 = SymQuantized::quantize(&p);
+    let pv_int = matmul_i8_transposed_b(p8.codes(), &transpose_codes(v8.codes(), bc, d), br, bc, d);
+    let pv_scale = p8.scale() * v8.scale();
+    for i in 0..br {
+        for c in 0..d {
+            let acc = o.get(i, c) * corr[i] + pv_int[i * d + c] as f32 * pv_scale;
+            o.set(i, c, acc);
+        }
+    }
+}
+
+/// Transposes an `rows × cols` row-major i8 buffer (so `P⁸·V⁸` can reuse
+/// the transposed-B integer GEMM).
+fn transpose_codes(codes: &[i8], rows: usize, cols: usize) -> Vec<i8> {
+    let mut t = vec![0i8; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            t[c * rows + r] = codes[r * cols + c];
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{flash_attention, naive_attention};
+    use turbo_kvcache::KvCacheConfig;
+    use turbo_quant::BitWidth;
+    use turbo_tensor::{max_abs_error, relative_error, TensorRng};
+
+    fn qkv(seed: u64, n: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+        let mut rng = TensorRng::new(seed);
+        (
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+        )
+    }
+
+    fn fresh_cache(d: usize) -> HeadKvCache {
+        HeadKvCache::new(
+            d,
+            KvCacheConfig {
+                bits: BitWidth::Int4,
+                group_size: 64,
+                buffer_capacity: 64,
+            },
+        )
+    }
+
+    #[test]
+    fn prefill_tracks_exact_attention_full() {
+        let (q, k, v) = qkv(51, 96, 32);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(32);
+        let out = turbo_prefill_head(&q, &k, &v, Masking::Full, &sas, 32, 32, &mut cache);
+        let exact = naive_attention(&q, &k, &v, Masking::Full);
+        let rel = relative_error(&out.output, &exact);
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn prefill_tracks_exact_attention_causal() {
+        let (q, k, v) = qkv(52, 80, 16);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(16);
+        let out = turbo_prefill_head(&q, &k, &v, Masking::Causal, &sas, 16, 16, &mut cache);
+        let exact = naive_attention(&q, &k, &v, Masking::Causal);
+        let rel = relative_error(&out.output, &exact);
+        assert!(rel < 0.06, "relative error {rel}");
+    }
+
+    #[test]
+    fn prefill_populates_cache_blocks() {
+        let (q, k, v) = qkv(53, 100, 8);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(8);
+        turbo_prefill_head(&q, &k, &v, Masking::Causal, &sas, 32, 32, &mut cache);
+        assert_eq!(cache.len(), 100);
+        assert_eq!(cache.resident_blocks().len(), 4); // 32+32+32+4
+        assert_eq!(cache.buffer_len(), 0);
+        // The cached K is a faithful INT4 reconstruction.
+        let (kq, vq) = cache.dequantize_all();
+        assert!(relative_error(&kq, &k) < 0.12);
+        assert!(relative_error(&vq, &v) < 0.12);
+    }
+
+    #[test]
+    fn block_size_robustness_matches_table_3() {
+        // Output must stay stable across (Br, Bc) combinations.
+        let (q, k, v) = qkv(54, 128, 16);
+        let sas = Sas::paper_default();
+        let mut outs = Vec::new();
+        for (br, bc) in [(32, 32), (32, 64), (64, 32), (64, 64), (128, 128)] {
+            let mut cache = fresh_cache(16);
+            let o = turbo_prefill_head(&q, &k, &v, Masking::Causal, &sas, br, bc, &mut cache);
+            outs.push(o.output);
+        }
+        for o in &outs[1..] {
+            assert!(
+                relative_error(o, &outs[0]) < 0.03,
+                "block-size sensitivity too high"
+            );
+        }
+    }
+
+    #[test]
+    fn lse_close_to_exact_flash_lse() {
+        let (q, k, v) = qkv(55, 64, 16);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(16);
+        let out = turbo_prefill_head(&q, &k, &v, Masking::Full, &sas, 32, 32, &mut cache);
+        let (_, lse) =
+            crate::reference::flash_attention_with_lse(&q, &k, &v, Masking::Full, 32, 32);
+        for (a, b) in out.lse.iter().zip(&lse) {
+            assert!((a - b).abs() < 0.1, "lse {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn quantized_error_exceeds_f16_flash_but_stays_small() {
+        // Sanity on the approximation ladder: exact < fp16-flash < turbo.
+        let (q, k, v) = qkv(56, 64, 32);
+        let exact = naive_attention(&q, &k, &v, Masking::Full);
+        let f16 = flash_attention(&q, &k, &v, Masking::Full, 32, 32);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(32);
+        let turbo = turbo_prefill_head(&q, &k, &v, Masking::Full, &sas, 32, 32, &mut cache).output;
+        let e_f16 = max_abs_error(&exact, &f16);
+        let e_turbo = max_abs_error(&exact, &turbo);
+        assert!(e_f16 <= e_turbo, "f16 {e_f16} vs turbo {e_turbo}");
+        assert!(e_turbo < 0.25, "turbo error {e_turbo} too large");
+    }
+
+    #[test]
+    fn ragged_tail_blocks_are_handled() {
+        let (q, k, v) = qkv(57, 70, 8); // 70 = 2*32 + 6
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(8);
+        let out = turbo_prefill_head(&q, &k, &v, Masking::Causal, &sas, 32, 32, &mut cache);
+        assert_eq!(out.output.shape(), (70, 8));
+        let exact = naive_attention(&q, &k, &v, Masking::Causal);
+        assert!(relative_error(&out.output, &exact) < 0.06);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn non_empty_cache_rejected() {
+        let (q, k, v) = qkv(58, 8, 4);
+        let sas = Sas::paper_default();
+        let mut cache = fresh_cache(4);
+        cache.append(&[0.0; 4], &[0.0; 4]);
+        turbo_prefill_head(&q, &k, &v, Masking::Full, &sas, 4, 4, &mut cache);
+    }
+}
+
+#[cfg(test)]
+mod sliding_window_tests {
+    use super::*;
+    use crate::reference::naive_attention;
+    use turbo_kvcache::KvCacheConfig;
+    use turbo_quant::BitWidth;
+    use turbo_tensor::{relative_error, TensorRng};
+
+    #[test]
+    fn turbo_prefill_respects_sliding_window() {
+        let mut rng = TensorRng::new(91);
+        let (n, d) = (96usize, 16usize);
+        let q = rng.normal(n, d, 0.0, 1.0);
+        let k = rng.normal(n, d, 0.0, 1.0);
+        let v = rng.normal(n, d, 0.0, 1.0);
+        let sas = Sas::paper_default();
+        for w in [8usize, 32] {
+            let mut cache = HeadKvCache::new(
+                d,
+                KvCacheConfig {
+                    bits: BitWidth::Int4,
+                    group_size: 32,
+                    buffer_capacity: 32,
+                },
+            );
+            let out = turbo_prefill_head(
+                &q,
+                &k,
+                &v,
+                Masking::SlidingWindow(w),
+                &sas,
+                16,
+                16,
+                &mut cache,
+            );
+            let exact = naive_attention(&q, &k, &v, Masking::SlidingWindow(w));
+            let rel = relative_error(&out.output, &exact);
+            assert!(rel < 0.08, "window {w}: rel {rel}");
+        }
+    }
+}

@@ -1,0 +1,449 @@
+//! Exact attention references: naive and FlashAttention-tiled.
+//!
+//! Both compute `softmax(QKᵀ/√d)V` exactly (up to f32 rounding); the tiled
+//! version exercises the online-softmax recurrence that Algorithm 1
+//! quantizes, so agreement between the two validates the tiling machinery
+//! independently of quantization.
+
+use turbo_tensor::{matmul, matmul_transposed_b, Matrix};
+
+/// Which keys a query may attend to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Masking {
+    /// Autoregressive masking — the decoder-LLM setting of the paper.
+    #[default]
+    Causal,
+    /// No masking (encoder-style), useful for kernel validation.
+    Full,
+    /// Causal with a sliding window of `w` keys: token `p` attends to
+    /// `[p − w + 1, p]`. Phi-3's actual configuration (w = 2047).
+    SlidingWindow(usize),
+}
+
+impl Masking {
+    /// Whether queries are restricted to past positions.
+    pub fn is_causal_like(self) -> bool {
+        !matches!(self, Masking::Full)
+    }
+
+    /// Inclusive `[lo, hi]` key-index range visible to the query at
+    /// absolute position `pos` in a sequence of `n_keys` keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_keys == 0` or a sliding window of width 0 is used.
+    pub fn visible_range(self, pos: usize, n_keys: usize) -> (usize, usize) {
+        assert!(n_keys > 0, "empty key sequence");
+        match self {
+            Masking::Full => (0, n_keys - 1),
+            Masking::Causal => (0, pos.min(n_keys - 1)),
+            Masking::SlidingWindow(w) => {
+                assert!(w > 0, "sliding window must be at least 1");
+                let hi = pos.min(n_keys - 1);
+                (hi.saturating_sub(w - 1), hi)
+            }
+        }
+    }
+}
+
+/// Naive exact attention: materializes the full score matrix.
+///
+/// # Panics
+///
+/// Panics if `q`, `k`, `v` widths differ or `k`/`v` row counts differ, or
+/// if causal masking is requested with more queries than keys (queries are
+/// assumed to be the *last* `q.rows()` positions of the key sequence).
+pub fn naive_attention(q: &Matrix, k: &Matrix, v: &Matrix, masking: Masking) -> Matrix {
+    validate(q, k, v, masking);
+    let d = q.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let mut s = matmul_transposed_b(q, k);
+    s.scale_in_place(scale);
+    if masking.is_causal_like() {
+        apply_mask(&mut s, k.rows(), masking);
+    }
+    let p = turbo_softmax::softmax(&s);
+    matmul(&p, v)
+}
+
+/// Exact FlashAttention: tiled sweep with the online-softmax recurrence.
+///
+/// Returns the attention output; the logsumexp vector is exposed through
+/// [`flash_attention_with_lse`].
+///
+/// # Panics
+///
+/// As [`naive_attention`], plus if `block_r == 0 || block_c == 0`.
+pub fn flash_attention(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    block_r: usize,
+    block_c: usize,
+) -> Matrix {
+    flash_attention_with_lse(q, k, v, masking, block_r, block_c).0
+}
+
+/// [`flash_attention`] also returning the per-row logsumexp `L = m + ln ℓ`.
+pub fn flash_attention_with_lse(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    block_r: usize,
+    block_c: usize,
+) -> (Matrix, Vec<f32>) {
+    flash_attention_impl(q, k, v, masking, block_r, block_c, false)
+}
+
+/// FlashAttention with matmul inputs rounded through binary16 — the FP16
+/// tensor-core baseline whose numerics TurboAttention is compared against.
+pub fn flash_attention_f16(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    block_r: usize,
+    block_c: usize,
+) -> Matrix {
+    flash_attention_impl(q, k, v, masking, block_r, block_c, true).0
+}
+
+fn validate(q: &Matrix, k: &Matrix, v: &Matrix, masking: Masking) {
+    assert_eq!(q.cols(), k.cols(), "Q/K width mismatch");
+    assert_eq!(k.rows(), v.rows(), "K/V token mismatch");
+    assert!(q.cols() > 0, "zero head dimension");
+    assert!(k.rows() > 0, "empty key sequence");
+    if masking.is_causal_like() {
+        assert!(
+            q.rows() <= k.rows(),
+            "causal masking assumes queries are the last positions"
+        );
+    }
+}
+
+/// Masks `s[i][j] = -inf` outside the visible range of each query row,
+/// where query row 0 sits at key position `n_keys - n_queries`.
+fn apply_mask(s: &mut Matrix, n_keys: usize, masking: Masking) {
+    let offset = n_keys - s.rows();
+    for i in 0..s.rows() {
+        let (lo, hi) = masking.visible_range(i + offset, n_keys);
+        for j in 0..s.cols() {
+            if j < lo || j > hi {
+                s.set(i, j, f32::NEG_INFINITY);
+            }
+        }
+    }
+}
+
+fn flash_attention_impl(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    block_r: usize,
+    block_c: usize,
+    f16_matmul: bool,
+) -> (Matrix, Vec<f32>) {
+    validate(q, k, v, masking);
+    assert!(block_r > 0 && block_c > 0, "block sizes must be positive");
+    let d = q.cols();
+    let scale = 1.0 / (d as f32).sqrt();
+    let n_q = q.rows();
+    let n_k = k.rows();
+    let offset = if masking.is_causal_like() {
+        n_k - n_q
+    } else {
+        0
+    };
+
+    let mut out = Matrix::zeros(n_q, d);
+    let mut lse = vec![0.0f32; n_q];
+
+    for (qi, q_blk) in q.row_blocks(block_r) {
+        let br = q_blk.rows();
+        let mut o = Matrix::zeros(br, d);
+        let mut m = vec![f32::NEG_INFINITY; br];
+        let mut l = vec![0.0f32; br];
+        // The union of visible ranges over this query block.
+        let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
+        let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
+
+        for (kj, k_blk) in k.row_blocks(block_c) {
+            if masking.is_causal_like() {
+                // Early-exit: the whole block is in the masked future.
+                if kj > blk_hi {
+                    break;
+                }
+                // Skip: the whole block is behind every row's window.
+                if kj + k_blk.rows() <= blk_lo {
+                    continue;
+                }
+            }
+            let v_blk = v.row_block(kj, k_blk.rows());
+            let mut s = if f16_matmul {
+                turbo_tensor::matmul_f16(&q_blk, &k_blk.transpose())
+            } else {
+                matmul_transposed_b(&q_blk, &k_blk)
+            };
+            s.scale_in_place(scale);
+            if masking.is_causal_like() {
+                for i in 0..br {
+                    let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
+                    for j in 0..k_blk.rows() {
+                        let key = kj + j;
+                        if key < lo || key > hi {
+                            s.set(i, j, f32::NEG_INFINITY);
+                        }
+                    }
+                }
+            }
+            online_update(&mut o, &mut m, &mut l, &s, &v_blk, f16_matmul);
+        }
+
+        for (i, (&li, &mi)) in l.iter().zip(m.iter()).enumerate() {
+            assert!(li > 0.0, "row {} attended to nothing", qi + i);
+            let inv = 1.0 / li;
+            for c in 0..d {
+                let val = o.get(i, c) * inv;
+                o.set(i, c, val);
+            }
+            lse[qi + i] = mi + li.ln();
+        }
+        for i in 0..br {
+            out.row_mut(qi + i).copy_from_slice(o.row(i));
+        }
+    }
+    (out, lse)
+}
+
+/// One online-softmax accumulation step shared by the exact kernels:
+/// `m_new = max(m, rowmax(s))`, `p = exp(s − m_new)`,
+/// `o = o·exp(m − m_new) + p·v`, `l = l·exp(m − m_new) + rowsum(p)`.
+fn online_update(
+    o: &mut Matrix,
+    m: &mut [f32],
+    l: &mut [f32],
+    s: &Matrix,
+    v_blk: &Matrix,
+    f16_matmul: bool,
+) {
+    let br = s.rows();
+    let bc = s.cols();
+    let d = o.cols();
+    for i in 0..br {
+        let row_max = s.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let m_new = m[i].max(row_max);
+        if m_new == f32::NEG_INFINITY {
+            continue; // fully masked so far
+        }
+        let corr = if m[i] == f32::NEG_INFINITY {
+            0.0
+        } else {
+            (m[i] - m_new).exp()
+        };
+        let mut p = vec![0.0f32; bc];
+        let mut row_sum = 0.0f32;
+        for (j, pj) in p.iter_mut().enumerate() {
+            let sv = s.get(i, j);
+            *pj = if sv == f32::NEG_INFINITY {
+                0.0
+            } else {
+                (sv - m_new).exp()
+            };
+            row_sum += *pj;
+        }
+        l[i] = l[i] * corr + row_sum;
+        for c in 0..d {
+            let mut acc = o.get(i, c) * corr;
+            for (j, &pj) in p.iter().enumerate() {
+                if f16_matmul {
+                    acc += turbo_tensor::round_f16(pj) * turbo_tensor::round_f16(v_blk.get(j, c));
+                } else {
+                    acc += pj * v_blk.get(j, c);
+                }
+            }
+            o.set(i, c, acc);
+        }
+        m[i] = m_new;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::{max_abs_error, TensorRng};
+
+    fn qkv(seed: u64, n: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+        let mut rng = TensorRng::new(seed);
+        (
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn flash_matches_naive_full() {
+        let (q, k, v) = qkv(1, 50, 16);
+        let a = naive_attention(&q, &k, &v, Masking::Full);
+        let b = flash_attention(&q, &k, &v, Masking::Full, 16, 16);
+        assert!(max_abs_error(&a, &b) < 1e-5);
+    }
+
+    #[test]
+    fn flash_matches_naive_causal() {
+        let (q, k, v) = qkv(2, 45, 8);
+        let a = naive_attention(&q, &k, &v, Masking::Causal);
+        let b = flash_attention(&q, &k, &v, Masking::Causal, 16, 8);
+        assert!(max_abs_error(&a, &b) < 1e-5);
+    }
+
+    #[test]
+    fn block_size_does_not_change_result() {
+        let (q, k, v) = qkv(3, 64, 8);
+        let base = flash_attention(&q, &k, &v, Masking::Causal, 64, 64);
+        for (br, bc) in [(1, 1), (7, 13), (16, 64), (64, 16), (128, 128)] {
+            let other = flash_attention(&q, &k, &v, Masking::Causal, br, bc);
+            assert!(
+                max_abs_error(&base, &other) < 1e-5,
+                "blocks ({br},{bc}) diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn causal_first_token_attends_only_itself() {
+        let (q, k, v) = qkv(4, 10, 4);
+        let out = naive_attention(&q, &k, &v, Masking::Causal);
+        // Row 0 can only see key 0, so its output is exactly v[0].
+        for c in 0..4 {
+            assert!((out.get(0, c) - v.get(0, c)).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn decode_query_aligned_to_sequence_tail() {
+        // One query against 20 keys: causal offset makes it see everything.
+        let mut rng = TensorRng::new(5);
+        let q = rng.normal(1, 8, 0.0, 1.0);
+        let k = rng.normal(20, 8, 0.0, 1.0);
+        let v = rng.normal(20, 8, 0.0, 1.0);
+        let causal = naive_attention(&q, &k, &v, Masking::Causal);
+        let full = naive_attention(&q, &k, &v, Masking::Full);
+        assert!(max_abs_error(&causal, &full) < 1e-6);
+    }
+
+    #[test]
+    fn lse_is_consistent_with_probabilities() {
+        let (q, k, v) = qkv(6, 24, 8);
+        let (_, lse) = flash_attention_with_lse(&q, &k, &v, Masking::Full, 8, 8);
+        // Recompute lse densely.
+        let scale = 1.0 / (8f32).sqrt();
+        let mut s = matmul_transposed_b(&q, &k);
+        s.scale_in_place(scale);
+        for (i, &l) in lse.iter().enumerate() {
+            let max = s.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let sum: f32 = s.row(i).iter().map(|&x| (x - max).exp()).sum();
+            assert!((l - (max + sum.ln())).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn f16_flash_close_to_f32() {
+        let (q, k, v) = qkv(7, 40, 16);
+        let exact = flash_attention(&q, &k, &v, Masking::Causal, 16, 16);
+        let half = flash_attention_f16(&q, &k, &v, Masking::Causal, 16, 16);
+        assert!(max_abs_error(&exact, &half) < 5e-3);
+        // And not bit-identical (f16 rounding must actually bite).
+        assert!(max_abs_error(&exact, &half) > 0.0);
+    }
+
+    #[test]
+    fn attention_rows_are_convex_combinations() {
+        let (q, k, v) = qkv(8, 30, 4);
+        let out = naive_attention(&q, &k, &v, Masking::Causal);
+        let vmin = v.min();
+        let vmax = v.max();
+        for &x in out.as_slice() {
+            assert!(x >= vmin - 1e-5 && x <= vmax + 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn mismatched_width_panics() {
+        let q = Matrix::zeros(2, 4);
+        let k = Matrix::zeros(2, 8);
+        naive_attention(&q, &k, &k, Masking::Full);
+    }
+
+    #[test]
+    #[should_panic(expected = "last positions")]
+    fn causal_more_queries_than_keys_panics() {
+        let q = Matrix::zeros(4, 2);
+        let k = Matrix::zeros(2, 2);
+        naive_attention(&q, &k, &k, Masking::Causal);
+    }
+}
+
+#[cfg(test)]
+mod sliding_window_tests {
+    use super::*;
+    use turbo_tensor::{max_abs_error, TensorRng};
+
+    fn qkv(seed: u64, n: usize, d: usize) -> (Matrix, Matrix, Matrix) {
+        let mut rng = TensorRng::new(seed);
+        (
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+            rng.normal(n, d, 0.0, 1.0),
+        )
+    }
+
+    #[test]
+    fn visible_range_math() {
+        assert_eq!(Masking::Full.visible_range(3, 10), (0, 9));
+        assert_eq!(Masking::Causal.visible_range(3, 10), (0, 3));
+        assert_eq!(Masking::SlidingWindow(4).visible_range(9, 10), (6, 9));
+        assert_eq!(Masking::SlidingWindow(4).visible_range(2, 10), (0, 2));
+        assert_eq!(Masking::SlidingWindow(1).visible_range(5, 10), (5, 5));
+    }
+
+    #[test]
+    fn window_flash_matches_naive() {
+        let (q, k, v) = qkv(11, 50, 8);
+        for w in [1usize, 4, 16, 100] {
+            let a = naive_attention(&q, &k, &v, Masking::SlidingWindow(w));
+            let b = flash_attention(&q, &k, &v, Masking::SlidingWindow(w), 8, 8);
+            assert!(max_abs_error(&a, &b) < 1e-5, "window {w}");
+        }
+    }
+
+    #[test]
+    fn huge_window_equals_causal() {
+        let (q, k, v) = qkv(12, 30, 8);
+        let win = naive_attention(&q, &k, &v, Masking::SlidingWindow(1000));
+        let causal = naive_attention(&q, &k, &v, Masking::Causal);
+        assert!(max_abs_error(&win, &causal) < 1e-6);
+    }
+
+    #[test]
+    fn window_one_returns_own_value() {
+        let (q, k, v) = qkv(13, 12, 4);
+        let out = naive_attention(&q, &k, &v, Masking::SlidingWindow(1));
+        assert!(max_abs_error(&out, &v) < 1e-6);
+    }
+
+    #[test]
+    fn window_blocks_are_skipped_not_wrong() {
+        // Block-level skip must not change results vs blockless evaluation.
+        let (q, k, v) = qkv(14, 64, 8);
+        let base = flash_attention(&q, &k, &v, Masking::SlidingWindow(7), 64, 64);
+        for (br, bc) in [(4usize, 4usize), (16, 8), (8, 32)] {
+            let tiled = flash_attention(&q, &k, &v, Masking::SlidingWindow(7), br, bc);
+            assert!(max_abs_error(&base, &tiled) < 1e-5, "blocks {br}x{bc}");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Split-K (FlashDecoding-style) decode over the quantized cache.
+//!
+//! At long contexts a single decode query leaves most GPU SMs idle; Flash
+//! Decoding (Dao et al. 2023) and Lean Attention — both cited by the
+//! paper as compatible optimizations — split the key/value sequence into
+//! partitions, compute partial attention per partition in parallel, and
+//! merge the partials with their logsumexp weights. This module provides
+//! that merge on top of the quantized cache, so TurboAttention composes
+//! with sequence-parallel decode the way the paper claims.
+
+use turbo_kvcache::HeadKvCache;
+use turbo_quant::symmetric::{quantize_slice_sym, SymQuantized};
+use turbo_softmax::Sas;
+use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+
+/// One partition's partial attention state: unnormalized output, running
+/// max, and running sum (the `(O, m, ℓ)` triple of Algorithm 2).
+#[derive(Clone, Debug)]
+pub struct PartialAttention {
+    /// Unnormalized output row (`ℓ`-weighted).
+    pub output: Vec<f32>,
+    /// Partition's score maximum `m`.
+    pub max: f32,
+    /// Partition's probability sum `ℓ`.
+    pub sum: f32,
+}
+
+impl PartialAttention {
+    /// Merges partials from disjoint partitions into the final output
+    /// row, exactly as the FlashDecoding reduction does:
+    /// `m* = max mᵢ`, `ℓ* = Σ ℓᵢ·e^{mᵢ−m*}`, `O = Σ Oᵢ·e^{mᵢ−m*} / ℓ*`.
+    ///
+    /// The rescale factors use the same `sas` evaluator the partition
+    /// kernels used, so the merge is bit-consistent with a fused sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty, widths disagree, or all partitions were
+    /// empty.
+    pub fn merge(parts: &[PartialAttention], sas: &Sas) -> Vec<f32> {
+        assert!(!parts.is_empty(), "nothing to merge");
+        let d = parts[0].output.len();
+        let m_star = parts
+            .iter()
+            .map(|p| p.max)
+            .fold(f32::NEG_INFINITY, f32::max);
+        assert!(m_star.is_finite(), "all partitions were empty");
+        let mut out = vec![0.0f32; d];
+        let mut l_star = 0.0f32;
+        for p in parts {
+            assert_eq!(p.output.len(), d, "partial width mismatch");
+            if p.max == f32::NEG_INFINITY {
+                continue;
+            }
+            let w = sas.exp(p.max - m_star);
+            l_star += p.sum * w;
+            for (o, &po) in out.iter_mut().zip(&p.output) {
+                *o += po * w;
+            }
+        }
+        assert!(l_star > 0.0, "merged attention attended to nothing");
+        for o in &mut out {
+            *o /= l_star;
+        }
+        out
+    }
+}
+
+/// Computes one partition's partial attention of `q8` (pre-quantized
+/// query with scale `s_q`) over an INT8 K/V block.
+fn partial_over_block(
+    q8: &[i8],
+    s_q: f32,
+    scale: f32,
+    k8: &SymQuantized,
+    v8: &SymQuantized,
+    sas: &Sas,
+) -> PartialAttention {
+    let d = q8.len();
+    let bc = k8.rows();
+    let s_int = matmul_i8_transposed_b(q8, k8.codes(), 1, d, bc);
+    let s_scale = s_q * k8.scale() * scale;
+
+    let mut m = f32::NEG_INFINITY;
+    for &x in &s_int {
+        m = m.max(x as f32 * s_scale);
+    }
+    let mut p = Matrix::zeros(1, bc);
+    let mut l = 0.0f32;
+    for (j, &x) in s_int.iter().enumerate() {
+        let pv = sas.exp(x as f32 * s_scale - m);
+        p.set(0, j, pv);
+        l += pv;
+    }
+    // Quantize the probability row and run the integer P·V product,
+    // exactly as the fused kernel does.
+    let (p8, s_p) = quantize_slice_sym(p.as_slice());
+    let mut vt = vec![0i8; bc * d];
+    for r in 0..bc {
+        for c in 0..d {
+            vt[c * bc + r] = v8.codes()[r * d + c];
+        }
+    }
+    let pv = matmul_i8_transposed_b(&p8, &vt, 1, bc, d);
+    let pv_scale = s_p * v8.scale();
+    PartialAttention {
+        output: pv.iter().map(|&x| x as f32 * pv_scale).collect(),
+        max: m,
+        sum: l,
+    }
+}
+
+/// Split-K decode: attends `q` over the cache with each resident block
+/// (and the open buffer) treated as an independent partition, then merges.
+///
+/// Produces the same result as [`crate::decode::turbo_attend_cache`] up to
+/// the (tiny) difference in SAS rescale factor grouping.
+///
+/// # Panics
+///
+/// Panics if `q.len()` differs from the cache head dimension or the cache
+/// is empty.
+pub fn turbo_attend_cache_splitk(q: &[f32], cache: &HeadKvCache, sas: &Sas) -> Vec<f32> {
+    let d = cache.head_dim();
+    assert_eq!(q.len(), d, "query width mismatch");
+    assert!(!cache.is_empty(), "cannot attend to an empty cache");
+    let scale = 1.0 / (d as f32).sqrt();
+    let (q8, s_q) = quantize_slice_sym(q);
+
+    let mut parts = Vec::new();
+    for b in 0..cache.resident_blocks().len() {
+        let k8 = cache.resident_blocks()[b].dequantize_to_int8();
+        let v8 = cache.resident_value_blocks()[b].dequantize_to_int8();
+        parts.push(partial_over_block(&q8, s_q, scale, &k8, &v8, sas));
+    }
+    if cache.buffer_len() > 0 {
+        let k8 = cache.key_buffer().as_sym_quantized();
+        let v8 = cache.value_buffer().as_sym_quantized();
+        parts.push(partial_over_block(&q8, s_q, scale, &k8, &v8, sas));
+    }
+    PartialAttention::merge(&parts, sas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::turbo_attend_cache;
+    use turbo_kvcache::KvCacheConfig;
+    use turbo_quant::BitWidth;
+    use turbo_tensor::TensorRng;
+
+    fn populated_cache(seed: u64, n: usize, d: usize, nb: usize) -> HeadKvCache {
+        let mut rng = TensorRng::new(seed);
+        let k = rng.normal(n, d, 0.0, 1.0);
+        let v = rng.normal(n, d, 0.0, 1.0);
+        let mut cache = HeadKvCache::new(
+            d,
+            KvCacheConfig {
+                bits: BitWidth::Int4,
+                group_size: 32,
+                buffer_capacity: nb,
+            },
+        );
+        for t in 0..n {
+            cache.append(k.row(t), v.row(t));
+        }
+        cache
+    }
+
+    #[test]
+    fn splitk_matches_fused_decode() {
+        // 200 tokens with nb=32: 6 resident partitions + 8 buffered.
+        let cache = populated_cache(1, 200, 16, 32);
+        let sas = Sas::paper_default();
+        let mut rng = TensorRng::new(2);
+        for _ in 0..10 {
+            let q: Vec<f32> = (0..16).map(|_| rng.standard_normal()).collect();
+            let fused = turbo_attend_cache(&q, &cache, &sas);
+            let split = turbo_attend_cache_splitk(&q, &cache, &sas);
+            for (a, b) in fused.iter().zip(&split) {
+                assert!((a - b).abs() < 2e-2, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn splitk_single_partition_is_exactly_fused() {
+        // One resident block only: the merge is a no-op.
+        let cache = populated_cache(3, 32, 8, 32);
+        assert_eq!(cache.resident_blocks().len(), 1);
+        assert_eq!(cache.buffer_len(), 0);
+        let sas = Sas::paper_default();
+        let q = [0.3f32; 8];
+        let fused = turbo_attend_cache(&q, &cache, &sas);
+        let split = turbo_attend_cache_splitk(&q, &cache, &sas);
+        for (a, b) in fused.iter().zip(&split) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn merge_is_permutation_invariant() {
+        let cache = populated_cache(4, 128, 8, 16);
+        let sas = Sas::paper_default();
+        let scale = 1.0 / (8f32).sqrt();
+        let q = [0.5f32; 8];
+        let (q8, s_q) = quantize_slice_sym(&q);
+        let mut parts: Vec<PartialAttention> = (0..cache.resident_blocks().len())
+            .map(|b| {
+                partial_over_block(
+                    &q8,
+                    s_q,
+                    scale,
+                    &cache.resident_blocks()[b].dequantize_to_int8(),
+                    &cache.resident_value_blocks()[b].dequantize_to_int8(),
+                    &sas,
+                )
+            })
+            .collect();
+        let forward = PartialAttention::merge(&parts, &sas);
+        parts.reverse();
+        let backward = PartialAttention::merge(&parts, &sas);
+        for (a, b) in forward.iter().zip(&backward) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn merge_ignores_empty_partitions() {
+        let sas = Sas::paper_default();
+        let real = PartialAttention {
+            output: vec![2.0, 4.0],
+            max: 0.5,
+            sum: 2.0,
+        };
+        let empty = PartialAttention {
+            output: vec![0.0, 0.0],
+            max: f32::NEG_INFINITY,
+            sum: 0.0,
+        };
+        let merged = PartialAttention::merge(&[real.clone(), empty], &sas);
+        assert!((merged[0] - 1.0).abs() < 1e-6);
+        assert!((merged[1] - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "nothing to merge")]
+    fn merging_nothing_panics() {
+        PartialAttention::merge(&[], &Sas::paper_default());
+    }
+}

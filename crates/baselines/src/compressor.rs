@@ -1,0 +1,95 @@
+//! Common interface for baseline KV compressors.
+
+use turbo_tensor::Matrix;
+
+/// A KV-cache compression scheme that dequantizes before attention.
+///
+/// The trait captures the baseline execution model the paper contrasts
+/// with TurboAttention: tokens go in, a floating-point `(K, V)` comes back
+/// out for the attention kernel, and the memory footprint is whatever the
+/// scheme physically stores.
+pub trait KvCompressor {
+    /// Human-readable scheme name for table rows.
+    fn name(&self) -> &'static str;
+
+    /// Appends one decoded token's key/value vectors.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the vectors don't match the head dimension.
+    fn append(&mut self, k: &[f32], v: &[f32]);
+
+    /// Number of cached tokens.
+    fn len(&self) -> usize;
+
+    /// Whether the cache holds no tokens.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dequantizes the full cache to `(K, V)` — the step whose latency
+    /// TurboAttention eliminates.
+    fn materialize(&self) -> (Matrix, Matrix);
+
+    /// Physical bytes stored.
+    fn storage_bytes(&self) -> usize;
+
+    /// Bytes the same tokens would occupy in FP16 (K and V).
+    fn fp16_reference_bytes(&self) -> usize;
+
+    /// Compression ratio vs FP16; 1.0 when empty.
+    fn compression_ratio(&self) -> f64 {
+        let s = self.storage_bytes();
+        if s == 0 {
+            1.0
+        } else {
+            self.fp16_reference_bytes() as f64 / s as f64
+        }
+    }
+}
+
+/// Baseline decode-attention: materializes the cache and runs exact
+/// FP16-matmul attention for the single query row (the kernel KIVI/GEAR
+/// actually executes after dequantization).
+///
+/// # Panics
+///
+/// Panics if the cache is empty or widths mismatch.
+pub fn decode_attention_fp16(q: &[f32], cache: &dyn KvCompressor) -> Vec<f32> {
+    assert!(!cache.is_empty(), "cannot attend to an empty cache");
+    let (k, v) = cache.materialize();
+    assert_eq!(q.len(), k.cols(), "query width mismatch");
+    let qm = Matrix::from_vec(1, q.len(), q.to_vec());
+    let out = turbo_attention::reference::flash_attention_f16(
+        &qm,
+        &k,
+        &v,
+        turbo_attention::Masking::Causal,
+        1,
+        64,
+    );
+    out.row(0).to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fp16::Fp16Cache;
+
+    #[test]
+    fn decode_attention_single_token_returns_value() {
+        let mut c = Fp16Cache::new(4);
+        c.append(&[1.0, 0.0, 0.0, 0.0], &[5.0, 6.0, 7.0, 8.0]);
+        let out = decode_attention_fp16(&[1.0, 1.0, 1.0, 1.0], &c);
+        for (a, b) in out.iter().zip(&[5.0, 6.0, 7.0, 8.0]) {
+            assert!((a - b).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty cache")]
+    fn empty_cache_panics() {
+        let c = Fp16Cache::new(2);
+        decode_attention_fp16(&[0.0, 0.0], &c);
+    }
+}

@@ -1,0 +1,95 @@
+//! The dense FP16 baseline: no compression at all.
+
+use crate::compressor::KvCompressor;
+use turbo_tensor::{round_f16, Matrix};
+
+/// KV cache stored as FP16 (emulated by rounding every element through
+/// binary16). This is the paper's "FP16" row: exact attention, maximal
+/// memory.
+#[derive(Clone, Debug)]
+pub struct Fp16Cache {
+    d: usize,
+    k: Vec<f32>,
+    v: Vec<f32>,
+    rows: usize,
+}
+
+impl Fp16Cache {
+    /// Creates an empty FP16 cache for `d`-channel heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "head dimension must be positive");
+        Self {
+            d,
+            k: Vec::new(),
+            v: Vec::new(),
+            rows: 0,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d
+    }
+}
+
+impl KvCompressor for Fp16Cache {
+    fn name(&self) -> &'static str {
+        "FP16"
+    }
+
+    fn append(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), self.d, "key width mismatch");
+        assert_eq!(v.len(), self.d, "value width mismatch");
+        self.k.extend(k.iter().map(|&x| round_f16(x)));
+        self.v.extend(v.iter().map(|&x| round_f16(x)));
+        self.rows += 1;
+    }
+
+    fn len(&self) -> usize {
+        self.rows
+    }
+
+    fn materialize(&self) -> (Matrix, Matrix) {
+        (
+            Matrix::from_vec(self.rows, self.d, self.k.clone()),
+            Matrix::from_vec(self.rows, self.d, self.v.clone()),
+        )
+    }
+
+    fn storage_bytes(&self) -> usize {
+        2 * (self.k.len() + self.v.len())
+    }
+
+    fn fp16_reference_bytes(&self) -> usize {
+        self.storage_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stores_f16_rounded_values() {
+        let mut c = Fp16Cache::new(2);
+        c.append(&[1.0001, -2.0], &[0.33333, 4.0]);
+        let (k, v) = c.materialize();
+        assert_eq!(k.get(0, 0), round_f16(1.0001));
+        assert_eq!(v.get(0, 0), round_f16(0.33333));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn compression_ratio_is_one() {
+        let mut c = Fp16Cache::new(4);
+        for _ in 0..10 {
+            c.append(&[1.0; 4], &[2.0; 4]);
+        }
+        assert_eq!(c.compression_ratio(), 1.0);
+        assert_eq!(c.storage_bytes(), 2 * 2 * 10 * 4);
+    }
+}

@@ -1,0 +1,40 @@
+//! # turbo-baselines
+//!
+//! From-scratch reimplementations of the KV-cache compression baselines the
+//! paper compares against (section 5.3):
+//!
+//! * [`fp16`] — the dense FP16 baseline: no compression, FlashAttention
+//!   with FP16 matmuls.
+//! * [`fp8cache`] — an FP8 (E4M3) KV cache, the Hopper-era simple
+//!   baseline (FlashAttention-3 / FlashInfer style), as an extension
+//!   beyond the paper's comparison set.
+//! * [`kivi`] — KIVI (Liu et al. 2024): per-channel key / per-token value
+//!   grouped asymmetric quantization with an FP16 residual window of the
+//!   most recent `n_b` tokens.
+//! * [`gear`] — GEAR-L (Kang et al. 2024): KIVI-style quantization plus a
+//!   rank-`r` low-rank approximation of the quantization *error*, stored in
+//!   FP16, added back at dequantization time.
+//! * [`lowrank`] — the power-iteration low-rank factorization GEAR-L needs.
+//!
+//! All baselines implement [`KvCompressor`], which captures the crucial
+//! architectural difference from TurboAttention: their `materialize` step
+//! dequantizes to floating point *before* attention, so their attention
+//! kernels run at FP16 precision and pay the dequantization latency that
+//! Figures 1 and 6 measure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod compressor;
+pub mod fp16;
+pub mod fp8cache;
+pub mod gear;
+pub mod kivi;
+pub mod lowrank;
+
+pub use compressor::{decode_attention_fp16, KvCompressor};
+pub use fp16::Fp16Cache;
+pub use fp8cache::Fp8Cache;
+pub use gear::{GearCache, GearConfig};
+pub use kivi::{KiviCache, KiviConfig};
+pub use lowrank::low_rank_approx;

@@ -1,0 +1,120 @@
+//! Whole-attention benchmarks: prefill and decode per method on the CPU
+//! reference kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use turbo_attention::{
+    flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_splitk,
+    turbo_prefill_head, Masking,
+};
+use turbo_baselines::{
+    decode_attention_fp16, GearCache, GearConfig, KiviCache, KiviConfig, KvCompressor,
+};
+use turbo_kvcache::{HeadKvCache, KvCacheConfig};
+use turbo_softmax::Sas;
+use turbo_tensor::{Matrix, TensorRng};
+
+const N: usize = 256;
+const D: usize = 64;
+
+fn qkv() -> (Matrix, Matrix, Matrix) {
+    let mut rng = TensorRng::new(31);
+    (
+        rng.normal(N, D, 0.0, 1.0),
+        rng.normal(N, D, 0.0, 1.0),
+        rng.normal(N, D, 0.0, 1.0),
+    )
+}
+
+fn bench_prefill(c: &mut Criterion) {
+    let (q, k, v) = qkv();
+    let sas = Sas::paper_default();
+    let mut g = c.benchmark_group("attention/prefill_256x64");
+    g.bench_function("naive_f32", |b| {
+        b.iter(|| naive_attention(black_box(&q), black_box(&k), black_box(&v), Masking::Causal))
+    });
+    g.bench_function("flash_f32", |b| {
+        b.iter(|| {
+            flash_attention(
+                black_box(&q),
+                black_box(&k),
+                black_box(&v),
+                Masking::Causal,
+                64,
+                64,
+            )
+        })
+    });
+    g.bench_function("turbo", |b| {
+        b.iter_batched(
+            || HeadKvCache::new(D, KvCacheConfig::default()),
+            |mut cache| {
+                turbo_prefill_head(
+                    black_box(&q),
+                    black_box(&k),
+                    black_box(&v),
+                    Masking::Causal,
+                    &sas,
+                    64,
+                    64,
+                    &mut cache,
+                )
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let (q, k, v) = qkv();
+    let sas = Sas::paper_default();
+
+    // Pre-populate each cache with N tokens.
+    let mut turbo = HeadKvCache::new(D, KvCacheConfig::default());
+    for t in 0..N {
+        turbo.append(k.row(t), v.row(t));
+    }
+    let mut kivi = KiviCache::new(D, KiviConfig::default());
+    let mut gear = GearCache::new(D, GearConfig::default());
+    for t in 0..N {
+        kivi.append(k.row(t), v.row(t));
+        gear.append(k.row(t), v.row(t));
+    }
+
+    let mut g = c.benchmark_group("attention/decode_over_256");
+    g.bench_function("turbo_attend_cache", |b| {
+        b.iter(|| turbo_attend_cache(black_box(q.row(0)), &turbo, &sas))
+    });
+    g.bench_function("turbo_attend_splitk", |b| {
+        b.iter(|| turbo_attend_cache_splitk(black_box(q.row(0)), &turbo, &sas))
+    });
+    g.bench_function("kivi_dequant_then_f16", |b| {
+        b.iter(|| decode_attention_fp16(black_box(q.row(0)), &kivi))
+    });
+    g.bench_function("gear_dequant_then_f16", |b| {
+        b.iter(|| decode_attention_fp16(black_box(q.row(0)), &gear))
+    });
+    g.finish();
+}
+
+fn bench_block_sizes(c: &mut Criterion) {
+    let (q, k, v) = qkv();
+    let sas = Sas::paper_default();
+    let mut g = c.benchmark_group("attention/turbo_prefill_block_size");
+    for (br, bc) in [(32usize, 32usize), (64, 64), (128, 128)] {
+        g.bench_function(format!("{br}x{bc}"), |b| {
+            b.iter_batched(
+                || HeadKvCache::new(D, KvCacheConfig::default()),
+                |mut cache| {
+                    turbo_prefill_head(&q, &k, &v, Masking::Causal, &sas, br, bc, &mut cache)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_prefill, bench_decode, bench_block_sizes);
+criterion_main!(benches);

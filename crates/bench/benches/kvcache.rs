@@ -1,0 +1,116 @@
+//! KV-cache benchmarks, including the universal-scale buffer ablation
+//! from DESIGN.md: fixed-scale append+clamp (the paper's design) vs
+//! re-deriving a scale for every appended row.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use turbo_kvcache::{HeadKvCache, Int8Buffer, KvCacheConfig};
+use turbo_quant::symmetric::quantize_slice_sym;
+use turbo_quant::BitWidth;
+use turbo_tensor::{Matrix, TensorRng};
+
+const D: usize = 128;
+
+fn rows(n: usize) -> Matrix {
+    TensorRng::new(41).normal(n, D, 0.0, 1.0)
+}
+
+fn bench_buffer_append(c: &mut Criterion) {
+    let data = rows(64);
+    let mut g = c.benchmark_group("kvcache/buffer_scale_ablation_64_rows");
+    // The paper's design: one universal scale, later rows clamp.
+    g.bench_function("universal_scale", |b| {
+        b.iter_batched(
+            || Int8Buffer::new(D),
+            |mut buf| {
+                for t in 0..64 {
+                    buf.append(black_box(data.row(t)));
+                }
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // The alternative KIVI/GEAR avoid: re-deriving a scale per row (which
+    // would force per-row parameter storage and block integer matmuls).
+    g.bench_function("per_row_rescale", |b| {
+        b.iter(|| {
+            let mut out = Vec::with_capacity(64 * D);
+            let mut scales = Vec::with_capacity(64);
+            for t in 0..64 {
+                let (codes, scale) = quantize_slice_sym(black_box(data.row(t)));
+                out.extend(codes);
+                scales.push(scale);
+            }
+            (out, scales)
+        })
+    });
+    g.finish();
+}
+
+fn bench_decode_append_and_flush(c: &mut Criterion) {
+    let data = rows(256);
+    let mut g = c.benchmark_group("kvcache/append_256_tokens");
+    for bits in [BitWidth::Int4, BitWidth::Int2] {
+        g.bench_function(format!("{bits}"), |b| {
+            b.iter_batched(
+                || {
+                    HeadKvCache::new(
+                        D,
+                        KvCacheConfig {
+                            bits,
+                            group_size: 64,
+                            buffer_capacity: 64,
+                        },
+                    )
+                },
+                |mut cache| {
+                    for t in 0..256 {
+                        cache.append(black_box(data.row(t)), black_box(data.row(t)));
+                    }
+                    cache
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+fn bench_prefill_block(c: &mut Criterion) {
+    let k = rows(64);
+    c.bench_function("kvcache/prefill_block_64x128_int4", |b| {
+        b.iter_batched(
+            || HeadKvCache::new(D, KvCacheConfig::default()),
+            |mut cache| {
+                cache.append_prefill_block(black_box(&k), black_box(&k));
+                cache
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let data = rows(256);
+    let mut cache = HeadKvCache::new(D, KvCacheConfig::default());
+    for t in 0..256 {
+        cache.append(data.row(t), data.row(t));
+    }
+    let bytes = cache.to_bytes();
+    let mut g = c.benchmark_group("kvcache/persist_256x128");
+    g.bench_function("serialize", |b| b.iter(|| black_box(&cache).to_bytes()));
+    g.bench_function("deserialize", |b| {
+        b.iter(|| HeadKvCache::from_bytes(black_box(&bytes)).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_buffer_append,
+    bench_decode_append_and_flush,
+    bench_prefill_block,
+    bench_persistence
+);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! GEMM micro-benchmarks across precisions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use turbo_tensor::{matmul, matmul_f16, matmul_i8_transposed_b, matmul_transposed_b, TensorRng};
+
+fn bench_f32_vs_f16(c: &mut Criterion) {
+    let mut rng = TensorRng::new(21);
+    let a = rng.normal(64, 128, 0.0, 1.0);
+    let b = rng.normal(128, 64, 0.0, 1.0);
+    let mut g = c.benchmark_group("matmul/64x128x64");
+    g.bench_function("f32", |bch| {
+        bch.iter(|| matmul(black_box(&a), black_box(&b)))
+    });
+    g.bench_function("f16_emulated", |bch| {
+        bch.iter(|| matmul_f16(black_box(&a), black_box(&b)))
+    });
+    g.finish();
+}
+
+fn bench_scores_layout(c: &mut Criterion) {
+    let mut rng = TensorRng::new(22);
+    let q = rng.normal(64, 128, 0.0, 1.0);
+    let k = rng.normal(64, 128, 0.0, 1.0);
+    c.bench_function("matmul/scores_transposed_b_64x128x64", |b| {
+        b.iter(|| matmul_transposed_b(black_box(&q), black_box(&k)))
+    });
+}
+
+fn bench_i8(c: &mut Criterion) {
+    let a: Vec<i8> = (0..64 * 128).map(|i| (i % 255) as u8 as i8).collect();
+    let bt: Vec<i8> = (0..64 * 128).map(|i| ((i * 7) % 255) as u8 as i8).collect();
+    c.bench_function("matmul/i8_transposed_b_64x128x64", |b| {
+        b.iter(|| matmul_i8_transposed_b(black_box(&a), black_box(&bt), 64, 128, 64))
+    });
+}
+
+criterion_group!(benches, bench_f32_vs_f16, bench_scores_layout, bench_i8);
+criterion_main!(benches);

@@ -1,0 +1,89 @@
+//! Quantization-kernel micro-benchmarks, including the
+//! progressive-vs-direct ablation called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+use turbo_quant::asymmetric::fake_quant_channelwise;
+use turbo_quant::{AsymQuantized, BitWidth, PackedCodes, ProgressiveBlock, SymQuantized};
+use turbo_tensor::{Matrix, TensorRng};
+
+fn tile() -> Matrix {
+    TensorRng::new(7).normal(64, 128, 0.0, 1.0)
+}
+
+fn bench_symmetric_int8(c: &mut Criterion) {
+    let m = tile();
+    c.bench_function("quant/symmetric_int8_64x128", |b| {
+        b.iter(|| SymQuantized::quantize(black_box(&m)))
+    });
+}
+
+fn bench_progressive(c: &mut Criterion) {
+    let m = tile();
+    let mut g = c.benchmark_group("quant/progressive_64x128");
+    for bits in [BitWidth::Int4, BitWidth::Int2] {
+        g.bench_function(format!("{bits}"), |b| {
+            b.iter(|| ProgressiveBlock::quantize(black_box(&m), bits, 64))
+        });
+    }
+    let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+    g.bench_function("dequantize_to_int8", |b| {
+        b.iter(|| black_box(&pq).dequantize_to_int8())
+    });
+    g.finish();
+}
+
+/// Ablation: two-stage progressive INT4 vs direct float asymmetric INT4
+/// at the same (channel-wise) granularity.
+fn bench_progressive_vs_direct(c: &mut Criterion) {
+    let m = tile();
+    let mut g = c.benchmark_group("quant/progressive_vs_direct_int4");
+    g.bench_function("progressive", |b| {
+        b.iter(|| ProgressiveBlock::quantize(black_box(&m), BitWidth::Int4, 64))
+    });
+    g.bench_function("direct_channelwise_float", |b| {
+        b.iter(|| fake_quant_channelwise(black_box(&m), BitWidth::Int4, 64))
+    });
+    g.finish();
+}
+
+fn bench_asymmetric_group(c: &mut Criterion) {
+    let mut rng = TensorRng::new(9);
+    let xs: Vec<f32> = (0..4096).map(|_| rng.standard_normal()).collect();
+    let mut g = c.benchmark_group("quant/asymmetric_group_4096");
+    for bits in [BitWidth::Int2, BitWidth::Int4, BitWidth::Int8] {
+        g.bench_function(format!("{bits}"), |b| {
+            b.iter(|| AsymQuantized::quantize(black_box(&xs), bits))
+        });
+    }
+    g.finish();
+}
+
+fn bench_packing(c: &mut Criterion) {
+    let mut g = c.benchmark_group("quant/packing_8192");
+    for bits in [BitWidth::Int2, BitWidth::Int4] {
+        let codes: Vec<u8> = (0..8192u32).map(|i| (i % bits.levels()) as u8).collect();
+        g.bench_function(format!("pack_{bits}"), |b| {
+            b.iter(|| PackedCodes::pack(black_box(&codes), bits))
+        });
+        let packed = PackedCodes::pack(&codes, bits);
+        g.bench_function(format!("unpack_{bits}"), |b| {
+            b.iter_batched(
+                || packed.clone(),
+                |p| black_box(p.unpack()),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_symmetric_int8,
+    bench_progressive,
+    bench_progressive_vs_direct,
+    bench_asymmetric_group,
+    bench_packing
+);
+criterion_main!(benches);

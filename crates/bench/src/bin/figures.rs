@@ -1,0 +1,55 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run --release -p turbo-bench --bin figures -- all --episodes 200
+//! cargo run --release -p turbo-bench --bin figures -- table2 fig6
+//! ```
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut episodes = 200usize;
+    let mut experiments = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--episodes" | "-n" => {
+                i += 1;
+                episodes = match args.get(i).and_then(|s| s.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => {
+                        eprintln!("--episodes requires a positive integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other => experiments.push(other.to_string()),
+        }
+        i += 1;
+    }
+    if experiments.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+    for exp in &experiments {
+        if !turbo_bench::figs::run(exp, episodes) {
+            eprintln!("unknown experiment '{exp}'");
+            print_usage();
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_usage() {
+    eprintln!(
+        "usage: figures <experiment>... [--episodes N]\n\
+         experiments: all {}",
+        turbo_bench::figs::EXPERIMENTS.join(" ")
+    );
+}

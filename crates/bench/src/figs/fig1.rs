@@ -1,0 +1,100 @@
+//! Figure 1: latency profile of Phi3-medium on an A100.
+//!
+//! * 1a — attention share of end-to-end latency vs prompt length
+//!   (prompt:output = 8:1).
+//! * 1b — attention-kernel time share per method (matmul / softmax /
+//!   dequant lanes).
+//! * 1c — end-to-end time share (matmul+KV-load / dequant / softmax /
+//!   other).
+
+use crate::Table;
+use turbo_gpusim::{decode_latency, generation_breakdown, AttnMethod, GpuSpec, ModelGeometry};
+
+fn methods() -> Vec<AttnMethod> {
+    AttnMethod::figure6_lineup()
+}
+
+/// Figure 1a.
+pub fn run_1a() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let mut t = Table::new(
+        "Figure 1a — attention share of end-to-end latency (Phi3-medium, prompt:output 8:1)",
+        &["prompt", "gen", "attention share (FP16)", "total (s)"],
+    );
+    for prompt in [1024usize, 4096, 8192, 16384, 32768, 65536, 81920] {
+        let gen = (prompt / 8).max(1);
+        let bd = generation_breakdown(&gpu, &geom, AttnMethod::FlashFp16, 1, prompt, gen);
+        t.row(&[
+            format!("{prompt}"),
+            format!("{gen}"),
+            format!("{:.1}%", bd.attention_share() * 100.0),
+            format!("{:.2}", bd.total()),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 1b.
+pub fn run_1b() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let mut t = Table::new(
+        "Figure 1b — attention decode-kernel time share (batch 4, ctx 8k)",
+        &[
+            "method",
+            "KV load",
+            "matmul",
+            "softmax",
+            "dequant",
+            "total (ms)",
+        ],
+    );
+    for m in methods() {
+        let bd = decode_latency(&gpu, &geom, m, 4, 8192);
+        let total = bd.total();
+        let pct = |x: f64| format!("{:.1}%", x / total * 100.0);
+        t.row(&[
+            m.to_string(),
+            pct(bd.mem),
+            pct(bd.matmul),
+            pct(bd.softmax),
+            pct(bd.dequant),
+            format!("{:.2}", total * 1e3),
+        ]);
+    }
+    t.print();
+}
+
+/// Figure 1c.
+pub fn run_1c() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let mut t = Table::new(
+        "Figure 1c — end-to-end time share (batch 4, 8k prompt, 256 generated)",
+        &[
+            "method",
+            "linear",
+            "matmul+KV",
+            "softmax",
+            "dequant",
+            "other",
+            "total (s)",
+        ],
+    );
+    for m in methods() {
+        let bd = generation_breakdown(&gpu, &geom, m, 4, 8192, 256);
+        let total = bd.total();
+        let pct = |x: f64| format!("{:.1}%", x / total * 100.0);
+        t.row(&[
+            m.to_string(),
+            pct(bd.linear),
+            pct(bd.attn_matmul_kv),
+            pct(bd.softmax),
+            pct(bd.dequant),
+            pct(bd.other),
+            format!("{:.2}", total),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,66 @@
+//! Figure 10: channel-wise vs token-wise group-quantization error on
+//! activations with channel outliers (plus a group-size sweep).
+
+use crate::Table;
+use turbo_model::ModelProfile;
+use turbo_quant::{quant_error_channelwise, quant_error_tokenwise, BitWidth};
+
+/// Prints the Figure 10 comparison on each profile's value activations.
+pub fn run() {
+    let mut t = Table::new(
+        "Figure 10 — group quantization error, channelwise vs tokenwise (value cache, 512 tokens)",
+        &[
+            "profile",
+            "head",
+            "bits",
+            "channelwise MSE",
+            "tokenwise MSE",
+            "ratio",
+        ],
+    );
+    for profile in ModelProfile::paper_profiles() {
+        // One outlier-bearing head per profile (head 0 or 1 depending on
+        // where the value outliers live).
+        let head = (0..profile.n_heads())
+            .find(|&h| !profile.value_transform(h).is_identity())
+            .unwrap_or(0);
+        let v = profile.calibration_values(head, 512);
+        for bits in [BitWidth::Int4, BitWidth::Int2] {
+            let cw = quant_error_channelwise(&v, bits, 64);
+            let tw = quant_error_tokenwise(&v, bits, 64);
+            t.row(&[
+                profile.name().to_string(),
+                format!("{head}"),
+                bits.to_string(),
+                format!("{:.4e}", cw.mse),
+                format!("{:.4e}", tw.mse),
+                format!("{:.1}x", tw.mse / cw.mse),
+            ]);
+        }
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "Group-size sweep (Phi3-like head 0 values, INT4)",
+        &["group", "channelwise MSE", "tokenwise MSE"],
+    );
+    let v = ModelProfile::phi3_like().calibration_values(0, 512);
+    for group in [16usize, 32, 64, 128] {
+        let cw = quant_error_channelwise(&v, BitWidth::Int4, group);
+        let tw = quant_error_tokenwise(&v, BitWidth::Int4, group);
+        t2.row(&[
+            format!("{group}"),
+            format!("{:.4e}", cw.mse),
+            format!("{:.4e}", tw.mse),
+        ]);
+    }
+    t2.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,53 @@
+//! Figure 5: the cubic least-squares fit of `e^{-t}` on `[0, 1]`, plus a
+//! SAS threshold sweep (the LUT-size / accuracy trade-off).
+
+use crate::Table;
+use turbo_softmax::{fit_exp_poly, Sas, PAPER_POLY};
+
+/// Prints the Figure 5 fit and threshold ablation.
+pub fn run() {
+    let refit = fit_exp_poly(4096);
+    let mut t = Table::new(
+        "Figure 5 — cubic fit of e^-t on [0,1]",
+        &["source", "c0", "c1", "c2", "c3", "max |err| vs exp"],
+    );
+    for (name, poly) in [
+        ("paper (Eq. 15)", PAPER_POLY),
+        ("least-squares refit", refit),
+    ] {
+        let [c0, c1, c2, c3] = poly.coeffs;
+        t.row(&[
+            name.to_string(),
+            format!("{c0:.4}"),
+            format!("{c1:.4}"),
+            format!("{c2:.4}"),
+            format!("{c3:.4}"),
+            format!("{:.2e}", poly.max_error_vs_exp(4096)),
+        ]);
+    }
+    t.print();
+
+    let mut t2 = Table::new(
+        "SAS threshold sweep — LUT size vs exp error on [n_r, 0]",
+        &["n_r", "LUT entries", "max |err|", "f16-poly max |err|"],
+    );
+    for nr in [-3i32, -4, -5, -6, -7, -8, -9] {
+        let sas = Sas::new(nr, PAPER_POLY);
+        let sas16 = Sas::new(nr, PAPER_POLY).with_f16_poly(true);
+        t2.row(&[
+            format!("{nr}"),
+            format!("{}", sas.lut().len()),
+            format!("{:.2e}", sas.max_error_vs_exp(4096)),
+            format!("{:.2e}", sas16.max_error_vs_exp(4096)),
+        ]);
+    }
+    t2.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,74 @@
+//! Figure 6: attention speedup over FlashAttention-FP16 for prefill and
+//! decode, across batch sizes (ctx 1k) and context lengths (batch 4).
+
+use crate::Table;
+use turbo_gpusim::{
+    decode_latency, fits_in_memory, prefill_latency, AttnMethod, GpuSpec, ModelGeometry,
+};
+
+fn speedup_cell(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    m: AttnMethod,
+    batch: usize,
+    ctx: usize,
+    decode: bool,
+) -> String {
+    if !fits_in_memory(gpu, geom, m, batch, ctx) {
+        return "OOM".into();
+    }
+    let this = if decode {
+        decode_latency(gpu, geom, m, batch, ctx).total()
+    } else {
+        prefill_latency(gpu, geom, m, batch, ctx).total()
+    };
+    let base = if decode {
+        decode_latency(gpu, geom, AttnMethod::FlashFp16, batch, ctx).total()
+    } else {
+        prefill_latency(gpu, geom, AttnMethod::FlashFp16, batch, ctx).total()
+    };
+    format!("{:.2}x", base / this)
+}
+
+/// Prints the four Figure 6 panels.
+pub fn run() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let methods = AttnMethod::figure6_lineup();
+
+    for (decode, phase) in [(false, "prefill"), (true, "decode")] {
+        let mut t = Table::new(
+            &format!("Figure 6 — {phase} speedup vs batch (Phi3-medium, ctx 1k)"),
+            &["method", "b=1", "b=4", "b=16", "b=64"],
+        );
+        for &m in &methods {
+            let mut row = vec![m.to_string()];
+            for batch in [1usize, 4, 16, 64] {
+                row.push(speedup_cell(&gpu, &geom, m, batch, 1024, decode));
+            }
+            t.row(&row);
+        }
+        t.print();
+
+        let mut t2 = Table::new(
+            &format!("Figure 6 — {phase} speedup vs context (Phi3-medium, batch 4)"),
+            &["method", "4k", "8k", "16k", "32k"],
+        );
+        for &m in &methods {
+            let mut row = vec![m.to_string()];
+            for ctx in [4096usize, 8192, 16384, 32768] {
+                row.push(speedup_cell(&gpu, &geom, m, 4, ctx, decode));
+            }
+            t2.row(&row);
+        }
+        t2.print();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs() {
+        super::run();
+    }
+}

@@ -1,0 +1,92 @@
+//! One module per reproduced table/figure. Each exposes
+//! `run(episodes: usize)` printing the result to stdout; `episodes`
+//! controls the accuracy experiments' sample count (latency/error
+//! experiments ignore it).
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig10;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+/// Experiment identifiers accepted by the `figures` binary.
+pub const EXPERIMENTS: &[&str] = &[
+    "fig1a",
+    "fig1b",
+    "fig1c",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7a",
+    "fig7b",
+    "fig10",
+    "appendix-2bit",
+    "ablation-nb",
+    "ablation-pq",
+    "extension-fp8",
+    "extension-serving",
+    "extension-quarot",
+    "extension-depth",
+];
+
+/// Runs one experiment by name. Returns `false` for an unknown name.
+pub fn run(name: &str, episodes: usize) -> bool {
+    match name {
+        "fig1a" => fig1::run_1a(),
+        "fig1b" => fig1::run_1b(),
+        "fig1c" => fig1::run_1c(),
+        "table1" => table1::run(),
+        "table2" => table2::run(episodes),
+        "table3" => table3::run(episodes),
+        "table4" => table4::run(episodes),
+        "table5" => table5::run(episodes),
+        "fig4" => fig4::run(),
+        "fig5" => fig5::run(),
+        "fig6" => fig6::run(),
+        "fig7a" => fig7::run_7a(),
+        "fig7b" => fig7::run_7b(episodes),
+        "fig10" => fig10::run(),
+        "appendix-2bit" => ablations::run_pure_2bit(episodes),
+        "ablation-nb" => ablations::run_buffer_sweep(episodes),
+        "ablation-pq" => ablations::run_progressive_vs_direct(),
+        "extension-fp8" => ablations::run_fp8_extension(episodes),
+        "extension-serving" => ablations::run_serving_extension(),
+        "extension-quarot" => ablations::run_quarot_extension(),
+        "extension-depth" => ablations::run_depth_extension(episodes),
+        "all" => {
+            for e in EXPERIMENTS {
+                run(e, episodes);
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unknown_experiment_rejected() {
+        assert!(!super::run("nope", 1));
+    }
+
+    #[test]
+    fn cheap_experiments_run() {
+        // Smoke-test the latency/error generators (no accuracy episodes).
+        for e in ["table1", "fig5", "fig10", "fig1b"] {
+            assert!(super::run(e, 1), "{e} failed");
+        }
+    }
+}

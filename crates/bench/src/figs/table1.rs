@@ -1,0 +1,36 @@
+//! Table 1: technique-capability matrix.
+
+use crate::Table;
+use turbo_attention::capability_table;
+
+/// Prints Table 1.
+pub fn run() {
+    let mut t = Table::new(
+        "Table 1 — technique capabilities",
+        &[
+            "technique",
+            "QKV projection",
+            "KV compression",
+            "attention execution",
+            "MLP",
+            "memory",
+            "latency",
+        ],
+    );
+    let arrows = |n: u8| match n {
+        0 => "×".to_string(),
+        n => "↓".repeat(n as usize),
+    };
+    for row in capability_table() {
+        t.row(&[
+            row.name.to_string(),
+            row.qkv_projection.to_string(),
+            if row.kv_cache_compression { "✓" } else { "-" }.to_string(),
+            row.attention_execution.to_string(),
+            row.mlp.to_string(),
+            arrows(row.memory_reduction),
+            arrows(row.latency_reduction),
+        ]);
+    }
+    t.print();
+}

@@ -1,0 +1,69 @@
+//! Table 2: CoT-reasoning-proxy accuracy of every method at 4-bit and
+//! 3-bit / mixed-precision KV caches.
+
+use crate::Table;
+use turbo_model::backend::{Backend, Fp16Backend, GearBackend, KiviBackend, TurboBackend};
+use turbo_model::{evaluate, EvalConfig, ModelProfile, TaskSuite};
+use turbo_quant::BitWidth;
+
+/// Prints Table 2 with `episodes` episodes per cell.
+pub fn run(episodes: usize) {
+    let cfg = EvalConfig {
+        episodes,
+        seed: 0xE7A1,
+    };
+    let profiles = ModelProfile::paper_profiles();
+    let suites = TaskSuite::paper_suites();
+
+    let backends: Vec<Box<dyn Backend>> = vec![
+        Box::new(Fp16Backend),
+        Box::new(KiviBackend::new(BitWidth::Int4)),
+        Box::new(GearBackend::new(BitWidth::Int4)),
+        Box::new(TurboBackend::int4()),
+        Box::new(KiviBackend::new(BitWidth::Int3)),
+        Box::new(GearBackend::new(BitWidth::Int3)),
+        Box::new(TurboBackend::mixed(4)), // half of 8 heads at 2-bit
+    ];
+
+    let mut headers = vec!["method".to_string(), "bits".to_string()];
+    for p in &profiles {
+        for s in &suites {
+            headers.push(format!("{}/{}", short(p.name()), short(s.name)));
+        }
+    }
+    headers.push("avg".to_string());
+    let headers_ref: Vec<&str> = headers.iter().map(String::as_str).collect();
+    let mut t = Table::new(
+        &format!("Table 2 — accuracy on CoT reasoning proxies ({episodes} episodes/cell)"),
+        &headers_ref,
+    );
+
+    for b in &backends {
+        let mut row = vec![b.name(), b.bits_label()];
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for p in &profiles {
+            for s in &suites {
+                let r = evaluate(b.as_ref(), p, s, &cfg);
+                row.push(format!("{:.1}", r.accuracy * 100.0));
+                sum += r.accuracy;
+                n += 1;
+            }
+        }
+        row.push(format!("{:.1}", sum / n as f64 * 100.0));
+        t.row(&row);
+    }
+    t.print();
+}
+
+fn short(name: &str) -> String {
+    name.split(['-', ' ']).next().unwrap_or(name).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tiny_run_completes() {
+        super::run(2);
+    }
+}

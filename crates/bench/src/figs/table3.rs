@@ -1,0 +1,55 @@
+//! Table 3: block-size (`B_r`, `B_c`) robustness of TurboAttention
+//! accuracy on the GSM8k proxy (Phi3-like profile).
+
+use crate::Table;
+use turbo_attention::TurboConfig;
+use turbo_model::backend::TurboBackend;
+use turbo_model::{evaluate, EvalConfig, ModelProfile, TaskSuite};
+use turbo_quant::BitWidth;
+
+/// Prints Table 3 with `episodes` episodes per row.
+pub fn run(episodes: usize) {
+    let cfg = EvalConfig {
+        episodes,
+        seed: 0x7AB3,
+    };
+    let profile = ModelProfile::phi3_like();
+    let suite = TaskSuite::gsm8k_proxy();
+    let mut t = Table::new(
+        &format!("Table 3 — TurboAttention block-size ablation (Phi3-like, GSM8k-proxy, {episodes} episodes)"),
+        &["block (Br,Bc)", "dataset", "acc"],
+    );
+    for (br, bc) in [
+        (32usize, 32usize),
+        (32, 64),
+        (64, 32),
+        (64, 64),
+        (64, 128),
+        (128, 64),
+        (128, 128),
+    ] {
+        let backend = TurboBackend::int4().with_config(TurboConfig {
+            block_r: br,
+            block_c: bc,
+            kv_bits: BitWidth::Int4,
+            group_size: 16,
+            buffer_capacity: 16,
+            ..TurboConfig::default()
+        });
+        let r = evaluate(&backend, &profile, &suite, &cfg);
+        t.row(&[
+            format!("({br},{bc})"),
+            suite.name.to_string(),
+            format!("{:.1}", r.accuracy * 100.0),
+        ]);
+    }
+    t.print();
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tiny_run_completes() {
+        super::run(2);
+    }
+}

@@ -1,0 +1,20 @@
+//! # turbo-bench
+//!
+//! Benchmark harness and figure/table generators for the TurboAttention
+//! reproduction.
+//!
+//! * `cargo run --release -p turbo-bench --bin figures -- <exp> [--episodes N]`
+//!   regenerates any table or figure from the paper (`all` runs everything;
+//!   see [`figs`] for the experiment list and `EXPERIMENTS.md` for the
+//!   paper-vs-measured record).
+//! * `cargo bench -p turbo-bench` runs the Criterion micro-benchmarks that
+//!   back the relative kernel-cost claims (SAS vs FP32 exp, INT8 vs f32
+//!   matmul, quantization and buffer throughput, dequantization paths).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figs;
+pub mod report;
+
+pub use report::Table;

@@ -1,0 +1,155 @@
+//! Plain-text table rendering for figure/table generators.
+
+use std::fmt;
+
+/// A titled, column-aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use turbo_bench::Table;
+///
+/// let mut t = Table::new("Demo", &["method", "speedup"]);
+/// t.row(&["TurboAttention", "1.8x"]);
+/// let s = t.to_string();
+/// assert!(s.contains("TurboAttention"));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with a title and column headers.
+    pub fn new(title: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row<S: AsRef<str>>(&mut self, cells: &[S]) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width mismatch in table '{}'",
+            self.title
+        );
+        self.rows
+            .push(cells.iter().map(|c| c.as_ref().to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Prints to stdout.
+    pub fn print(&self) {
+        println!("{self}");
+    }
+
+    /// Renders as CSV (header row first; quotes cells containing commas).
+    pub fn to_csv(&self) -> String {
+        let escape = |cell: &str| {
+            if cell.contains(',') || cell.contains('"') {
+                format!("\"{}\"", cell.replace('"', "\"\""))
+            } else {
+                cell.to_string()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(
+            &self
+                .headers
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        writeln!(f, "\n== {} ==", self.title)?;
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut parts = Vec::new();
+            for (w, cell) in widths.iter().zip(cells) {
+                parts.push(format!("{cell:<w$}"));
+            }
+            writeln!(f, "| {} |", parts.join(" | "))
+        };
+        line(f, &self.headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len() + 1;
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new("T", &["a", "long-header"]);
+        t.row(&["wide-cell-content", "x"]);
+        let s = t.to_string();
+        assert!(s.contains("== T =="));
+        assert!(s.contains("wide-cell-content"));
+        assert!(s.contains("long-header"));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn wrong_width_panics() {
+        Table::new("T", &["a", "b"]).row(&["only-one"]);
+    }
+}
+
+#[cfg(test)]
+mod csv_tests {
+    use super::*;
+
+    #[test]
+    fn csv_renders_and_escapes() {
+        let mut t = Table::new("T", &["a", "b"]);
+        t.row(&["plain", "with,comma"]);
+        t.row(&["with\"quote", "x"]);
+        let csv = t.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "a,b");
+        assert_eq!(lines[1], "plain,\"with,comma\"");
+        assert_eq!(lines[2], "\"with\"\"quote\",x");
+    }
+}

@@ -1,0 +1,168 @@
+//! End-to-end generation latency: linear layers + attention, prefill +
+//! decode (Figures 1a and 1c).
+
+use crate::geometry::ModelGeometry;
+use crate::hw::GpuSpec;
+use crate::kernels::{decode_latency, prefill_latency};
+use crate::method::AttnMethod;
+
+/// End-to-end latency decomposition of one generation request.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EndToEndBreakdown {
+    /// Linear-layer (QKV/O projection + FFN) time across prefill+decode.
+    pub linear: f64,
+    /// Attention matmul + KV-load time.
+    pub attn_matmul_kv: f64,
+    /// Softmax time.
+    pub softmax: f64,
+    /// KV (de)compression time.
+    pub dequant: f64,
+    /// Launch and other fixed overheads.
+    pub other: f64,
+}
+
+impl EndToEndBreakdown {
+    /// Total latency in seconds.
+    pub fn total(&self) -> f64 {
+        self.linear + self.attn_matmul_kv + self.softmax + self.dequant + self.other
+    }
+
+    /// Fraction of end-to-end time spent in the attention mechanism
+    /// (everything except the linear layers) — the Figure 1a curve.
+    pub fn attention_share(&self) -> f64 {
+        1.0 - self.linear / self.total()
+    }
+}
+
+/// Linear-layer time for `tokens` tokens: weight streaming vs tensor-core
+/// math, whichever binds (weights dominate at decode, math at prefill).
+pub fn linear_time(gpu: &GpuSpec, geom: &ModelGeometry, batch: usize, tokens: usize) -> f64 {
+    let t = (batch * tokens) as f64;
+    let math = t * geom.linear_macs_per_token() / gpu.fp16_tensor_macs;
+    // One pass over the weights per forward step (decode streams all
+    // weights for every token; prefill amortizes over the whole batch).
+    let mem = geom.weight_bytes() / gpu.hbm_bandwidth;
+    math.max(mem)
+}
+
+/// Full-request latency breakdown: prefill over `prompt` tokens then
+/// `gen` decode steps, at the given batch size.
+///
+/// # Panics
+///
+/// Panics if `batch == 0`, `prompt == 0`, or `gen == 0`.
+pub fn generation_breakdown(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    batch: usize,
+    prompt: usize,
+    gen: usize,
+) -> EndToEndBreakdown {
+    assert!(batch > 0 && prompt > 0 && gen > 0, "sizes must be positive");
+
+    let mut bd = EndToEndBreakdown::default();
+
+    // Prefill.
+    let p = prefill_latency(gpu, geom, method, batch, prompt);
+    let p_compute = p.matmul + p.softmax + p.quant;
+    // Attribute overlapped prefill time to its dominant lanes.
+    let attn_core = p.mem.max(p_compute);
+    let softmax_share = if p_compute > 0.0 {
+        p.softmax / p_compute
+    } else {
+        0.0
+    };
+    bd.softmax += attn_core * softmax_share;
+    bd.attn_matmul_kv += attn_core * (1.0 - softmax_share);
+    bd.dequant += p.dequant;
+    bd.other += p.launch;
+    bd.linear += linear_time(gpu, geom, batch, prompt);
+
+    // Decode: one step per generated token, cache growing from `prompt`.
+    for step in 0..gen {
+        let d = decode_latency(gpu, geom, method, batch, prompt + step);
+        bd.attn_matmul_kv += d.mem + d.matmul;
+        bd.softmax += d.softmax;
+        bd.dequant += d.dequant;
+        bd.other += d.launch;
+        bd.linear += linear_time(gpu, geom, batch, 1);
+    }
+    bd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GpuSpec, ModelGeometry) {
+        (GpuSpec::a100_80gb(), ModelGeometry::phi3_medium())
+    }
+
+    #[test]
+    fn attention_share_grows_with_prompt_length() {
+        // Figure 1a: with prompt:output = 8:1, the attention share rises
+        // toward ~80 % at long contexts.
+        let (gpu, geom) = setup();
+        let mut last = 0.0;
+        for prompt in [1024usize, 8192, 32768, 81920] {
+            let gen = (prompt / 8).max(1);
+            let bd = generation_breakdown(&gpu, &geom, AttnMethod::FlashFp16, 1, prompt, gen);
+            let share = bd.attention_share();
+            assert!(share > last, "share must grow: {share} after {last}");
+            last = share;
+        }
+        assert!(last > 0.6, "share at 80k should be large, got {last}");
+    }
+
+    #[test]
+    fn attention_share_small_at_short_prompts() {
+        let (gpu, geom) = setup();
+        let bd = generation_breakdown(&gpu, &geom, AttnMethod::FlashFp16, 1, 512, 64);
+        assert!(bd.attention_share() < 0.5);
+    }
+
+    #[test]
+    fn turbo_end_to_end_beats_fp16_at_long_context() {
+        let (gpu, geom) = setup();
+        let fp = generation_breakdown(&gpu, &geom, AttnMethod::FlashFp16, 4, 8192, 256).total();
+        let tb = generation_breakdown(
+            &gpu,
+            &geom,
+            AttnMethod::Turbo { kv_bits: 3.0 },
+            4,
+            8192,
+            256,
+        )
+        .total();
+        assert!(tb < fp, "turbo {tb} vs fp16 {fp}");
+    }
+
+    #[test]
+    fn kivi_dequant_lane_visible_in_end_to_end() {
+        // Figure 1c: the baselines' dequantization is a visible share.
+        let (gpu, geom) = setup();
+        let kivi = generation_breakdown(&gpu, &geom, AttnMethod::Kivi { bits: 4.0 }, 4, 8192, 256);
+        assert!(kivi.dequant / kivi.total() > 0.1);
+        let turbo = generation_breakdown(
+            &gpu,
+            &geom,
+            AttnMethod::Turbo { kv_bits: 3.0 },
+            4,
+            8192,
+            256,
+        );
+        assert!(turbo.dequant / turbo.total() < 0.08);
+    }
+
+    #[test]
+    fn breakdown_components_are_positive() {
+        let (gpu, geom) = setup();
+        let bd = generation_breakdown(&gpu, &geom, AttnMethod::FlashFp16, 2, 2048, 128);
+        assert!(bd.linear > 0.0);
+        assert!(bd.attn_matmul_kv > 0.0);
+        assert!(bd.softmax > 0.0);
+        assert!(bd.other > 0.0);
+        assert!((bd.attention_share()).is_finite());
+    }
+}

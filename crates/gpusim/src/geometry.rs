@@ -1,0 +1,139 @@
+//! Transformer model geometry.
+
+/// Shape parameters of a decoder-only transformer, as needed by the cost
+/// model.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ModelGeometry {
+    /// Model name for report headers.
+    pub name: &'static str,
+    /// Transformer layers.
+    pub layers: usize,
+    /// Attention (query) heads.
+    pub heads: usize,
+    /// KV heads (`kv_heads == heads` for MHA; fewer for GQA). The paper's
+    /// Phi3-medium latency runs behave like full multi-head KV — that is
+    /// what reproduces Figure 6's OOM points — so [`Self::phi3_medium`]
+    /// uses MHA and [`Self::phi3_medium_gqa`] models the GQA variant.
+    pub kv_heads: usize,
+    /// Per-head dimension.
+    pub head_dim: usize,
+    /// Hidden (model) dimension.
+    pub hidden: usize,
+    /// FFN intermediate dimension.
+    pub ffn: usize,
+    /// Total parameter count (for weight-memory accounting).
+    pub params: u64,
+}
+
+impl ModelGeometry {
+    /// Phi3-medium (14B), the model of Figures 1, 6 and 7a.
+    pub fn phi3_medium() -> Self {
+        ModelGeometry {
+            name: "Phi3-medium",
+            layers: 40,
+            heads: 40,
+            kv_heads: 40,
+            head_dim: 128,
+            hidden: 5120,
+            ffn: 17920,
+            params: 14_000_000_000,
+        }
+    }
+
+    /// Phi3-medium with its grouped-query configuration (10 KV heads).
+    pub fn phi3_medium_gqa() -> Self {
+        ModelGeometry {
+            name: "Phi3-medium-GQA",
+            kv_heads: 10,
+            ..Self::phi3_medium()
+        }
+    }
+
+    /// LLaMA3-8B (GQA with 8 KV heads).
+    pub fn llama3_8b() -> Self {
+        ModelGeometry {
+            name: "LLaMA3-8B",
+            layers: 32,
+            heads: 32,
+            kv_heads: 8,
+            head_dim: 128,
+            hidden: 4096,
+            ffn: 14336,
+            params: 8_000_000_000,
+        }
+    }
+
+    /// Phi3-mini (3.8B), used in ablations.
+    pub fn phi3_mini() -> Self {
+        ModelGeometry {
+            name: "Phi3-mini",
+            layers: 32,
+            heads: 32,
+            kv_heads: 32,
+            head_dim: 96,
+            hidden: 3072,
+            ffn: 8192,
+            params: 3_800_000_000,
+        }
+    }
+
+    /// FP16 weight bytes.
+    pub fn weight_bytes(&self) -> f64 {
+        self.params as f64 * 2.0
+    }
+
+    /// FP16 K+V cache bytes for one token across all layers and KV heads.
+    pub fn kv_bytes_per_token_fp16(&self) -> f64 {
+        (2 * self.layers * self.kv_heads * self.head_dim * 2) as f64
+    }
+
+    /// MACs in the linear parts (QKV/O projections + FFN) for one token.
+    pub fn linear_macs_per_token(&self) -> f64 {
+        let qkvo = 4.0 * self.hidden as f64 * self.hidden as f64;
+        let ffn = 2.0 * self.hidden as f64 * self.ffn as f64;
+        (qkvo + ffn) * self.layers as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phi3_medium_weights_are_28_gb() {
+        let g = ModelGeometry::phi3_medium();
+        assert!((g.weight_bytes() - 28.0e9).abs() < 1.0e9);
+    }
+
+    #[test]
+    fn kv_bytes_per_token() {
+        let g = ModelGeometry::phi3_medium();
+        // 2 (K,V) * 40 layers * 40 heads * 128 dim * 2 bytes = 819200 B.
+        assert_eq!(g.kv_bytes_per_token_fp16(), 819_200.0);
+    }
+
+    #[test]
+    fn gqa_shrinks_kv_but_not_compute() {
+        let mha = ModelGeometry::phi3_medium();
+        let gqa = ModelGeometry::phi3_medium_gqa();
+        assert_eq!(
+            mha.kv_bytes_per_token_fp16() / gqa.kv_bytes_per_token_fp16(),
+            4.0
+        );
+        assert_eq!(mha.linear_macs_per_token(), gqa.linear_macs_per_token());
+    }
+
+    #[test]
+    fn llama3_kv_per_token() {
+        let g = ModelGeometry::llama3_8b();
+        // 2 * 32 layers * 8 kv heads * 128 * 2B = 131072 B.
+        assert_eq!(g.kv_bytes_per_token_fp16(), 131_072.0);
+    }
+
+    #[test]
+    fn linear_macs_scale_with_layers() {
+        let medium = ModelGeometry::phi3_medium();
+        let mini = ModelGeometry::phi3_mini();
+        assert!(medium.linear_macs_per_token() > 2.0 * mini.linear_macs_per_token());
+    }
+}

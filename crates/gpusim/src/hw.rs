@@ -1,0 +1,143 @@
+//! GPU hardware specification.
+
+/// Peak-rate specification of one GPU.
+///
+/// All rates are *effective* (peak × achievable efficiency) so kernel
+/// times come out in realistic territory rather than datasheet fantasy.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GpuSpec {
+    /// Device name for report headers.
+    pub name: &'static str,
+    /// Effective HBM bandwidth in bytes/s.
+    pub hbm_bandwidth: f64,
+    /// HBM capacity in bytes.
+    pub hbm_capacity: f64,
+    /// Effective FP16 tensor-core throughput in MAC/s.
+    pub fp16_tensor_macs: f64,
+    /// Effective INT8 tensor-core throughput in MAC/s (2× FP16 on A100).
+    pub int8_tensor_macs: f64,
+    /// Effective FP32 CUDA-core throughput in op/s (used for
+    /// dequantization arithmetic and softmax bookkeeping).
+    pub fp32_cuda_ops: f64,
+    /// Effective integer ALU throughput in op/s (Turbo's INT4/2 → INT8
+    /// dequantization path).
+    pub int_alu_ops: f64,
+    /// FP32 exponentiation throughput in exp/s. The paper observes FP32
+    /// exponentiation delivers ~3 % of FP16 tensor performance.
+    pub fp32_exp_ops: f64,
+    /// SAS exponentiation throughput in elem/s: a cubic polynomial is 3
+    /// FMAs on FP16 tensor-path hardware plus a register-resident LUT
+    /// lookup — modelled as FP16 tensor MACs / 4.
+    pub sas_exp_ops: f64,
+    /// Fixed overhead per kernel launch, in seconds.
+    pub kernel_launch: f64,
+    /// Allocator/fragmentation reserve: usable memory = capacity / this.
+    pub memory_overhead_factor: f64,
+}
+
+impl GpuSpec {
+    /// An NVIDIA A100-SXM-80GB, the paper's test device.
+    pub fn a100_80gb() -> Self {
+        let fp16 = 312.0e12 / 2.0 * 0.70; // 312 TFLOPS = 156 TMAC/s, 70 % achievable
+        GpuSpec {
+            name: "A100-SXM-80GB",
+            hbm_bandwidth: 2.039e12 * 0.80,
+            hbm_capacity: 80.0e9,
+            fp16_tensor_macs: fp16,
+            int8_tensor_macs: fp16 * 2.0,
+            fp32_cuda_ops: 19.5e12 * 0.60,
+            int_alu_ops: 19.5e12 * 0.60 * 2.0,
+            // 3 % of FP16 tensor FLOPs (the section 2.2 measurement).
+            fp32_exp_ops: 312.0e12 * 0.03,
+            sas_exp_ops: fp16 / 4.0,
+            kernel_launch: 5.0e-6,
+            memory_overhead_factor: 1.05,
+        }
+    }
+
+    /// An NVIDIA H100-SXM-80GB — FlashAttention-3's target device, useful
+    /// for projecting how the paper's trade-offs shift on Hopper: ~1.6×
+    /// the HBM bandwidth and ~3.2× the tensor throughput of the A100, so
+    /// attention becomes *more* memory-bound and KV compression matters
+    /// even more at decode.
+    pub fn h100_80gb() -> Self {
+        let fp16 = 989.0e12 / 2.0 * 0.70; // dense FP16 TFLOPS -> MAC/s
+        GpuSpec {
+            name: "H100-SXM-80GB",
+            hbm_bandwidth: 3.35e12 * 0.80,
+            hbm_capacity: 80.0e9,
+            fp16_tensor_macs: fp16,
+            int8_tensor_macs: fp16 * 2.0,
+            fp32_cuda_ops: 67.0e12 * 0.60,
+            int_alu_ops: 67.0e12 * 0.60 * 2.0,
+            fp32_exp_ops: 989.0e12 * 0.03,
+            sas_exp_ops: fp16 / 4.0,
+            kernel_launch: 4.0e-6,
+            memory_overhead_factor: 1.05,
+        }
+    }
+
+    /// Usable HBM bytes after allocator overheads.
+    pub fn usable_memory(&self) -> f64 {
+        self.hbm_capacity / self.memory_overhead_factor
+    }
+}
+
+impl Default for GpuSpec {
+    fn default() -> Self {
+        Self::a100_80gb()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn a100_rates_are_ordered() {
+        let g = GpuSpec::a100_80gb();
+        // INT8 tensor is 2x FP16 tensor; FP32 exp is far slower than both.
+        assert_eq!(g.int8_tensor_macs, 2.0 * g.fp16_tensor_macs);
+        assert!(g.fp32_exp_ops < g.fp16_tensor_macs * 0.1);
+        assert!(g.sas_exp_ops > 2.5 * g.fp32_exp_ops);
+    }
+
+    #[test]
+    fn exp_rate_matches_paper_three_percent_claim() {
+        let g = GpuSpec::a100_80gb();
+        let ratio = g.fp32_exp_ops / 312.0e12;
+        assert!((ratio - 0.03).abs() < 1e-9);
+    }
+
+    #[test]
+    fn h100_outclasses_a100_everywhere() {
+        let a = GpuSpec::a100_80gb();
+        let h = GpuSpec::h100_80gb();
+        assert!(h.hbm_bandwidth > a.hbm_bandwidth);
+        assert!(h.fp16_tensor_macs > 2.0 * a.fp16_tensor_macs);
+        // Compute grows faster than bandwidth: decode becomes more
+        // memory-bound, so KV compression helps H100 at least as much.
+        let a_ratio = a.fp16_tensor_macs / a.hbm_bandwidth;
+        let h_ratio = h.fp16_tensor_macs / h.hbm_bandwidth;
+        assert!(h_ratio > a_ratio);
+    }
+
+    #[test]
+    fn turbo_decode_speedup_holds_on_h100() {
+        use crate::geometry::ModelGeometry;
+        use crate::kernels::decode_latency;
+        use crate::method::AttnMethod;
+        let h = GpuSpec::h100_80gb();
+        let geom = ModelGeometry::phi3_medium();
+        let base = decode_latency(&h, &geom, AttnMethod::FlashFp16, 4, 8192).total();
+        let turbo = decode_latency(&h, &geom, AttnMethod::Turbo { kv_bits: 3.0 }, 4, 8192).total();
+        assert!(base / turbo > 1.3, "H100 decode speedup {}", base / turbo);
+    }
+
+    #[test]
+    fn usable_memory_below_capacity() {
+        let g = GpuSpec::a100_80gb();
+        assert!(g.usable_memory() < g.hbm_capacity);
+        assert!(g.usable_memory() > 0.9 * g.hbm_capacity / 1.2);
+    }
+}

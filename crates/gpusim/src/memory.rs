@@ -1,0 +1,122 @@
+//! HBM-footprint model and OOM prediction.
+
+use crate::geometry::ModelGeometry;
+use crate::hw::GpuSpec;
+use crate::method::AttnMethod;
+
+/// Total HBM bytes needed for a generation run: FP16 weights, the
+/// method's KV cache for `batch × ctx` tokens, and transient activation
+/// workspace.
+pub fn memory_usage(geom: &ModelGeometry, method: AttnMethod, batch: usize, ctx: usize) -> f64 {
+    let weights = geom.weight_bytes();
+    let tokens = (batch * ctx) as f64;
+    let kv = tokens * geom.kv_bytes_per_token_fp16() * method.kv_bits() / 16.0;
+    // Activation workspace: a few FP16 hidden-width buffers per sequence.
+    let activations = (batch * ctx * geom.hidden) as f64 * 2.0 * 4.0;
+    weights + kv + activations
+}
+
+/// Whether a run fits the GPU's usable memory.
+pub fn fits_in_memory(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    batch: usize,
+    ctx: usize,
+) -> bool {
+    memory_usage(geom, method, batch, ctx) <= gpu.usable_memory()
+}
+
+/// Largest power-of-two batch size (up to `max_batch`) that fits, if any.
+pub fn max_feasible_batch(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    ctx: usize,
+    max_batch: usize,
+) -> Option<usize> {
+    let mut best = None;
+    let mut b = 1;
+    while b <= max_batch {
+        if fits_in_memory(gpu, geom, method, b, ctx) {
+            best = Some(b);
+        }
+        b *= 2;
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GpuSpec, ModelGeometry) {
+        (GpuSpec::a100_80gb(), ModelGeometry::phi3_medium())
+    }
+
+    #[test]
+    fn fp16_oom_points_match_figure_6() {
+        // Figure 6 (batch 4): FP16 Phi3-medium runs at 4k/8k but OOMs at
+        // 16k and 32k; the compressed methods survive all four.
+        let (gpu, geom) = setup();
+        assert!(fits_in_memory(&gpu, &geom, AttnMethod::FlashFp16, 4, 4096));
+        assert!(fits_in_memory(&gpu, &geom, AttnMethod::FlashFp16, 4, 8192));
+        assert!(!fits_in_memory(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            4,
+            16384
+        ));
+        assert!(!fits_in_memory(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            4,
+            32768
+        ));
+        for m in [
+            AttnMethod::Kivi { bits: 4.0 },
+            AttnMethod::GearL { bits: 4.0, rank: 4 },
+            AttnMethod::Turbo { kv_bits: 3.0 },
+        ] {
+            for ctx in [4096usize, 8192, 16384, 32768] {
+                assert!(fits_in_memory(&gpu, &geom, m, 4, ctx), "{m} at {ctx}");
+            }
+        }
+    }
+
+    #[test]
+    fn turbo_supports_larger_batches_than_fp16() {
+        let (gpu, geom) = setup();
+        let fp16 = max_feasible_batch(&gpu, &geom, AttnMethod::FlashFp16, 1024, 256).unwrap();
+        let turbo =
+            max_feasible_batch(&gpu, &geom, AttnMethod::Turbo { kv_bits: 3.0 }, 1024, 256).unwrap();
+        assert!(turbo >= 2 * fp16, "turbo max batch {turbo} vs fp16 {fp16}");
+    }
+
+    #[test]
+    fn memory_is_monotone_in_batch_and_ctx() {
+        let (_, geom) = setup();
+        let m = AttnMethod::FlashFp16;
+        assert!(memory_usage(&geom, m, 2, 1024) < memory_usage(&geom, m, 4, 1024));
+        assert!(memory_usage(&geom, m, 2, 1024) < memory_usage(&geom, m, 2, 2048));
+    }
+
+    #[test]
+    fn weights_dominate_small_contexts() {
+        let (_, geom) = setup();
+        let usage = memory_usage(&geom, AttnMethod::FlashFp16, 1, 128);
+        assert!(usage < geom.weight_bytes() * 1.1);
+    }
+
+    #[test]
+    fn no_batch_fits_at_extreme_context() {
+        let (gpu, geom) = setup();
+        // 512k context at FP16 exceeds memory even at batch 1.
+        assert_eq!(
+            max_feasible_batch(&gpu, &geom, AttnMethod::FlashFp16, 512 * 1024, 64),
+            None
+        );
+    }
+}

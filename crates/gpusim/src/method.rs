@@ -1,0 +1,178 @@
+//! Attention methods the cost model distinguishes.
+
+use std::fmt;
+
+/// One attention execution strategy, with its KV-cache precision.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AttnMethod {
+    /// FlashAttention with FP16 matmuls and FP32 exponentiation; FP16 KV
+    /// cache (the paper's baseline).
+    FlashFp16,
+    /// KIVI-compressed KV cache at `bits`, dequantized to FP16 before a
+    /// FlashAttention-style kernel.
+    Kivi {
+        /// KV-cache code width.
+        bits: f64,
+    },
+    /// GEAR-L: as KIVI plus a rank-`rank` low-rank error-compensation
+    /// reconstruction on every decode load.
+    GearL {
+        /// KV-cache code width.
+        bits: f64,
+        /// Error-compensation rank.
+        rank: usize,
+    },
+    /// TurboAttention: INT8 execution, SAS softmax, progressive KV cache
+    /// at an average of `kv_bits` (4.0 uniform, 3.0 for mixed 2/4).
+    Turbo {
+        /// Average resident KV-cache bits.
+        kv_bits: f64,
+    },
+}
+
+impl AttnMethod {
+    /// The paper's four Figure 6 lines, in plot order.
+    pub fn figure6_lineup() -> Vec<AttnMethod> {
+        vec![
+            AttnMethod::FlashFp16,
+            AttnMethod::Kivi { bits: 4.0 },
+            AttnMethod::GearL { bits: 4.0, rank: 4 },
+            AttnMethod::Turbo { kv_bits: 3.0 },
+        ]
+    }
+
+    /// Bits per stored KV element (including an amortized allowance for
+    /// group parameters/residual windows).
+    pub fn kv_bits(&self) -> f64 {
+        match *self {
+            AttnMethod::FlashFp16 => 16.0,
+            // Quantized caches carry ~0.5 bit/elem of scales, zeros and
+            // full-precision residual amortized over a long context.
+            AttnMethod::Kivi { bits } => bits + 0.5,
+            AttnMethod::GearL { bits, rank } => bits + 0.5 + 0.1 * rank as f64,
+            AttnMethod::Turbo { kv_bits } => kv_bits + 0.5,
+        }
+    }
+
+    /// KV bytes per token per layer-head-channel element.
+    pub fn kv_bytes_per_elem(&self) -> f64 {
+        self.kv_bits() / 8.0
+    }
+
+    /// Whether score/output matmuls run on the INT8 tensor path.
+    pub fn int8_matmul(&self) -> bool {
+        matches!(self, AttnMethod::Turbo { .. })
+    }
+
+    /// Whether exponentiation uses SAS (FP16-path polynomial) instead of
+    /// FP32 CUDA exp.
+    pub fn sas_softmax(&self) -> bool {
+        matches!(self, AttnMethod::Turbo { .. })
+    }
+
+    /// Floating-point dequantization ops per loaded KV element
+    /// (scale/zero multiply-add, type conversion). Zero for FP16 and for
+    /// Turbo (whose dequantization is integer, see
+    /// [`AttnMethod::int_dequant_ops_per_elem`]).
+    pub fn fp_dequant_ops_per_elem(&self) -> f64 {
+        match *self {
+            AttnMethod::FlashFp16 => 0.0,
+            // unpack + scale + zero-add + f16 convert
+            AttnMethod::Kivi { .. } => 4.0,
+            // KIVI-style dequant + low-rank add
+            AttnMethod::GearL { .. } => 5.0,
+            AttnMethod::Turbo { .. } => 0.0,
+        }
+    }
+
+    /// Integer dequantization ops per loaded KV element (Turbo's
+    /// `(q² + z)·s` path).
+    pub fn int_dequant_ops_per_elem(&self) -> f64 {
+        match *self {
+            AttnMethod::Turbo { .. } => 2.0,
+            _ => 0.0,
+        }
+    }
+
+    /// Extra MACs per loaded KV element for low-rank error reconstruction
+    /// (GEAR-L only): `A·Bᵀ` costs `rank` MACs per reconstructed element.
+    pub fn lowrank_macs_per_elem(&self) -> f64 {
+        match *self {
+            AttnMethod::GearL { rank, .. } => rank as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Per-tile quantization ops per produced element during prefill
+    /// (Turbo quantizes Q/K/V/P tiles; baselines compress K/V once).
+    pub fn quant_ops_per_elem(&self) -> f64 {
+        match *self {
+            AttnMethod::FlashFp16 => 0.0,
+            AttnMethod::Kivi { .. } | AttnMethod::GearL { .. } => 2.0,
+            AttnMethod::Turbo { .. } => 2.0,
+        }
+    }
+}
+
+impl fmt::Display for AttnMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            AttnMethod::FlashFp16 => write!(f, "Flash-FP16"),
+            AttnMethod::Kivi { bits } => write!(f, "KIVI-{bits:.0}bit"),
+            AttnMethod::GearL { bits, rank } => write!(f, "GEAR-L-{bits:.0}bit(r{rank})"),
+            AttnMethod::Turbo { kv_bits } => {
+                if (kv_bits - 3.0).abs() < 1e-9 {
+                    write!(f, "TurboAttention(2/4)")
+                } else {
+                    write!(f, "TurboAttention({kv_bits:.0}bit)")
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kv_bits_ordering() {
+        let fp16 = AttnMethod::FlashFp16.kv_bits();
+        let kivi = AttnMethod::Kivi { bits: 4.0 }.kv_bits();
+        let turbo = AttnMethod::Turbo { kv_bits: 3.0 }.kv_bits();
+        assert!(fp16 > kivi && kivi > turbo);
+        // Compression ratio vs FP16 exceeds the paper's 4.4x for mixed 2/4.
+        assert!(fp16 / turbo > 4.4);
+    }
+
+    #[test]
+    fn only_turbo_runs_integer_attention() {
+        for m in AttnMethod::figure6_lineup() {
+            assert_eq!(m.int8_matmul(), matches!(m, AttnMethod::Turbo { .. }));
+            assert_eq!(m.sas_softmax(), matches!(m, AttnMethod::Turbo { .. }));
+        }
+    }
+
+    #[test]
+    fn dequant_cost_ordering_matches_figure_1b() {
+        // GEAR decompression > KIVI decompression > Turbo integer path.
+        let kivi = AttnMethod::Kivi { bits: 4.0 };
+        let gear = AttnMethod::GearL { bits: 4.0, rank: 4 };
+        let turbo = AttnMethod::Turbo { kv_bits: 3.0 };
+        assert!(
+            gear.fp_dequant_ops_per_elem() + gear.lowrank_macs_per_elem()
+                > kivi.fp_dequant_ops_per_elem()
+        );
+        assert!(turbo.fp_dequant_ops_per_elem() == 0.0);
+        assert!(turbo.int_dequant_ops_per_elem() > 0.0);
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(AttnMethod::FlashFp16.to_string(), "Flash-FP16");
+        assert_eq!(
+            AttnMethod::Turbo { kv_bits: 3.0 }.to_string(),
+            "TurboAttention(2/4)"
+        );
+    }
+}

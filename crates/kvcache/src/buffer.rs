@@ -1,0 +1,254 @@
+//! The enhanced INT8 decode buffer with a universal scale.
+
+use turbo_quant::symmetric::{SymQuantized, SYM_INT8_DIVISOR};
+use turbo_tensor::Matrix;
+
+/// Headroom multiplier applied to the first token's range when the buffer
+/// opens. The paper clamps outliers against a universal scale; 4× headroom
+/// makes clamping rare (later tokens must exceed 4× the opening token's
+/// peak) while INT8 still leaves ~30 codes of resolution per unit of the
+/// opening range — far finer than the INT4/2 resident cache.
+const UNIVERSAL_SCALE_HEADROOM: f32 = 4.0;
+
+/// An INT8 token buffer whose scale is fixed at open time.
+///
+/// Rows are tokens, columns are head channels. The first appended row
+/// establishes the *universal scale* `s = headroom · max|x| / 119`; later
+/// rows are quantized with that same scale, clamping to ±127 — so earlier
+/// rows never need recompression (subsection 3.3).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Int8Buffer {
+    codes: Vec<i8>,
+    rows: usize,
+    d: usize,
+    scale: Option<f32>,
+    clamped: u64,
+}
+
+impl Int8Buffer {
+    /// Creates an empty buffer for `d`-channel tokens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "channel count must be positive");
+        Self {
+            codes: Vec::new(),
+            rows: 0,
+            d,
+            scale: None,
+            clamped: 0,
+        }
+    }
+
+    /// Reassembles a buffer from raw parts (deserialization path).
+    pub(crate) fn from_parts(
+        codes: Vec<i8>,
+        rows: usize,
+        d: usize,
+        scale: Option<f32>,
+        clamped: u64,
+    ) -> Self {
+        assert!(d > 0, "channel count must be positive");
+        assert_eq!(codes.len(), rows * d, "code length mismatch");
+        assert!(
+            rows == 0 || scale.is_some(),
+            "non-empty buffer needs a scale"
+        );
+        Self {
+            codes,
+            rows,
+            d,
+            scale,
+            clamped,
+        }
+    }
+
+    /// Appends one token row, establishing the universal scale if this is
+    /// the first row since the last [`Int8Buffer::clear`].
+    ///
+    /// Returns the number of clamped (out-of-range) elements in this row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != d` or the row contains non-finite values.
+    pub fn append(&mut self, row: &[f32]) -> usize {
+        assert_eq!(row.len(), self.d, "row width mismatch");
+        let scale = *self.scale.get_or_insert_with(|| {
+            let abs_max = row.iter().fold(0.0f32, |m, &x| {
+                assert!(x.is_finite(), "non-finite value in KV row");
+                m.max(x.abs())
+            });
+            if abs_max == 0.0 {
+                1.0
+            } else {
+                abs_max * UNIVERSAL_SCALE_HEADROOM / SYM_INT8_DIVISOR
+            }
+        });
+        let mut clamped_here = 0usize;
+        for &x in row {
+            assert!(x.is_finite(), "non-finite value in KV row");
+            let q = (x / scale).round();
+            if !(-127.0..=127.0).contains(&q) {
+                clamped_here += 1;
+            }
+            self.codes.push(q.clamp(-127.0, 127.0) as i8);
+        }
+        self.rows += 1;
+        self.clamped += clamped_here as u64;
+        clamped_here
+    }
+
+    /// Number of buffered tokens.
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the buffer holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Channel count per token.
+    pub fn channels(&self) -> usize {
+        self.d
+    }
+
+    /// The universal scale, if established.
+    pub fn scale(&self) -> Option<f32> {
+        self.scale
+    }
+
+    /// Total elements clamped since the buffer was created.
+    pub fn clamped_elements(&self) -> u64 {
+        self.clamped
+    }
+
+    /// The INT8 codes, row-major `rows × d`.
+    pub fn codes(&self) -> &[i8] {
+        &self.codes
+    }
+
+    /// Snapshot of the buffer as a [`SymQuantized`] block (for integer
+    /// attention over the buffered tokens).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is empty.
+    pub fn as_sym_quantized(&self) -> SymQuantized {
+        assert!(!self.is_empty(), "cannot snapshot an empty buffer");
+        SymQuantized::from_parts(self.codes.clone(), self.scale.unwrap(), self.rows, self.d)
+    }
+
+    /// Dequantizes the buffered tokens to f32.
+    pub fn dequantize(&self) -> Matrix {
+        match self.scale {
+            None => Matrix::zeros(0, self.d),
+            Some(s) => Matrix::from_vec(
+                self.rows,
+                self.d,
+                self.codes.iter().map(|&q| q as f32 * s).collect(),
+            ),
+        }
+    }
+
+    /// Empties the buffer; the next append establishes a fresh universal
+    /// scale.
+    pub fn clear(&mut self) {
+        self.codes.clear();
+        self.rows = 0;
+        self.scale = None;
+    }
+
+    /// Storage footprint: codes plus the scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.codes.len() + std::mem::size_of::<f32>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_row_sets_scale_with_headroom() {
+        let mut b = Int8Buffer::new(4);
+        b.append(&[1.0, -2.0, 0.5, 0.0]);
+        let s = b.scale().unwrap();
+        assert!((s - 2.0 * UNIVERSAL_SCALE_HEADROOM / SYM_INT8_DIVISOR).abs() < 1e-7);
+    }
+
+    #[test]
+    fn later_rows_reuse_scale_and_clamp() {
+        let mut b = Int8Buffer::new(2);
+        b.append(&[1.0, -1.0]);
+        let s = b.scale().unwrap();
+        // A much larger token must clamp, not rescale.
+        let clamped = b.append(&[100.0, 0.5]);
+        assert_eq!(clamped, 1);
+        assert_eq!(b.scale().unwrap(), s);
+        assert_eq!(b.codes()[2], 127);
+        assert_eq!(b.clamped_elements(), 1);
+    }
+
+    #[test]
+    fn round_trip_within_headroom_is_accurate() {
+        let mut b = Int8Buffer::new(3);
+        b.append(&[1.0, -1.0, 0.5]);
+        b.append(&[1.5, 0.2, -1.9]); // within 4x headroom of max|first| = 1
+        let back = b.dequantize();
+        assert!((back.get(1, 0) - 1.5).abs() < 0.02);
+        assert!((back.get(1, 2) + 1.9).abs() < 0.02);
+        assert_eq!(b.clamped_elements(), 0);
+    }
+
+    #[test]
+    fn clear_resets_scale() {
+        let mut b = Int8Buffer::new(1);
+        b.append(&[1.0]);
+        let s1 = b.scale().unwrap();
+        b.clear();
+        assert!(b.is_empty());
+        assert_eq!(b.scale(), None);
+        b.append(&[10.0]);
+        assert!(b.scale().unwrap() > s1);
+    }
+
+    #[test]
+    fn zero_first_row_gets_unit_scale() {
+        let mut b = Int8Buffer::new(2);
+        b.append(&[0.0, 0.0]);
+        assert_eq!(b.scale(), Some(1.0));
+        b.append(&[3.0, -3.0]);
+        assert_eq!(b.codes()[2], 3);
+    }
+
+    #[test]
+    fn snapshot_matches_dequantize() {
+        let mut b = Int8Buffer::new(2);
+        b.append(&[0.7, -0.3]);
+        b.append(&[0.1, 0.9]);
+        let snap = b.as_sym_quantized();
+        assert_eq!(snap.dequantize(), b.dequantize());
+        assert_eq!(snap.rows(), 2);
+    }
+
+    #[test]
+    fn empty_dequantize_has_zero_rows() {
+        let b = Int8Buffer::new(4);
+        assert_eq!(b.dequantize().shape(), (0, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_width_panics() {
+        Int8Buffer::new(3).append(&[1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_panics() {
+        Int8Buffer::new(1).append(&[f32::NAN]);
+    }
+}

@@ -1,0 +1,488 @@
+//! Per-head quantized KV cache.
+
+use crate::buffer::Int8Buffer;
+use crate::stats::MemoryStats;
+use turbo_quant::{BitWidth, ProgressiveBlock, SymQuantized};
+use turbo_tensor::Matrix;
+
+/// Configuration of one head's KV cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KvCacheConfig {
+    /// Resident-cache precision (INT4 or INT2, per head-wise mixed
+    /// precision; INT8 is rejected).
+    pub bits: BitWidth,
+    /// Token-group size of the channel-wise second quantization stage.
+    pub group_size: usize,
+    /// Decode-buffer capacity `n_b` (the paper uses 64).
+    pub buffer_capacity: usize,
+}
+
+impl Default for KvCacheConfig {
+    /// The paper's defaults: INT4, group 64, `n_b = 64`.
+    fn default() -> Self {
+        Self {
+            bits: BitWidth::Int4,
+            group_size: 64,
+            buffer_capacity: 64,
+        }
+    }
+}
+
+/// The quantized K/V cache of a single attention head.
+///
+/// Holds a sequence of flushed [`ProgressiveBlock`]s plus the open INT8
+/// decode buffers for keys and values. Tokens are globally ordered: all
+/// resident blocks (in insertion order) precede the buffered tokens.
+#[derive(Clone, Debug)]
+pub struct HeadKvCache {
+    d: usize,
+    config: KvCacheConfig,
+    k_blocks: Vec<ProgressiveBlock>,
+    v_blocks: Vec<ProgressiveBlock>,
+    k_buf: Int8Buffer,
+    v_buf: Int8Buffer,
+    resident_tokens: usize,
+}
+
+impl HeadKvCache {
+    /// Creates an empty cache for a head of dimension `d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`, `buffer_capacity == 0`, `group_size == 0`, or
+    /// `bits` is INT8.
+    pub fn new(d: usize, config: KvCacheConfig) -> Self {
+        assert!(d > 0, "head dimension must be positive");
+        assert!(
+            config.buffer_capacity > 0,
+            "buffer capacity must be positive"
+        );
+        assert!(config.group_size > 0, "group size must be positive");
+        assert!(
+            config.bits != BitWidth::Int8,
+            "resident cache must be INT4 or INT2"
+        );
+        Self {
+            d,
+            config,
+            k_blocks: Vec::new(),
+            v_blocks: Vec::new(),
+            k_buf: Int8Buffer::new(d),
+            v_buf: Int8Buffer::new(d),
+            resident_tokens: 0,
+        }
+    }
+
+    /// Reassembles a cache from raw parts (deserialization path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on inconsistent shapes or token counts.
+    pub(crate) fn from_parts(
+        d: usize,
+        config: KvCacheConfig,
+        k_blocks: Vec<ProgressiveBlock>,
+        v_blocks: Vec<ProgressiveBlock>,
+        k_buf: Int8Buffer,
+        v_buf: Int8Buffer,
+    ) -> Self {
+        assert_eq!(k_blocks.len(), v_blocks.len(), "K/V block count mismatch");
+        let mut resident_tokens = 0usize;
+        for (kb, vb) in k_blocks.iter().zip(&v_blocks) {
+            assert_eq!(kb.cols(), d, "K block channel mismatch");
+            assert_eq!(vb.cols(), d, "V block channel mismatch");
+            assert_eq!(kb.rows(), vb.rows(), "K/V block row mismatch");
+            resident_tokens += kb.rows();
+        }
+        assert_eq!(k_buf.len(), v_buf.len(), "K/V buffer length mismatch");
+        assert_eq!(k_buf.channels(), d, "buffer channel mismatch");
+        Self {
+            d,
+            config,
+            k_blocks,
+            v_blocks,
+            k_buf,
+            v_buf,
+            resident_tokens,
+        }
+    }
+
+    /// Head dimension.
+    pub fn head_dim(&self) -> usize {
+        self.d
+    }
+
+    /// The cache configuration.
+    pub fn config(&self) -> KvCacheConfig {
+        self.config
+    }
+
+    /// Total cached tokens (resident + buffered).
+    pub fn len(&self) -> usize {
+        self.resident_tokens + self.k_buf.len()
+    }
+
+    /// Whether the cache holds no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tokens currently in the open decode buffer.
+    pub fn buffer_len(&self) -> usize {
+        self.k_buf.len()
+    }
+
+    /// Flushed key blocks, oldest first.
+    pub fn resident_blocks(&self) -> &[ProgressiveBlock] {
+        &self.k_blocks
+    }
+
+    /// Flushed value blocks, oldest first.
+    pub fn resident_value_blocks(&self) -> &[ProgressiveBlock] {
+        &self.v_blocks
+    }
+
+    /// The open key buffer.
+    pub fn key_buffer(&self) -> &Int8Buffer {
+        &self.k_buf
+    }
+
+    /// The open value buffer.
+    pub fn value_buffer(&self) -> &Int8Buffer {
+        &self.v_buf
+    }
+
+    /// Appends one decoded token's key/value vectors, flushing the buffer
+    /// into a progressive block when it reaches capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors are not `head_dim` long.
+    pub fn append(&mut self, k: &[f32], v: &[f32]) {
+        self.k_buf.append(k);
+        self.v_buf.append(v);
+        if self.k_buf.len() >= self.config.buffer_capacity {
+            self.flush();
+        }
+    }
+
+    /// Prefill path: quantizes whole `B_c`-sized K/V tiles directly into
+    /// resident blocks (Algorithm 1 writes `K^{q2}`/`V^{q2}` per block).
+    ///
+    /// # Panics
+    ///
+    /// Panics if shapes disagree or the buffer is non-empty (prefill must
+    /// precede decode).
+    pub fn append_prefill_block(&mut self, k: &Matrix, v: &Matrix) {
+        assert_eq!(k.shape(), v.shape(), "K/V shape mismatch");
+        assert_eq!(k.cols(), self.d, "channel mismatch");
+        assert!(
+            self.k_buf.is_empty(),
+            "prefill blocks must be appended before decoding starts"
+        );
+        if k.rows() == 0 {
+            return;
+        }
+        self.k_blocks.push(ProgressiveBlock::quantize(
+            k,
+            self.config.bits,
+            self.config.group_size,
+        ));
+        self.v_blocks.push(ProgressiveBlock::quantize(
+            v,
+            self.config.bits,
+            self.config.group_size,
+        ));
+        self.resident_tokens += k.rows();
+    }
+
+    /// Forces the open buffer to compress into resident blocks even if it
+    /// is not full. No-op on an empty buffer.
+    pub fn flush(&mut self) {
+        if self.k_buf.is_empty() {
+            return;
+        }
+        let k8: SymQuantized = self.k_buf.as_sym_quantized();
+        let v8: SymQuantized = self.v_buf.as_sym_quantized();
+        self.k_blocks.push(ProgressiveBlock::quantize_from_int8(
+            &k8,
+            self.config.bits,
+            self.config.group_size,
+        ));
+        self.v_blocks.push(ProgressiveBlock::quantize_from_int8(
+            &v8,
+            self.config.bits,
+            self.config.group_size,
+        ));
+        self.resident_tokens += self.k_buf.len();
+        self.k_buf.clear();
+        self.v_buf.clear();
+    }
+
+    /// StreamingLLM-style eviction: keeps the first `sink_blocks` resident
+    /// blocks (the attention sinks) and as many of the most recent blocks
+    /// as fit within `max_tokens` (counting buffered tokens), dropping the
+    /// middle. Returns the number of evicted tokens.
+    ///
+    /// Eviction changes attention results (dropped tokens can no longer be
+    /// attended) — it is the standard long-context memory-bound trade-off,
+    /// composable with quantization because blocks are self-contained.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_tokens` cannot even hold the sinks plus the open
+    /// buffer.
+    pub fn evict_middle(&mut self, max_tokens: usize, sink_blocks: usize) -> usize {
+        if self.len() <= max_tokens {
+            return 0;
+        }
+        let sink_blocks = sink_blocks.min(self.k_blocks.len());
+        let sink_tokens: usize = self.k_blocks[..sink_blocks]
+            .iter()
+            .map(ProgressiveBlock::rows)
+            .sum();
+        let fixed = sink_tokens + self.k_buf.len();
+        assert!(
+            fixed <= max_tokens,
+            "budget {max_tokens} cannot hold {sink_tokens} sink tokens + {} buffered",
+            self.k_buf.len()
+        );
+        // Keep the most recent blocks that fit in the remaining budget.
+        let mut budget = max_tokens - fixed;
+        let mut keep_from = self.k_blocks.len();
+        while keep_from > sink_blocks {
+            let rows = self.k_blocks[keep_from - 1].rows();
+            if rows > budget {
+                break;
+            }
+            budget -= rows;
+            keep_from -= 1;
+        }
+        let evicted: usize = self.k_blocks[sink_blocks..keep_from]
+            .iter()
+            .map(ProgressiveBlock::rows)
+            .sum();
+        self.k_blocks.drain(sink_blocks..keep_from);
+        self.v_blocks.drain(sink_blocks..keep_from);
+        self.resident_tokens -= evicted;
+        evicted
+    }
+
+    /// Reconstructs the full `(K, V)` tensors in f32 — test/debug path.
+    pub fn dequantize_all(&self) -> (Matrix, Matrix) {
+        let mut ks: Vec<Matrix> = self.k_blocks.iter().map(|b| b.dequantize()).collect();
+        let mut vs: Vec<Matrix> = self.v_blocks.iter().map(|b| b.dequantize()).collect();
+        if !self.k_buf.is_empty() {
+            ks.push(self.k_buf.dequantize());
+            vs.push(self.v_buf.dequantize());
+        }
+        if ks.is_empty() {
+            return (Matrix::zeros(0, self.d), Matrix::zeros(0, self.d));
+        }
+        (Matrix::vstack(&ks), Matrix::vstack(&vs))
+    }
+
+    /// Memory accounting for this head.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let resident: usize = self
+            .k_blocks
+            .iter()
+            .chain(&self.v_blocks)
+            .map(|b| b.storage_bytes())
+            .sum();
+        MemoryStats {
+            resident_bytes: resident,
+            buffer_bytes: self.k_buf.storage_bytes() + self.v_buf.storage_bytes(),
+            fp16_bytes: 2 * 2 * self.len() * self.d,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    fn cfg(bits: BitWidth, nb: usize) -> KvCacheConfig {
+        KvCacheConfig {
+            bits,
+            group_size: 32,
+            buffer_capacity: nb,
+        }
+    }
+
+    #[test]
+    fn decode_appends_flush_at_capacity() {
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 8));
+        for t in 0..20 {
+            let row = [t as f32 * 0.1; 4];
+            c.append(&row, &row);
+        }
+        assert_eq!(c.len(), 20);
+        assert_eq!(c.resident_blocks().len(), 2); // two flushes of 8
+        assert_eq!(c.buffer_len(), 4);
+    }
+
+    #[test]
+    fn prefill_then_decode_order_is_preserved() {
+        let mut rng = TensorRng::new(31);
+        let mut c = HeadKvCache::new(8, cfg(BitWidth::Int4, 16));
+        let k0 = rng.normal(32, 8, 0.0, 1.0);
+        let v0 = rng.normal(32, 8, 0.0, 1.0);
+        c.append_prefill_block(&k0, &v0);
+        let k1 = rng.normal(1, 8, 0.0, 1.0);
+        c.append(k1.row(0), k1.row(0));
+        let (k, _v) = c.dequantize_all();
+        assert_eq!(k.rows(), 33);
+        // Prefill tokens come first.
+        assert!((k.get(0, 0) - k0.get(0, 0)).abs() < 0.2);
+        assert!((k.get(32, 0) - k1.get(0, 0)).abs() < 0.2);
+    }
+
+    #[test]
+    fn flush_mid_buffer_compacts_everything() {
+        let mut c = HeadKvCache::new(2, cfg(BitWidth::Int4, 64));
+        c.append(&[1.0, 2.0], &[3.0, 4.0]);
+        c.append(&[1.1, 2.1], &[3.1, 4.1]);
+        assert_eq!(c.buffer_len(), 2);
+        c.flush();
+        assert_eq!(c.buffer_len(), 0);
+        assert_eq!(c.resident_blocks().len(), 1);
+        assert_eq!(c.len(), 2);
+        c.flush(); // idempotent on empty buffer
+        assert_eq!(c.resident_blocks().len(), 1);
+    }
+
+    #[test]
+    fn round_trip_accuracy_int4() {
+        let mut rng = TensorRng::new(32);
+        let mut c = HeadKvCache::new(16, cfg(BitWidth::Int4, 32));
+        let k = rng.normal(96, 16, 0.0, 1.0);
+        let v = rng.normal(96, 16, 0.0, 1.0);
+        for t in 0..96 {
+            c.append(k.row(t), v.row(t));
+        }
+        let (kq, vq) = c.dequantize_all();
+        assert!(turbo_tensor::relative_error(&kq, &k) < 0.15);
+        assert!(turbo_tensor::relative_error(&vq, &v) < 0.15);
+    }
+
+    #[test]
+    fn int2_compresses_harder_with_more_error() {
+        let mut rng = TensorRng::new(33);
+        let k = rng.normal(64, 16, 0.0, 1.0);
+        let build = |bits| {
+            let mut c = HeadKvCache::new(16, cfg(bits, 64));
+            for t in 0..64 {
+                c.append(k.row(t), k.row(t));
+            }
+            c.flush();
+            c
+        };
+        let c4 = build(BitWidth::Int4);
+        let c2 = build(BitWidth::Int2);
+        let s4 = c4.memory_stats();
+        let s2 = c2.memory_stats();
+        assert!(s2.total_bytes() < s4.total_bytes());
+        let e4 = turbo_tensor::mse(&c4.dequantize_all().0, &k);
+        let e2 = turbo_tensor::mse(&c2.dequantize_all().0, &k);
+        assert!(e4 < e2);
+    }
+
+    #[test]
+    fn compression_ratio_exceeds_4x_for_int4() {
+        let mut rng = TensorRng::new(34);
+        let mut c = HeadKvCache::new(64, cfg(BitWidth::Int4, 64));
+        let k = rng.normal(512, 64, 0.0, 1.0);
+        for t in 0..512 {
+            c.append(k.row(t), k.row(t));
+        }
+        c.flush();
+        let stats = c.memory_stats();
+        assert!(
+            stats.compression_ratio() > 3.4,
+            "ratio {}",
+            stats.compression_ratio()
+        );
+    }
+
+    #[test]
+    fn empty_cache_behaviour() {
+        let c = HeadKvCache::new(4, KvCacheConfig::default());
+        assert!(c.is_empty());
+        let (k, v) = c.dequantize_all();
+        assert_eq!(k.shape(), (0, 4));
+        assert_eq!(v.shape(), (0, 4));
+        assert_eq!(c.memory_stats().resident_bytes, 0);
+    }
+
+    #[test]
+    fn evict_middle_keeps_sinks_and_recency() {
+        let mut rng = TensorRng::new(77);
+        let data = rng.normal(80, 4, 0.0, 1.0);
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 8));
+        for t in 0..80 {
+            c.append(data.row(t), data.row(t));
+        }
+        // 10 resident blocks of 8. Keep 1 sink block + recency in 40 tokens.
+        let evicted = c.evict_middle(40, 1);
+        assert_eq!(c.len(), 80 - evicted);
+        assert!(c.len() <= 40);
+        let (k, _) = c.dequantize_all();
+        // Sinks: first 8 tokens still match the original prefix.
+        for t in 0..8 {
+            assert!((k.get(t, 0) - data.get(t, 0)).abs() < 0.2, "sink token {t}");
+        }
+        // Recency: last 8 tokens still match the original suffix.
+        for t in 0..8 {
+            let orig = data.get(72 + t, 0);
+            let kept = k.get(k.rows() - 8 + t, 0);
+            assert!((kept - orig).abs() < 0.2, "recent token {t}");
+        }
+        // No-op when already under budget.
+        assert_eq!(c.evict_middle(1000, 1), 0);
+    }
+
+    #[test]
+    fn evicted_cache_continues_serving() {
+        let mut rng = TensorRng::new(78);
+        let data = rng.normal(64, 4, 0.0, 1.0);
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 8));
+        for t in 0..64 {
+            c.append(data.row(t), data.row(t));
+        }
+        c.evict_middle(24, 1);
+        // Appending and flushing still works after eviction.
+        for t in 0..16 {
+            c.append(data.row(t), data.row(t));
+        }
+        let (k, v) = c.dequantize_all();
+        assert_eq!(k.rows(), c.len());
+        assert_eq!(v.rows(), c.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot hold")]
+    fn impossible_eviction_budget_panics() {
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 8));
+        for t in 0..32 {
+            let row = [t as f32; 4];
+            c.append(&row, &row);
+        }
+        c.evict_middle(4, 2); // 2 sink blocks = 16 tokens > 4 budget
+    }
+
+    #[test]
+    #[should_panic(expected = "INT4 or INT2")]
+    fn int8_resident_rejected() {
+        HeadKvCache::new(4, cfg(BitWidth::Int8, 8));
+    }
+
+    #[test]
+    #[should_panic(expected = "before decoding")]
+    fn prefill_after_decode_rejected() {
+        let mut c = HeadKvCache::new(2, cfg(BitWidth::Int4, 8));
+        c.append(&[1.0, 1.0], &[1.0, 1.0]);
+        c.append_prefill_block(&Matrix::zeros(4, 2), &Matrix::zeros(4, 2));
+    }
+}

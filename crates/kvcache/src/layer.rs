@@ -1,0 +1,237 @@
+//! Layer-level cache: one [`HeadKvCache`] per KV head with head-wise
+//! mixed precision (section 3.2).
+
+use crate::head::{HeadKvCache, KvCacheConfig};
+use crate::stats::MemoryStats;
+use turbo_quant::BitWidth;
+use turbo_tensor::Matrix;
+
+/// KV cache for all heads of one transformer layer, with per-head bit
+/// widths chosen by the head-priority metric.
+#[derive(Clone, Debug)]
+pub struct LayerKvCache {
+    heads: Vec<HeadKvCache>,
+}
+
+impl LayerKvCache {
+    /// Creates a layer cache with an explicit bit width per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits_per_head` is empty or any width is INT8.
+    pub fn new(
+        head_dim: usize,
+        bits_per_head: &[BitWidth],
+        group_size: usize,
+        buffer_capacity: usize,
+    ) -> Self {
+        assert!(!bits_per_head.is_empty(), "at least one head required");
+        let heads = bits_per_head
+            .iter()
+            .map(|&bits| {
+                HeadKvCache::new(
+                    head_dim,
+                    KvCacheConfig {
+                        bits,
+                        group_size,
+                        buffer_capacity,
+                    },
+                )
+            })
+            .collect();
+        Self { heads }
+    }
+
+    /// Uniform precision across `n_heads`.
+    pub fn uniform(
+        n_heads: usize,
+        head_dim: usize,
+        bits: BitWidth,
+        group_size: usize,
+        buffer_capacity: usize,
+    ) -> Self {
+        Self::new(head_dim, &vec![bits; n_heads], group_size, buffer_capacity)
+    }
+
+    /// Number of heads.
+    pub fn num_heads(&self) -> usize {
+        self.heads.len()
+    }
+
+    /// Cached tokens (identical across heads).
+    pub fn len(&self) -> usize {
+        self.heads[0].len()
+    }
+
+    /// Whether no tokens are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Immutable access to one head's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn head(&self, h: usize) -> &HeadKvCache {
+        &self.heads[h]
+    }
+
+    /// Mutable access to one head's cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is out of range.
+    pub fn head_mut(&mut self, h: usize) -> &mut HeadKvCache {
+        &mut self.heads[h]
+    }
+
+    /// Assembles a layer cache from pre-built per-head caches (all heads
+    /// must share the head dimension and token count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `heads` is empty or dimensions/token counts disagree.
+    pub fn from_heads(heads: Vec<HeadKvCache>) -> Self {
+        assert!(!heads.is_empty(), "at least one head required");
+        let d = heads[0].head_dim();
+        let len = heads[0].len();
+        for h in &heads {
+            assert_eq!(h.head_dim(), d, "head dimension mismatch");
+            assert_eq!(h.len(), len, "token count mismatch");
+        }
+        Self { heads }
+    }
+
+    /// Iterates over the per-head caches.
+    pub fn iter(&self) -> impl Iterator<Item = &HeadKvCache> {
+        self.heads.iter()
+    }
+
+    /// Mutable iteration over the per-head caches (e.g. for parallel
+    /// per-head decode).
+    pub fn iter_mut(&mut self) -> impl Iterator<Item = &mut HeadKvCache> {
+        self.heads.iter_mut()
+    }
+
+    /// Appends one decoded token's per-head K/V vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ks`/`vs` don't have one row per head.
+    pub fn append(&mut self, ks: &[&[f32]], vs: &[&[f32]]) {
+        assert_eq!(ks.len(), self.heads.len(), "one K row per head required");
+        assert_eq!(vs.len(), self.heads.len(), "one V row per head required");
+        for (h, cache) in self.heads.iter_mut().enumerate() {
+            cache.append(ks[h], vs[h]);
+        }
+    }
+
+    /// Prefill: appends one tile per head.
+    ///
+    /// # Panics
+    ///
+    /// Panics if tile counts don't match the head count.
+    pub fn append_prefill_blocks(&mut self, ks: &[Matrix], vs: &[Matrix]) {
+        assert_eq!(ks.len(), self.heads.len(), "one K tile per head required");
+        assert_eq!(vs.len(), self.heads.len(), "one V tile per head required");
+        for (h, cache) in self.heads.iter_mut().enumerate() {
+            cache.append_prefill_block(&ks[h], &vs[h]);
+        }
+    }
+
+    /// Flushes every head's open buffer.
+    pub fn flush_all(&mut self) {
+        for h in &mut self.heads {
+            h.flush();
+        }
+    }
+
+    /// Aggregated memory stats across heads.
+    pub fn memory_stats(&self) -> MemoryStats {
+        let mut total = MemoryStats::default();
+        for h in &self.heads {
+            total.accumulate(h.memory_stats());
+        }
+        total
+    }
+
+    /// Average code bits per cached element across heads, e.g. 3.0 when
+    /// half the heads are INT2 and half INT4 (Table 2's "Bit" column).
+    pub fn average_bits(&self) -> f64 {
+        let sum: u32 = self.heads.iter().map(|h| h.config().bits.bits()).sum();
+        sum as f64 / self.heads.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    #[test]
+    fn mixed_precision_layer_averages_three_bits() {
+        let bits = [
+            BitWidth::Int2,
+            BitWidth::Int4,
+            BitWidth::Int2,
+            BitWidth::Int4,
+        ];
+        let layer = LayerKvCache::new(8, &bits, 32, 16);
+        assert_eq!(layer.average_bits(), 3.0);
+        assert_eq!(layer.num_heads(), 4);
+    }
+
+    #[test]
+    fn append_fans_out_to_all_heads() {
+        let mut layer = LayerKvCache::uniform(2, 4, BitWidth::Int4, 32, 8);
+        let k = [0.1f32, 0.2, 0.3, 0.4];
+        layer.append(&[&k, &k], &[&k, &k]);
+        assert_eq!(layer.len(), 1);
+        assert_eq!(layer.head(0).len(), 1);
+        assert_eq!(layer.head(1).len(), 1);
+    }
+
+    #[test]
+    fn mixed_precision_memory_is_between_uniform_extremes() {
+        let mut rng = TensorRng::new(41);
+        let k = rng.normal(128, 16, 0.0, 1.0);
+        let fill = |mut layer: LayerKvCache| {
+            for t in 0..128 {
+                let row = k.row(t);
+                layer.append(&[row, row], &[row, row]);
+            }
+            layer.flush_all();
+            layer.memory_stats().total_bytes()
+        };
+        let m2 = fill(LayerKvCache::uniform(2, 16, BitWidth::Int2, 64, 64));
+        let m4 = fill(LayerKvCache::uniform(2, 16, BitWidth::Int4, 64, 64));
+        let mixed = fill(LayerKvCache::new(
+            16,
+            &[BitWidth::Int2, BitWidth::Int4],
+            64,
+            64,
+        ));
+        assert!(m2 < mixed && mixed < m4, "{m2} < {mixed} < {m4}");
+    }
+
+    #[test]
+    fn prefill_blocks_per_head() {
+        let mut rng = TensorRng::new(42);
+        let mut layer = LayerKvCache::uniform(3, 8, BitWidth::Int4, 32, 16);
+        let tiles: Vec<Matrix> = (0..3).map(|_| rng.normal(16, 8, 0.0, 1.0)).collect();
+        layer.append_prefill_blocks(&tiles, &tiles);
+        assert_eq!(layer.len(), 16);
+        for h in 0..3 {
+            assert_eq!(layer.head(h).resident_blocks().len(), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "one K row per head")]
+    fn mismatched_head_count_panics() {
+        let mut layer = LayerKvCache::uniform(2, 4, BitWidth::Int4, 32, 8);
+        let k = [0.0f32; 4];
+        layer.append(&[&k], &[&k, &k]);
+    }
+}

@@ -1,0 +1,72 @@
+//! Memory accounting for quantized KV caches.
+
+/// Byte-level accounting of one cache (head or layer).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Bytes held by flushed progressive blocks (codes + group params +
+    /// outer scales).
+    pub resident_bytes: usize,
+    /// Bytes held by open INT8 decode buffers.
+    pub buffer_bytes: usize,
+    /// Bytes the same tokens would occupy as FP16 K and V tensors.
+    pub fp16_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Total physical bytes of the quantized cache.
+    pub fn total_bytes(&self) -> usize {
+        self.resident_bytes + self.buffer_bytes
+    }
+
+    /// Compression ratio versus the FP16 reference (∞ for an empty cache
+    /// is avoided by returning 1.0).
+    pub fn compression_ratio(&self) -> f64 {
+        let total = self.total_bytes();
+        if total == 0 {
+            1.0
+        } else {
+            self.fp16_bytes as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another head's stats (for layer/model totals).
+    pub fn accumulate(&mut self, other: MemoryStats) {
+        self.resident_bytes += other.resident_bytes;
+        self.buffer_bytes += other.buffer_bytes;
+        self.fp16_bytes += other.fp16_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratio() {
+        let s = MemoryStats {
+            resident_bytes: 100,
+            buffer_bytes: 28,
+            fp16_bytes: 512,
+        };
+        assert_eq!(s.total_bytes(), 128);
+        assert_eq!(s.compression_ratio(), 4.0);
+    }
+
+    #[test]
+    fn empty_ratio_is_one() {
+        assert_eq!(MemoryStats::default().compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn accumulate_sums_fields() {
+        let mut a = MemoryStats {
+            resident_bytes: 1,
+            buffer_bytes: 2,
+            fp16_bytes: 3,
+        };
+        a.accumulate(a);
+        assert_eq!(a.resident_bytes, 2);
+        assert_eq!(a.buffer_bytes, 4);
+        assert_eq!(a.fp16_bytes, 6);
+    }
+}

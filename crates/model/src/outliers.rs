@@ -1,0 +1,173 @@
+//! Channel-outlier injection (the Figure 4 / Appendix D structure).
+//!
+//! Real query/key tensors have a few channels whose magnitude dwarfs the
+//! rest; Phi-3's value cache shows the same along channels. This module
+//! provides the diagonal transform `D` behind the model profiles'
+//! *anisotropic embeddings* (`normalize(D·e)` for keys, raw `D·e` for
+//! values — see `profile`): the amplified channels carry concentrated
+//! signal, so quantization error in them costs real accuracy. The paired
+//! `apply`/`apply_inverse` pair is also kept for score-invariance tests
+//! (`⟨D⁻¹q, Dk⟩ = ⟨q, k⟩`).
+
+use turbo_tensor::{Matrix, TensorRng};
+
+/// A diagonal channel transform with a few amplified channels.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChannelOutliers {
+    diag: Vec<f32>,
+}
+
+impl ChannelOutliers {
+    /// Identity transform (no outliers).
+    pub fn identity(d: usize) -> Self {
+        Self { diag: vec![1.0; d] }
+    }
+
+    /// Amplifies `count` randomly chosen channels by factors drawn
+    /// uniformly from `[scale/2, scale]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > d` or `scale < 1.0`.
+    pub fn random(d: usize, count: usize, scale: f32, rng: &mut TensorRng) -> Self {
+        assert!(count <= d, "more outlier channels than channels");
+        assert!(scale >= 1.0, "outlier scale must be ≥ 1");
+        let mut diag = vec![1.0f32; d];
+        for c in rng.distinct_indices(d, count) {
+            diag[c] = rng.uniform_value(scale * 0.5, scale);
+        }
+        Self { diag }
+    }
+
+    /// Channel dimension.
+    pub fn dim(&self) -> usize {
+        self.diag.len()
+    }
+
+    /// The diagonal entries.
+    pub fn diagonal(&self) -> &[f32] {
+        &self.diag
+    }
+
+    /// Whether this is the identity transform.
+    pub fn is_identity(&self) -> bool {
+        self.diag.iter().all(|&x| x == 1.0)
+    }
+
+    /// Applies `D` to every row of `m` (scales columns).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != dim()`.
+    pub fn apply(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.dim(), "channel mismatch");
+        Matrix::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c) * self.diag[c])
+    }
+
+    /// Applies `D⁻¹` to every row of `m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != dim()`.
+    pub fn apply_inverse(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.dim(), "channel mismatch");
+        Matrix::from_fn(m.rows(), m.cols(), |r, c| m.get(r, c) / self.diag[c])
+    }
+
+    /// Applies `D` to a single row vector.
+    pub fn apply_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.dim(), "channel mismatch");
+        row.iter().zip(&self.diag).map(|(x, d)| x * d).collect()
+    }
+
+    /// Applies `D⁻¹` to a single row vector.
+    pub fn apply_inverse_row(&self, row: &[f32]) -> Vec<f32> {
+        assert_eq!(row.len(), self.dim(), "channel mismatch");
+        row.iter().zip(&self.diag).map(|(x, d)| x / d).collect()
+    }
+
+    /// Applies `D` to every row of `m` and re-normalizes each row to unit
+    /// length — the *anisotropic embedding* construction: signal energy
+    /// concentrates in the amplified channels, so those channels carry
+    /// real information (and quantization error there costs accuracy),
+    /// exactly like the outlier channels of real transformer heads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m.cols() != dim()` or a row transforms to zero.
+    pub fn apply_and_renormalize(&self, m: &Matrix) -> Matrix {
+        assert_eq!(m.cols(), self.dim(), "channel mismatch");
+        let mut out = self.apply(m);
+        for r in 0..out.rows() {
+            let norm: f32 = out.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!(norm > 0.0, "row {r} collapsed to zero");
+            for v in out.row_mut(r) {
+                *v /= norm;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::matmul_transposed_b;
+
+    #[test]
+    fn identity_is_noop() {
+        let t = ChannelOutliers::identity(4);
+        assert!(t.is_identity());
+        let m = TensorRng::new(1).normal(3, 4, 0.0, 1.0);
+        assert_eq!(t.apply(&m), m);
+        assert_eq!(t.apply_inverse(&m), m);
+    }
+
+    #[test]
+    fn scores_are_invariant_under_paired_transform() {
+        // <D^-1 q, D k> == <q, k> exactly in f32 only up to rounding; check
+        // to tight tolerance.
+        let mut rng = TensorRng::new(2);
+        let t = ChannelOutliers::random(16, 3, 20.0, &mut rng);
+        let q = rng.normal(4, 16, 0.0, 1.0);
+        let k = rng.normal(8, 16, 0.0, 1.0);
+        let plain = matmul_transposed_b(&q, &k);
+        let twisted = matmul_transposed_b(&t.apply_inverse(&q), &t.apply(&k));
+        assert!(turbo_tensor::max_abs_error(&plain, &twisted) < 1e-4);
+    }
+
+    #[test]
+    fn outlier_channels_have_amplified_range() {
+        let mut rng = TensorRng::new(3);
+        let t = ChannelOutliers::random(32, 4, 25.0, &mut rng);
+        let outliers: Vec<usize> = (0..32).filter(|&c| t.diagonal()[c] > 1.0).collect();
+        assert_eq!(outliers.len(), 4);
+        let m = t.apply(&rng.normal(128, 32, 0.0, 1.0));
+        let ranges = turbo_tensor::col_max_min(&m);
+        for &c in &outliers {
+            let gap = ranges[c].0 - ranges[c].1;
+            // Any non-outlier channel should have a much smaller range.
+            let plain = (0..32).find(|c| t.diagonal()[*c] == 1.0).unwrap();
+            let plain_gap = ranges[plain].0 - ranges[plain].1;
+            assert!(gap > 3.0 * plain_gap, "channel {c}: {gap} vs {plain_gap}");
+        }
+    }
+
+    #[test]
+    fn apply_row_matches_matrix_apply() {
+        let mut rng = TensorRng::new(4);
+        let t = ChannelOutliers::random(8, 2, 10.0, &mut rng);
+        let m = rng.normal(1, 8, 0.0, 1.0);
+        assert_eq!(t.apply(&m).row(0), &t.apply_row(m.row(0))[..]);
+        let inv = t.apply_inverse_row(&t.apply_row(m.row(0)));
+        for (a, b) in inv.iter().zip(m.row(0)) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn dimension_mismatch_panics() {
+        ChannelOutliers::identity(4).apply(&Matrix::zeros(2, 5));
+    }
+}

@@ -1,0 +1,319 @@
+//! Multi-hop associative-recall episodes — the CoT-reasoning proxies.
+//!
+//! Each episode lays out `n_pairs` key→value associations; the model is
+//! cued with a start symbol and must follow the chain
+//! `cue → v₁ → v₂ → …` for `hops` retrievals, exactly as a
+//! chain-of-thought answer requires every intermediate step to be decoded
+//! correctly.
+//!
+//! Difficulty comes from **confusable distractors**: vocabularies are
+//! clustered ([`crate::vocab::Vocabulary::random_clustered`]) and every
+//! chain key is accompanied by sibling keys from its own cluster, paired
+//! with wrong values. The score margin between the matched key and its
+//! siblings is `temp · (1 − ρ)`, and the decode margin between the correct
+//! value and *its* siblings is `1 − ρ` — thin enough that quantization
+//! error flips retrievals at the rates Table 2 reports.
+
+use turbo_tensor::TensorRng;
+
+/// A task suite: the synthetic analogue of one benchmark dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskSuite {
+    /// Suite name as printed in tables.
+    pub name: &'static str,
+    /// Key/value pairs per episode (context size).
+    pub n_pairs: usize,
+    /// Chain length (reasoning depth).
+    pub hops: usize,
+    /// Confusable sibling keys planted per chain key.
+    pub confusers: usize,
+}
+
+impl TaskSuite {
+    /// GSM8k proxy: deep chains over a medium context (multi-step
+    /// arithmetic reasoning with 8-shot CoT ≈ 900-token prefills).
+    pub fn gsm8k_proxy() -> Self {
+        Self {
+            name: "GSM8k-proxy",
+            n_pairs: 48,
+            hops: 6,
+            confusers: 3,
+        }
+    }
+
+    /// AQuA proxy: the longest contexts (≈1300-token prefills), moderate
+    /// depth.
+    pub fn aqua_proxy() -> Self {
+        Self {
+            name: "AQuA-proxy",
+            n_pairs: 72,
+            hops: 4,
+            confusers: 3,
+        }
+    }
+
+    /// BigBench-Hard proxy: medium context, medium depth symbolic chains.
+    pub fn bbh_proxy() -> Self {
+        Self {
+            name: "BBH-proxy",
+            n_pairs: 56,
+            hops: 5,
+            confusers: 3,
+        }
+    }
+
+    /// The three suites in Table 2 column order.
+    pub fn paper_suites() -> Vec<TaskSuite> {
+        vec![Self::gsm8k_proxy(), Self::aqua_proxy(), Self::bbh_proxy()]
+    }
+}
+
+/// One generated episode: the association table and the chain ground
+/// truth.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecallEpisode {
+    /// Pair keys, all distinct (position `i` holds pair `i`).
+    pub keys: Vec<usize>,
+    /// Pair values (the chain's links plus distractor values).
+    pub values: Vec<usize>,
+    /// Starting cue symbol (a key).
+    pub cue: usize,
+    /// Number of retrievals to perform.
+    pub hops: usize,
+    /// Ground-truth symbol at the end of the chain.
+    pub answer: usize,
+}
+
+impl RecallEpisode {
+    /// Generates an episode over a flat (unclustered) symbol space —
+    /// every distractor is near-orthogonal, so this variant is easy and
+    /// mainly useful for kernel sanity checks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops == 0`, `n_pairs < hops`, or the vocabulary is too
+    /// small.
+    pub fn generate(rng: &mut TensorRng, vocab_size: usize, n_pairs: usize, hops: usize) -> Self {
+        Self::generate_clustered(rng, vocab_size, 1, n_pairs, hops, 0)
+    }
+
+    /// Generates a clustered episode: chain symbols come from distinct
+    /// clusters of `cluster_size`, and each chain key is flanked by up to
+    /// `confusers` sibling keys from its own cluster paired with wrong
+    /// values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hops == 0`, `n_pairs < hops·(1 + confusers)`,
+    /// `confusers ≥ cluster_size` (when `cluster_size > 1`), or the
+    /// vocabulary has too few clusters.
+    pub fn generate_clustered(
+        rng: &mut TensorRng,
+        vocab_size: usize,
+        cluster_size: usize,
+        n_pairs: usize,
+        hops: usize,
+        confusers: usize,
+    ) -> Self {
+        assert!(hops > 0, "need at least one hop");
+        assert!(cluster_size > 0, "cluster size must be positive");
+        assert_eq!(vocab_size % cluster_size, 0, "vocab not a cluster multiple");
+        let chain_pairs = hops * (1 + confusers);
+        assert!(
+            n_pairs >= chain_pairs,
+            "need at least {chain_pairs} pairs for {hops} hops with {confusers} confusers"
+        );
+        if cluster_size > 1 {
+            assert!(
+                confusers < cluster_size,
+                "confusers must be fewer than cluster siblings"
+            );
+        } else {
+            assert_eq!(confusers, 0, "flat vocabulary cannot host confusers");
+        }
+        let n_clusters = vocab_size / cluster_size;
+        let fillers = n_pairs - chain_pairs;
+        // Clusters needed: hops+1 chain clusters + fillers (one key each).
+        let clusters_needed = hops + 1 + fillers;
+        assert!(
+            n_clusters > clusters_needed,
+            "vocabulary too small: need {clusters_needed} clusters, have {n_clusters}"
+        );
+        let cluster_ids = rng.distinct_indices(n_clusters, clusters_needed);
+        let pick = |rng: &mut TensorRng, cl: usize| cl * cluster_size + rng.index(cluster_size);
+
+        // Chain symbols, one per distinct cluster.
+        let chain: Vec<usize> = cluster_ids[..hops + 1]
+            .iter()
+            .map(|&cl| pick(rng, cl))
+            .collect();
+        let filler_clusters = &cluster_ids[hops + 1..];
+
+        let mut keys = Vec::with_capacity(n_pairs);
+        let mut values = Vec::with_capacity(n_pairs);
+        let in_chain = |s: usize| chain.contains(&s);
+        let random_wrong_value = |rng: &mut TensorRng| loop {
+            let v = rng.index(vocab_size);
+            if !in_chain(v) {
+                return v;
+            }
+        };
+
+        for (i, w) in chain.windows(2).enumerate() {
+            keys.push(w[0]);
+            values.push(w[1]);
+            // Sibling confusers of this chain key.
+            let cl = w[0] / cluster_size;
+            let all_siblings: Vec<usize> = (0..cluster_size)
+                .map(|m| cl * cluster_size + m)
+                .filter(|&s| s != w[0])
+                .collect();
+            // Deterministic sibling order shuffled per hop.
+            let perm = rng.permutation(all_siblings.len());
+            let siblings: Vec<usize> = perm.iter().map(|&j| all_siblings[j]).collect();
+            for &sib in siblings.iter().take(confusers) {
+                keys.push(sib);
+                values.push(random_wrong_value(rng));
+            }
+            let _ = i;
+        }
+        for &cl in filler_clusters {
+            keys.push(pick(rng, cl));
+            values.push(random_wrong_value(rng));
+        }
+
+        // Shuffle pair order so the chain is interleaved with distractors.
+        let perm = rng.permutation(n_pairs);
+        let keys: Vec<usize> = perm.iter().map(|&i| keys[i]).collect();
+        let values: Vec<usize> = perm.iter().map(|&i| values[i]).collect();
+
+        RecallEpisode {
+            keys,
+            values,
+            cue: chain[0],
+            hops,
+            answer: chain[hops],
+        }
+    }
+
+    /// Indices of the pairs that lie on the ground-truth chain.
+    pub fn chain_pair_indices(&self) -> Vec<usize> {
+        let mut idx = Vec::with_capacity(self.hops);
+        let mut cur = self.cue;
+        for _ in 0..self.hops {
+            let i = self
+                .keys
+                .iter()
+                .position(|&k| k == cur)
+                .expect("chain key missing");
+            idx.push(i);
+            cur = self.values[i];
+        }
+        idx
+    }
+
+    /// Follows the chain exactly (oracle retrieval); used by tests to
+    /// validate episode construction.
+    pub fn oracle_answer(&self) -> usize {
+        let mut cur = self.cue;
+        for _ in 0..self.hops {
+            let idx = self
+                .keys
+                .iter()
+                .position(|&k| k == cur)
+                .expect("chain key missing");
+            cur = self.values[idx];
+        }
+        cur
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_paper_ordering() {
+        let s = TaskSuite::paper_suites();
+        assert_eq!(s.len(), 3);
+        // AQuA has the longest context, GSM8k the deepest chains.
+        assert!(s[1].n_pairs > s[0].n_pairs);
+        assert!(s[0].hops > s[1].hops);
+    }
+
+    #[test]
+    fn keys_are_distinct() {
+        let mut rng = TensorRng::new(1);
+        let ep = RecallEpisode::generate_clustered(&mut rng, 256, 4, 40, 5, 2);
+        let mut k = ep.keys.clone();
+        k.sort_unstable();
+        k.dedup();
+        assert_eq!(k.len(), 40);
+    }
+
+    #[test]
+    fn oracle_walk_reaches_answer() {
+        for seed in 0..20 {
+            let mut r = TensorRng::new(seed);
+            let ep = RecallEpisode::generate_clustered(&mut r, 512, 4, 48, 6, 2);
+            assert_eq!(ep.oracle_answer(), ep.answer);
+        }
+    }
+
+    #[test]
+    fn confusers_share_cluster_with_chain_keys() {
+        let mut rng = TensorRng::new(3);
+        let ep = RecallEpisode::generate_clustered(&mut rng, 256, 4, 24, 4, 2);
+        // Walk the chain; each chain key's cluster must contain exactly
+        // 1 (itself) + 2 (confusers) = 3 keys from the episode.
+        let mut cur = ep.cue;
+        for _ in 0..ep.hops {
+            let cl = cur / 4;
+            let in_cluster = ep.keys.iter().filter(|&&k| k / 4 == cl).count();
+            assert_eq!(in_cluster, 3, "cluster {cl} has {in_cluster} keys");
+            let idx = ep.keys.iter().position(|&k| k == cur).unwrap();
+            cur = ep.values[idx];
+        }
+    }
+
+    #[test]
+    fn flat_generate_matches_old_behaviour() {
+        let mut rng = TensorRng::new(4);
+        let ep = RecallEpisode::generate(&mut rng, 128, 20, 4);
+        assert_eq!(ep.keys.len(), 20);
+        assert_eq!(ep.oracle_answer(), ep.answer);
+    }
+
+    #[test]
+    fn chain_pair_indices_walk_the_chain() {
+        let mut rng = TensorRng::new(9);
+        let ep = RecallEpisode::generate_clustered(&mut rng, 256, 4, 24, 4, 2);
+        let idx = ep.chain_pair_indices();
+        assert_eq!(idx.len(), 4);
+        assert_eq!(ep.keys[idx[0]], ep.cue);
+        assert_eq!(ep.values[idx[3]], ep.answer);
+        for w in idx.windows(2) {
+            assert_eq!(ep.values[w[0]], ep.keys[w[1]]);
+        }
+    }
+
+    #[test]
+    fn cue_differs_from_answer() {
+        let mut rng = TensorRng::new(5);
+        let ep = RecallEpisode::generate_clustered(&mut rng, 128, 4, 12, 3, 1);
+        assert_ne!(ep.cue, ep.answer);
+    }
+
+    #[test]
+    #[should_panic(expected = "vocabulary too small")]
+    fn tiny_vocab_panics() {
+        // 16 symbols = 4 clusters, but 3 hops + 0 fillers need 4+ clusters.
+        RecallEpisode::generate_clustered(&mut TensorRng::new(6), 16, 4, 6, 3, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer than cluster siblings")]
+    fn too_many_confusers_panics() {
+        RecallEpisode::generate_clustered(&mut TensorRng::new(7), 256, 4, 40, 2, 4);
+    }
+}

@@ -1,0 +1,250 @@
+//! Symbol vocabularies of random unit embeddings.
+
+use turbo_tensor::{Matrix, TensorRng};
+
+/// A vocabulary of `size` symbols embedded as random unit vectors in
+/// `R^d`.
+///
+/// Random high-dimensional unit vectors are near-orthogonal, so
+/// nearest-neighbour decoding is reliable until an approximation error
+/// comparable to the inter-symbol margin is introduced — the same
+/// failure threshold an LLM's output logits have.
+#[derive(Clone, Debug)]
+pub struct Vocabulary {
+    emb: Matrix,
+}
+
+impl Vocabulary {
+    /// Samples a vocabulary of `size` unit embeddings in `R^d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0` or `d == 0`.
+    pub fn random(size: usize, d: usize, rng: &mut TensorRng) -> Self {
+        assert!(size > 0 && d > 0, "vocabulary dimensions must be positive");
+        let mut emb = rng.normal(size, d, 0.0, 1.0);
+        for r in 0..size {
+            let norm: f32 = emb.row(r).iter().map(|x| x * x).sum::<f32>().sqrt();
+            assert!(norm > 0.0, "degenerate embedding row");
+            for v in emb.row_mut(r) {
+                *v /= norm;
+            }
+        }
+        Self { emb }
+    }
+
+    /// Samples a *clustered* vocabulary: symbols come in consecutive
+    /// clusters of `cluster_size`, and two symbols in the same cluster
+    /// have expected cosine similarity `rho`.
+    ///
+    /// Clusters model confusable tokens (near-synonyms, close numbers):
+    /// the decision margin between siblings is `1 − rho`, which is what
+    /// makes retrieval sensitive to quantization error the way LLM logit
+    /// margins are.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size % cluster_size != 0`, `cluster_size == 0`, or
+    /// `rho` is outside `[0, 1)`.
+    pub fn random_clustered(
+        size: usize,
+        d: usize,
+        cluster_size: usize,
+        rho: f32,
+        rng: &mut TensorRng,
+    ) -> Self {
+        assert!(cluster_size > 0, "cluster size must be positive");
+        assert_eq!(size % cluster_size, 0, "size must be a cluster multiple");
+        assert!((0.0..1.0).contains(&rho), "rho must be in [0, 1)");
+        let a = rho.sqrt();
+        let b = (1.0 - rho).sqrt();
+        let mut emb = Matrix::zeros(size, d);
+        let n_clusters = size / cluster_size;
+        for cl in 0..n_clusters {
+            let center = unit_row(d, rng);
+            for m in 0..cluster_size {
+                let fresh = unit_row(d, rng);
+                let row: Vec<f32> = center
+                    .iter()
+                    .zip(&fresh)
+                    .map(|(c, f)| a * c + b * f)
+                    .collect();
+                let norm: f32 = row.iter().map(|x| x * x).sum::<f32>().sqrt();
+                let s = cl * cluster_size + m;
+                for (c, v) in row.iter().enumerate() {
+                    emb.set(s, c, v / norm);
+                }
+            }
+        }
+        Self { emb }
+    }
+
+    /// Wraps an existing embedding table (rows are symbols).
+    pub fn from_embeddings(emb: Matrix) -> Self {
+        assert!(!emb.is_empty(), "empty embedding table");
+        Self { emb }
+    }
+
+    /// Number of symbols.
+    pub fn len(&self) -> usize {
+        self.emb.rows()
+    }
+
+    /// Whether the vocabulary is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.emb.rows() == 0
+    }
+
+    /// Embedding dimension.
+    pub fn dim(&self) -> usize {
+        self.emb.cols()
+    }
+
+    /// Embedding of symbol `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is out of range.
+    pub fn embedding(&self, s: usize) -> &[f32] {
+        self.emb.row(s)
+    }
+
+    /// The full embedding table.
+    pub fn embeddings(&self) -> &Matrix {
+        &self.emb
+    }
+
+    /// Decodes a vector to the symbol with the highest dot product — the
+    /// argmax-over-logits step of LLM decoding.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != dim()`.
+    pub fn nearest(&self, x: &[f32]) -> usize {
+        assert_eq!(x.len(), self.dim(), "vector width mismatch");
+        let mut best = 0usize;
+        let mut best_dot = f32::NEG_INFINITY;
+        for s in 0..self.len() {
+            let dot: f32 = self.emb.row(s).iter().zip(x).map(|(a, b)| a * b).sum();
+            if dot > best_dot {
+                best_dot = dot;
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// The two best dot products for `x` — the decoding margin, useful for
+    /// difficulty calibration.
+    pub fn margin(&self, x: &[f32]) -> (f32, f32) {
+        let mut best = f32::NEG_INFINITY;
+        let mut second = f32::NEG_INFINITY;
+        for s in 0..self.len() {
+            let dot: f32 = self.emb.row(s).iter().zip(x).map(|(a, b)| a * b).sum();
+            if dot > best {
+                second = best;
+                best = dot;
+            } else if dot > second {
+                second = dot;
+            }
+        }
+        (best, second)
+    }
+}
+
+/// One random unit vector.
+fn unit_row(d: usize, rng: &mut TensorRng) -> Vec<f32> {
+    let mut v: Vec<f32> = (0..d).map(|_| rng.standard_normal()).collect();
+    let norm: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    for x in &mut v {
+        *x /= norm;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clustered_siblings_have_target_cosine() {
+        let mut rng = TensorRng::new(11);
+        let v = Vocabulary::random_clustered(128, 64, 4, 0.8, &mut rng);
+        let mut within = 0.0f64;
+        let mut count = 0usize;
+        for cl in 0..32 {
+            for a in 0..4 {
+                for b in (a + 1)..4 {
+                    let ea = v.embedding(cl * 4 + a);
+                    let eb = v.embedding(cl * 4 + b);
+                    within += ea.iter().zip(eb).map(|(x, y)| x * y).sum::<f32>() as f64;
+                    count += 1;
+                }
+            }
+        }
+        let mean = within / count as f64;
+        assert!((mean - 0.8).abs() < 0.05, "within-cluster cosine {mean}");
+    }
+
+    #[test]
+    fn clustered_cross_cluster_cosine_is_small() {
+        let mut rng = TensorRng::new(12);
+        let v = Vocabulary::random_clustered(64, 64, 4, 0.8, &mut rng);
+        let e0 = v.embedding(0);
+        let e_far = v.embedding(17); // different cluster
+        let cos: f32 = e0.iter().zip(e_far).map(|(a, b)| a * b).sum();
+        assert!(cos.abs() < 0.5, "cross-cluster cosine {cos}");
+    }
+
+    #[test]
+    fn embeddings_are_unit_norm() {
+        let mut rng = TensorRng::new(1);
+        let v = Vocabulary::random(64, 32, &mut rng);
+        for s in 0..64 {
+            let n: f32 = v.embedding(s).iter().map(|x| x * x).sum();
+            assert!((n - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn nearest_recovers_exact_embeddings() {
+        let mut rng = TensorRng::new(2);
+        let v = Vocabulary::random(128, 64, &mut rng);
+        for s in (0..128).step_by(7) {
+            assert_eq!(v.nearest(v.embedding(s)), s);
+        }
+    }
+
+    #[test]
+    fn nearest_tolerates_small_noise() {
+        let mut rng = TensorRng::new(3);
+        let v = Vocabulary::random(256, 64, &mut rng);
+        for s in (0..256).step_by(17) {
+            let noisy: Vec<f32> = v
+                .embedding(s)
+                .iter()
+                .map(|&x| x + 0.03 * rng.standard_normal())
+                .collect();
+            assert_eq!(v.nearest(&noisy), s);
+        }
+    }
+
+    #[test]
+    fn margin_separates_best_from_second() {
+        let mut rng = TensorRng::new(4);
+        let v = Vocabulary::random(64, 64, &mut rng);
+        let (best, second) = v.margin(v.embedding(5));
+        assert!((best - 1.0).abs() < 1e-5);
+        assert!(
+            second < 0.7,
+            "second-best cosine {second} suspiciously high"
+        );
+    }
+
+    #[test]
+    fn determinism() {
+        let a = Vocabulary::random(16, 8, &mut TensorRng::new(9));
+        let b = Vocabulary::random(16, 8, &mut TensorRng::new(9));
+        assert_eq!(a.embeddings(), b.embeddings());
+    }
+}

@@ -1,0 +1,70 @@
+//! Weight-quantization proxies for the Table 5 integration experiment.
+//!
+//! The paper shows TurboAttention composes with weight/activation
+//! quantization (LLM.int8, Qserve). In this substrate the "weights" are
+//! the vocabulary embedding tables; quantizing them per output channel
+//! reproduces the small constant accuracy offset weight quantization
+//! introduces, on top of which TurboAttention's own degradation is
+//! measured.
+
+use turbo_quant::asymmetric::fake_quant_channelwise;
+use turbo_quant::BitWidth;
+use turbo_tensor::Matrix;
+
+/// Weight quantization schemes for Table 5.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum WeightQuant {
+    /// Full-precision weights.
+    #[default]
+    None,
+    /// LLM.int8-style 8-bit per-channel weight quantization (W8A8 proxy).
+    Int8PerChannel,
+    /// Qserve-style 4-bit per-channel weight quantization (W4A8 proxy).
+    Int4PerChannel,
+}
+
+impl WeightQuant {
+    /// Fake-quantizes a weight matrix per output channel.
+    pub fn apply(self, w: &Matrix) -> Matrix {
+        match self {
+            WeightQuant::None => w.clone(),
+            WeightQuant::Int8PerChannel => fake_quant_channelwise(w, BitWidth::Int8, w.rows()),
+            WeightQuant::Int4PerChannel => fake_quant_channelwise(w, BitWidth::Int4, w.rows()),
+        }
+    }
+
+    /// Label for table rows.
+    pub fn label(self) -> &'static str {
+        match self {
+            WeightQuant::None => "FP16 weights",
+            WeightQuant::Int8PerChannel => "LLM.int8()",
+            WeightQuant::Int4PerChannel => "Qserve (W4)",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::{relative_error, TensorRng};
+
+    #[test]
+    fn none_is_identity() {
+        let m = TensorRng::new(1).normal(8, 8, 0.0, 1.0);
+        assert_eq!(WeightQuant::None.apply(&m), m);
+    }
+
+    #[test]
+    fn int8_is_nearly_lossless_int4_is_coarser() {
+        let m = TensorRng::new(2).normal(64, 32, 0.0, 1.0);
+        let e8 = relative_error(&WeightQuant::Int8PerChannel.apply(&m), &m);
+        let e4 = relative_error(&WeightQuant::Int4PerChannel.apply(&m), &m);
+        assert!(e8 < 0.01, "int8 err {e8}");
+        assert!(e4 > e8 && e4 < 0.15, "int4 err {e4}");
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(WeightQuant::Int8PerChannel.label(), "LLM.int8()");
+    }
+}

@@ -1,0 +1,289 @@
+//! Asymmetric (min/max) quantization with floating-point parameters.
+//!
+//! This is the classic KV-cache quantization scheme used by the KIVI and
+//! GEAR baselines and by direct-to-INT4 quantization (the non-progressive
+//! alternative ablated in the benches): codes are unsigned,
+//! `q = round((x − min) / s)` with `s = (max − min) / (2^bits − 1)`, and
+//! dequantization is `x̂ = q · s + min`.
+//!
+//! Grouping is expressed by quantizing 1-D slices; callers choose whether a
+//! slice is a token row, a channel column, or a sub-group of either
+//! (see [`crate::error`] for granularity comparisons).
+
+use crate::bitwidth::BitWidth;
+use turbo_tensor::Matrix;
+
+/// Scale and zero point of one asymmetric quantization group.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AsymParams {
+    /// Step size `s = (max − min) / (levels − 1)`; 1.0 for constant groups.
+    pub scale: f32,
+    /// Zero point `z = min`, so `x̂ = q·s + z`.
+    pub zero: f32,
+}
+
+impl AsymParams {
+    /// Derives parameters from the extrema of a group.
+    ///
+    /// A degenerate group (`max == min`) gets `scale = 1.0` so round trips
+    /// are exact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or either is non-finite.
+    pub fn from_min_max(min: f32, max: f32, bits: BitWidth) -> Self {
+        assert!(min.is_finite() && max.is_finite(), "non-finite extrema");
+        assert!(min <= max, "min {min} > max {max}");
+        let range = max - min;
+        let scale = if range == 0.0 {
+            1.0
+        } else {
+            range / (bits.levels() - 1) as f32
+        };
+        AsymParams { scale, zero: min }
+    }
+
+    /// Quantizes one value to an unsigned code, clamped to the code range.
+    #[inline]
+    pub fn encode(&self, x: f32, bits: BitWidth) -> u8 {
+        ((x - self.zero) / self.scale)
+            .round()
+            .clamp(0.0, bits.max_code() as f32) as u8
+    }
+
+    /// Dequantizes one code.
+    #[inline]
+    pub fn decode(&self, q: u8) -> f32 {
+        q as f32 * self.scale + self.zero
+    }
+}
+
+/// An asymmetrically quantized vector group.
+///
+/// # Example
+///
+/// ```
+/// use turbo_quant::{AsymQuantized, BitWidth};
+///
+/// let xs = [0.0, 0.5, 1.0, 1.5];
+/// let q = AsymQuantized::quantize(&xs, BitWidth::Int4);
+/// let back = q.dequantize();
+/// for (x, y) in xs.iter().zip(&back) {
+///     assert!((x - y).abs() < 0.06);
+/// }
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct AsymQuantized {
+    codes: Vec<u8>,
+    params: AsymParams,
+    bits: BitWidth,
+}
+
+impl AsymQuantized {
+    /// Quantizes a group of values at the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty or contains non-finite values.
+    pub fn quantize(xs: &[f32], bits: BitWidth) -> Self {
+        assert!(!xs.is_empty(), "cannot quantize an empty group");
+        let mut min = f32::INFINITY;
+        let mut max = f32::NEG_INFINITY;
+        for &x in xs {
+            assert!(x.is_finite(), "non-finite input {x}");
+            min = min.min(x);
+            max = max.max(x);
+        }
+        let params = AsymParams::from_min_max(min, max, bits);
+        let codes = xs.iter().map(|&x| params.encode(x, bits)).collect();
+        AsymQuantized {
+            codes,
+            params,
+            bits,
+        }
+    }
+
+    /// The unsigned codes.
+    pub fn codes(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Scale/zero parameters.
+    pub fn params(&self) -> AsymParams {
+        self.params
+    }
+
+    /// Bit width of the codes.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Reconstructs the group.
+    pub fn dequantize(&self) -> Vec<f32> {
+        self.codes.iter().map(|&q| self.params.decode(q)).collect()
+    }
+
+    /// Worst-case absolute reconstruction error, `scale / 2`.
+    pub fn half_step(&self) -> f32 {
+        self.params.scale * 0.5
+    }
+
+    /// Packed storage footprint in bytes: codes at `bits` width plus two
+    /// f16-equivalent parameters (2 bytes each), matching how KIVI-style
+    /// caches account their overhead.
+    pub fn storage_bytes(&self) -> usize {
+        self.bits.packed_bytes(self.codes.len()) + 4
+    }
+}
+
+/// Quantize→dequantize an entire matrix with per-row (token-wise) groups of
+/// width `group`, returning the reconstruction.
+///
+/// # Panics
+///
+/// Panics if `group == 0`.
+pub fn fake_quant_tokenwise(m: &Matrix, bits: BitWidth, group: usize) -> Matrix {
+    assert!(group > 0, "group size must be positive");
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for r in 0..m.rows() {
+        let row = m.row(r);
+        for (g, chunk) in row.chunks(group).enumerate() {
+            let q = AsymQuantized::quantize(chunk, bits);
+            let back = q.dequantize();
+            out.row_mut(r)[g * group..g * group + chunk.len()].copy_from_slice(&back);
+        }
+    }
+    out
+}
+
+/// Quantize→dequantize with per-column (channel-wise) groups of `group`
+/// consecutive tokens, returning the reconstruction.
+///
+/// # Panics
+///
+/// Panics if `group == 0`.
+pub fn fake_quant_channelwise(m: &Matrix, bits: BitWidth, group: usize) -> Matrix {
+    assert!(group > 0, "group size must be positive");
+    let mut out = Matrix::zeros(m.rows(), m.cols());
+    for c in 0..m.cols() {
+        let col = m.col(c);
+        for (g, chunk) in col.chunks(group).enumerate() {
+            let q = AsymQuantized::quantize(chunk, bits);
+            let back = q.dequantize();
+            for (i, v) in back.iter().enumerate() {
+                out.set(g * group + i, c, *v);
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    #[test]
+    fn params_from_min_max() {
+        let p = AsymParams::from_min_max(-1.0, 2.0, BitWidth::Int4);
+        assert!((p.scale - 3.0 / 15.0).abs() < 1e-7);
+        assert_eq!(p.zero, -1.0);
+    }
+
+    #[test]
+    fn encode_extremes_hit_code_bounds() {
+        let p = AsymParams::from_min_max(-1.0, 2.0, BitWidth::Int2);
+        assert_eq!(p.encode(-1.0, BitWidth::Int2), 0);
+        assert_eq!(p.encode(2.0, BitWidth::Int2), 3);
+        // Out-of-range values clamp.
+        assert_eq!(p.encode(100.0, BitWidth::Int2), 3);
+        assert_eq!(p.encode(-100.0, BitWidth::Int2), 0);
+    }
+
+    #[test]
+    fn round_trip_error_bounded_by_half_step() {
+        let mut rng = TensorRng::new(3);
+        let xs: Vec<f32> = (0..256).map(|_| rng.standard_normal() * 4.0).collect();
+        for bits in [BitWidth::Int2, BitWidth::Int4, BitWidth::Int8] {
+            let q = AsymQuantized::quantize(&xs, bits);
+            let back = q.dequantize();
+            for (x, y) in xs.iter().zip(&back) {
+                assert!(
+                    (x - y).abs() <= q.half_step() + 1e-5,
+                    "{bits}: |{x} - {y}| > {}",
+                    q.half_step()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn constant_group_is_exact() {
+        let xs = [3.25; 10];
+        let q = AsymQuantized::quantize(&xs, BitWidth::Int2);
+        assert_eq!(q.dequantize(), xs.to_vec());
+    }
+
+    #[test]
+    fn int8_beats_int4_beats_int2() {
+        let mut rng = TensorRng::new(5);
+        let xs: Vec<f32> = (0..512).map(|_| rng.standard_normal()).collect();
+        let err = |bits| {
+            let q = AsymQuantized::quantize(&xs, bits);
+            let back = q.dequantize();
+            xs.iter()
+                .zip(&back)
+                .map(|(x, y)| ((x - y) as f64).powi(2))
+                .sum::<f64>()
+        };
+        let (e2, e4, e8) = (
+            err(BitWidth::Int2),
+            err(BitWidth::Int4),
+            err(BitWidth::Int8),
+        );
+        assert!(e8 < e4 && e4 < e2, "e2={e2} e4={e4} e8={e8}");
+    }
+
+    #[test]
+    fn tokenwise_and_channelwise_agree_on_transpose() {
+        // Channel-wise quantization of M == token-wise quantization of Mᵀ.
+        let mut rng = TensorRng::new(9);
+        let m = rng.normal(32, 16, 0.0, 1.0);
+        let cw = fake_quant_channelwise(&m, BitWidth::Int4, 8);
+        let tw_t = fake_quant_tokenwise(&m.transpose(), BitWidth::Int4, 8).transpose();
+        assert_eq!(cw, tw_t);
+    }
+
+    #[test]
+    fn channelwise_wins_with_channel_outliers() {
+        let mut rng = TensorRng::new(13);
+        let m = rng.normal_with_channel_outliers(128, 32, 1.0, &[2, 17], 30.0);
+        let cw = fake_quant_channelwise(&m, BitWidth::Int4, 32);
+        let tw = fake_quant_tokenwise(&m, BitWidth::Int4, 32);
+        let e_cw = turbo_tensor::mse(&m, &cw);
+        let e_tw = turbo_tensor::mse(&m, &tw);
+        assert!(
+            e_cw < e_tw / 2.0,
+            "channelwise {e_cw} should be well below tokenwise {e_tw}"
+        );
+    }
+
+    #[test]
+    fn storage_accounting_packs_codes() {
+        let xs = [0.0f32; 64];
+        let q = AsymQuantized::quantize(&xs, BitWidth::Int2);
+        assert_eq!(q.storage_bytes(), 16 + 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty group")]
+    fn empty_group_panics() {
+        AsymQuantized::quantize(&[], BitWidth::Int4);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn non_finite_input_panics() {
+        AsymQuantized::quantize(&[f32::NAN], BitWidth::Int4);
+    }
+}

@@ -1,0 +1,119 @@
+//! Quantization bit widths supported by the second BPQ stage.
+
+use std::fmt;
+
+/// Bit width of a quantized representation.
+///
+/// The paper's KV cache uses INT8 for the decode buffer and the first BPQ
+/// stage, and INT4 or INT2 (head-dependent, section 3.2) for the resident
+/// cache.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BitWidth {
+    /// 2-bit codes (4 levels) — the aggressive setting for low-priority heads.
+    Int2,
+    /// 3-bit codes (8 levels) — used by the 3-bit baseline comparisons of
+    /// Table 2. Packed two-per-byte (padded), as real 3-bit kernels do not
+    /// exist; storage accounting reflects the padded layout.
+    Int3,
+    /// 4-bit codes (16 levels) — the near-lossless default.
+    Int4,
+    /// 8-bit codes — the first-stage / buffer format.
+    Int8,
+}
+
+impl BitWidth {
+    /// Number of bits per element.
+    pub const fn bits(self) -> u32 {
+        match self {
+            BitWidth::Int2 => 2,
+            BitWidth::Int3 => 3,
+            BitWidth::Int4 => 4,
+            BitWidth::Int8 => 8,
+        }
+    }
+
+    /// Number of representable levels, `2^bits`.
+    pub const fn levels(self) -> u32 {
+        1 << self.bits()
+    }
+
+    /// Largest unsigned code value, `2^bits − 1`.
+    pub const fn max_code(self) -> u8 {
+        (self.levels() - 1) as u8
+    }
+
+    /// Elements that fit in one byte (3-bit codes are padded to two per
+    /// byte so random access stays byte-aligned).
+    pub const fn elems_per_byte(self) -> usize {
+        (8 / self.bits()) as usize
+    }
+
+    /// Bytes needed to store `n` packed elements of this width.
+    pub const fn packed_bytes(self, n: usize) -> usize {
+        n.div_ceil(self.elems_per_byte())
+    }
+
+    /// Average bits per element when `frac2` of elements use 2-bit and the
+    /// rest 4-bit — the "average compressed bit" column of Table 2.
+    pub fn mixed_average_bits(frac2: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&frac2), "fraction must be in [0,1]");
+        2.0 * frac2 + 4.0 * (1.0 - frac2)
+    }
+}
+
+impl fmt::Display for BitWidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "INT{}", self.bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_levels_codes() {
+        assert_eq!(BitWidth::Int2.bits(), 2);
+        assert_eq!(BitWidth::Int4.levels(), 16);
+        assert_eq!(BitWidth::Int8.max_code(), 255);
+        assert_eq!(BitWidth::Int4.max_code(), 15);
+        assert_eq!(BitWidth::Int2.max_code(), 3);
+    }
+
+    #[test]
+    fn packing_math() {
+        assert_eq!(BitWidth::Int2.elems_per_byte(), 4);
+        assert_eq!(BitWidth::Int4.elems_per_byte(), 2);
+        assert_eq!(BitWidth::Int8.elems_per_byte(), 1);
+        assert_eq!(BitWidth::Int4.packed_bytes(5), 3);
+        assert_eq!(BitWidth::Int2.packed_bytes(5), 2);
+        assert_eq!(BitWidth::Int2.packed_bytes(0), 0);
+    }
+
+    #[test]
+    fn mixed_bits_at_half_is_three() {
+        assert_eq!(BitWidth::mixed_average_bits(0.5), 3.0);
+        assert_eq!(BitWidth::mixed_average_bits(0.0), 4.0);
+        assert_eq!(BitWidth::mixed_average_bits(1.0), 2.0);
+    }
+
+    #[test]
+    fn ordering_by_width() {
+        assert!(BitWidth::Int2 < BitWidth::Int3);
+        assert!(BitWidth::Int3 < BitWidth::Int4);
+        assert!(BitWidth::Int4 < BitWidth::Int8);
+    }
+
+    #[test]
+    fn int3_padded_packing() {
+        assert_eq!(BitWidth::Int3.levels(), 8);
+        assert_eq!(BitWidth::Int3.max_code(), 7);
+        assert_eq!(BitWidth::Int3.elems_per_byte(), 2);
+        assert_eq!(BitWidth::Int3.packed_bytes(5), 3);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(BitWidth::Int4.to_string(), "INT4");
+    }
+}

@@ -1,0 +1,96 @@
+//! Quantization-error measurement across granularities.
+//!
+//! Backs Figure 10 (channel-wise vs token-wise group quantization error)
+//! and the Appendix D distribution analysis: given an activation matrix,
+//! quantize→dequantize under each granularity and report the error.
+
+use crate::asymmetric::{fake_quant_channelwise, fake_quant_tokenwise};
+use crate::bitwidth::BitWidth;
+use turbo_tensor::{mse, Matrix};
+
+/// Error summary of one quantize→dequantize experiment.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QuantErrorReport {
+    /// Bit width used.
+    pub bits: BitWidth,
+    /// Group size used.
+    pub group: usize,
+    /// Mean squared reconstruction error.
+    pub mse: f64,
+    /// Maximum absolute reconstruction error.
+    pub max_abs: f32,
+}
+
+/// Token-wise (per-row groups) fake-quant error at `bits`/`group`.
+pub fn quant_error_tokenwise(m: &Matrix, bits: BitWidth, group: usize) -> QuantErrorReport {
+    let back = fake_quant_tokenwise(m, bits, group);
+    QuantErrorReport {
+        bits,
+        group,
+        mse: mse(m, &back),
+        max_abs: turbo_tensor::max_abs_error(m, &back),
+    }
+}
+
+/// Channel-wise (per-column groups) fake-quant error at `bits`/`group`.
+pub fn quant_error_channelwise(m: &Matrix, bits: BitWidth, group: usize) -> QuantErrorReport {
+    let back = fake_quant_channelwise(m, bits, group);
+    QuantErrorReport {
+        bits,
+        group,
+        mse: mse(m, &back),
+        max_abs: turbo_tensor::max_abs_error(m, &back),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    #[test]
+    fn reports_carry_configuration() {
+        let m = TensorRng::new(1).normal(32, 32, 0.0, 1.0);
+        let r = quant_error_tokenwise(&m, BitWidth::Int4, 16);
+        assert_eq!(r.bits, BitWidth::Int4);
+        assert_eq!(r.group, 16);
+        assert!(r.mse > 0.0);
+        assert!(r.max_abs > 0.0);
+    }
+
+    #[test]
+    fn smaller_groups_reduce_error() {
+        let m = TensorRng::new(2).normal(128, 64, 0.0, 1.0);
+        let big = quant_error_tokenwise(&m, BitWidth::Int2, 64);
+        let small = quant_error_tokenwise(&m, BitWidth::Int2, 8);
+        assert!(small.mse < big.mse);
+    }
+
+    #[test]
+    fn figure_10_shape_channelwise_beats_tokenwise_on_outlier_channels() {
+        // The paper's Figure 10: with channel-dimension outliers (as in
+        // Phi-3's value cache), channel-wise grouping has lower error.
+        let m = TensorRng::new(3).normal_with_channel_outliers(256, 64, 1.0, &[1, 30, 47], 25.0);
+        for bits in [BitWidth::Int2, BitWidth::Int4] {
+            let cw = quant_error_channelwise(&m, bits, 64);
+            let tw = quant_error_tokenwise(&m, bits, 64);
+            assert!(
+                cw.mse < tw.mse,
+                "{bits}: channelwise {} should beat tokenwise {}",
+                cw.mse,
+                tw.mse
+            );
+        }
+    }
+
+    #[test]
+    fn tokenwise_wins_with_token_outliers() {
+        // Sanity inversion: outliers along tokens favour token-wise groups.
+        let t = TensorRng::new(4)
+            .normal_with_channel_outliers(64, 256, 1.0, &[7, 50], 25.0)
+            .transpose(); // outlier *rows* now
+        let cw = quant_error_channelwise(&t, BitWidth::Int4, 64);
+        let tw = quant_error_tokenwise(&t, BitWidth::Int4, 64);
+        assert!(tw.mse < cw.mse);
+    }
+}

@@ -1,0 +1,188 @@
+//! Bit-packing of sub-byte quantization codes.
+//!
+//! The KV-cache memory savings in the paper (>4.4× vs FP16) assume INT4 and
+//! INT2 codes are physically packed, so this module implements dense
+//! little-endian-within-byte packing: element `i` occupies bits
+//! `[(i % per_byte) * width, …)` of byte `i / per_byte`.
+
+use crate::bitwidth::BitWidth;
+
+/// Densely packed unsigned quantization codes.
+///
+/// # Example
+///
+/// ```
+/// use turbo_quant::{BitWidth, PackedCodes};
+///
+/// let codes = [3u8, 0, 1, 2, 3];
+/// let packed = PackedCodes::pack(&codes, BitWidth::Int2);
+/// assert_eq!(packed.bytes().len(), 2); // 5 codes at 2 bits -> 2 bytes
+/// assert_eq!(packed.unpack(), codes.to_vec());
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PackedCodes {
+    bytes: Vec<u8>,
+    len: usize,
+    bits: BitWidth,
+}
+
+impl PackedCodes {
+    /// Packs unsigned codes at the given width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any code exceeds `bits.max_code()`.
+    pub fn pack(codes: &[u8], bits: BitWidth) -> Self {
+        let per_byte = bits.elems_per_byte();
+        let width = bits.bits() as usize;
+        let mut bytes = vec![0u8; bits.packed_bytes(codes.len())];
+        for (i, &code) in codes.iter().enumerate() {
+            assert!(
+                code <= bits.max_code(),
+                "code {code} exceeds {bits} range at index {i}"
+            );
+            let byte = i / per_byte;
+            let shift = (i % per_byte) * width;
+            bytes[byte] |= code << shift;
+        }
+        Self {
+            bytes,
+            len: codes.len(),
+            bits,
+        }
+    }
+
+    /// Reassembles packed codes from raw parts (e.g. read back from a
+    /// serialized cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes.len()` is not exactly `bits.packed_bytes(len)`.
+    pub fn from_bytes(bytes: Vec<u8>, len: usize, bits: BitWidth) -> Self {
+        assert_eq!(
+            bytes.len(),
+            bits.packed_bytes(len),
+            "byte length does not match {len} codes at {bits}"
+        );
+        Self { bytes, len, bits }
+    }
+
+    /// Unpacks all codes.
+    pub fn unpack(&self) -> Vec<u8> {
+        (0..self.len).map(|i| self.get(i)).collect()
+    }
+
+    /// Random access to code `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    #[inline]
+    pub fn get(&self, i: usize) -> u8 {
+        assert!(i < self.len, "index {i} out of bounds");
+        let per_byte = self.bits.elems_per_byte();
+        let width = self.bits.bits() as usize;
+        let shift = (i % per_byte) * width;
+        (self.bytes[i / per_byte] >> shift) & self.bits.max_code()
+    }
+
+    /// Number of stored codes.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no codes are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bit width of the codes.
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Raw packed bytes.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Physical storage footprint in bytes.
+    pub fn storage_bytes(&self) -> usize {
+        self.bytes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int4_round_trip() {
+        let codes: Vec<u8> = (0..16).collect();
+        let p = PackedCodes::pack(&codes, BitWidth::Int4);
+        assert_eq!(p.storage_bytes(), 8);
+        assert_eq!(p.unpack(), codes);
+    }
+
+    #[test]
+    fn int2_round_trip_with_ragged_tail() {
+        let codes = [0u8, 1, 2, 3, 3, 2, 1];
+        let p = PackedCodes::pack(&codes, BitWidth::Int2);
+        assert_eq!(p.storage_bytes(), 2);
+        assert_eq!(p.unpack(), codes.to_vec());
+    }
+
+    #[test]
+    fn int8_is_identity_packing() {
+        let codes = [255u8, 0, 128];
+        let p = PackedCodes::pack(&codes, BitWidth::Int8);
+        assert_eq!(p.bytes(), &codes);
+        assert_eq!(p.unpack(), codes.to_vec());
+    }
+
+    #[test]
+    fn random_access_matches_unpack() {
+        let codes: Vec<u8> = (0..100).map(|i| (i % 4) as u8).collect();
+        let p = PackedCodes::pack(&codes, BitWidth::Int2);
+        for (i, &c) in codes.iter().enumerate() {
+            assert_eq!(p.get(i), c);
+        }
+    }
+
+    #[test]
+    fn empty_pack() {
+        let p = PackedCodes::pack(&[], BitWidth::Int4);
+        assert!(p.is_empty());
+        assert_eq!(p.storage_bytes(), 0);
+        assert_eq!(p.unpack(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn compression_ratio_vs_fp16() {
+        // 4096 values: FP16 = 8192 bytes; INT2 packed = 1024 bytes -> 8x.
+        let codes = vec![1u8; 4096];
+        let p = PackedCodes::pack(&codes, BitWidth::Int2);
+        assert_eq!(8192 / p.storage_bytes(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds INT2 range")]
+    fn oversized_code_panics() {
+        PackedCodes::pack(&[4], BitWidth::Int2);
+    }
+
+    #[test]
+    fn from_bytes_round_trips() {
+        let codes = [1u8, 2, 3, 0, 3];
+        let p = PackedCodes::pack(&codes, BitWidth::Int2);
+        let q = PackedCodes::from_bytes(p.bytes().to_vec(), p.len(), p.bits());
+        assert_eq!(p, q);
+        assert_eq!(q.unpack(), codes.to_vec());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_bytes_validates_length() {
+        PackedCodes::from_bytes(vec![0u8; 3], 5, BitWidth::Int2);
+    }
+}

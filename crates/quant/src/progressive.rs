@@ -1,0 +1,420 @@
+//! Blockwise Progressive Quantization (BPQ), the core of FlashQ.
+//!
+//! Stage 1 quantizes a FlashAttention tile symmetrically to INT8
+//! ([`crate::symmetric`], Equation 9). Stage 2 — implemented here —
+//! re-quantizes the INT8 codes *in integer arithmetic* to asymmetric
+//! INT4/INT2, channel-wise in groups of consecutive tokens (Equation 10,
+//! Algorithm 1):
+//!
+//! ```text
+//! s_int = ⌈(max(q¹) − min(q¹)) / (2^bits − 1)⌉         (stored in INT8)
+//! z_int = round(min(q¹) / s_int)                       (stored in INT8)
+//! q²    = round(q¹ / s_int) − z_int                    (packed INT4/INT2)
+//! ```
+//!
+//! The scale uses *ceiling* division: a rounded-down scale would make the
+//! code range systematically overflow `2^bits − 1` and clamp, which is
+//! exactly the artifact the paper's ⌈·⌉ brackets avoid.
+//!
+//! Decode-side dequantization is the pure-integer `q̂¹ = (q² + z_int)·s_int`,
+//! which is what makes TurboAttention's decompression so much cheaper than
+//! the FP16 dequantization of KIVI/GEAR: the result feeds the INT8 matmul
+//! directly and only the stage-1 f32 scale survives as a scalar correction.
+
+use crate::bitwidth::BitWidth;
+use crate::packing::PackedCodes;
+use crate::symmetric::{SymQuantized, SYM_INT8_DIVISOR};
+use turbo_tensor::Matrix;
+
+/// Integer division rounding half away from zero, matching `f32::round`
+/// on the exact quotients that arise in BPQ.
+#[inline]
+fn div_round(a: i32, b: i32) -> i32 {
+    debug_assert!(b > 0, "divisor must be positive");
+    if a >= 0 {
+        (a + b / 2) / b
+    } else {
+        -((-a + b / 2) / b)
+    }
+}
+
+/// Per-(channel, group) integer parameters of the second BPQ stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GroupParams {
+    /// Integer scale `s_int ≥ 1` in INT8 units.
+    pub scale: i8,
+    /// Integer zero point `z_int` in scale units.
+    pub zero: i8,
+}
+
+/// A progressively quantized tile: packed INT4/INT2 codes plus per-group
+/// integer parameters and the stage-1 f32 scale.
+///
+/// Codes are stored channel-major (`index = channel · rows + row`), the
+/// layout a channel-wise dequantization kernel would stream.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::Matrix;
+/// use turbo_quant::{BitWidth, ProgressiveBlock};
+///
+/// let tile = Matrix::from_fn(64, 8, |r, c| ((r + 3 * c) % 11) as f32 * 0.1);
+/// let pq = ProgressiveBlock::quantize(&tile, BitWidth::Int4, 64);
+/// let back = pq.dequantize();
+/// assert!(turbo_tensor::max_abs_error(&tile, &back) < 0.05);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProgressiveBlock {
+    rows: usize,
+    cols: usize,
+    bits: BitWidth,
+    group_size: usize,
+    packed: PackedCodes,
+    params: Vec<GroupParams>,
+    outer_scale: f32,
+}
+
+impl ProgressiveBlock {
+    /// Quantizes an f32 tile: symmetric INT8 (divisor 119) then channel-wise
+    /// asymmetric INT4/INT2 in token groups of `group_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is `Int8` (stage 2 must narrow the representation)
+    /// or `group_size == 0`.
+    pub fn quantize(x: &Matrix, bits: BitWidth, group_size: usize) -> Self {
+        let q1 = SymQuantized::quantize_with_divisor(x, SYM_INT8_DIVISOR);
+        Self::quantize_from_int8(&q1, bits, group_size)
+    }
+
+    /// Runs only the second stage on existing INT8 codes — the operation
+    /// the enhanced KV buffer performs when it flushes (subsection 3.3).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is `Int8` or `group_size == 0`.
+    pub fn quantize_from_int8(q1: &SymQuantized, bits: BitWidth, group_size: usize) -> Self {
+        assert!(
+            bits != BitWidth::Int8,
+            "progressive second stage must be narrower than INT8"
+        );
+        assert!(group_size > 0, "group size must be positive");
+        let (rows, cols) = (q1.rows(), q1.cols());
+        let groups_per_channel = rows.div_ceil(group_size).max(if rows == 0 { 0 } else { 1 });
+        let mut params = Vec::with_capacity(cols * groups_per_channel);
+        let mut codes = Vec::with_capacity(rows * cols);
+        let q1_codes = q1.codes();
+
+        for c in 0..cols {
+            for g in 0..groups_per_channel {
+                let start = g * group_size;
+                let len = group_size.min(rows - start);
+                let mut min = i32::MAX;
+                let mut max = i32::MIN;
+                for r in start..start + len {
+                    let v = q1_codes[r * cols + c] as i32;
+                    min = min.min(v);
+                    max = max.max(v);
+                }
+                // Ceiling division: guarantees (max-min)/s ≤ levels-1 so
+                // codes cannot systematically overflow the range.
+                let gap = max - min; // ≥ 0
+                let denom = (bits.levels() - 1) as i32;
+                let s = ((gap + denom - 1) / denom).max(1);
+                let z = div_round(min, s);
+                params.push(GroupParams {
+                    scale: s as i8,
+                    zero: z as i8,
+                });
+                for r in start..start + len {
+                    let v = q1_codes[r * cols + c] as i32;
+                    let q2 = (div_round(v, s) - z).clamp(0, bits.max_code() as i32);
+                    codes.push(q2 as u8);
+                }
+            }
+        }
+
+        ProgressiveBlock {
+            rows,
+            cols,
+            bits,
+            group_size,
+            packed: PackedCodes::pack(&codes, bits),
+            params,
+            outer_scale: q1.scale(),
+        }
+    }
+
+    /// Reassembles a block from raw parts (e.g. read back from a
+    /// serialized cache).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the packed length or parameter count is inconsistent
+    /// with the shape, the bits are INT8, or `group_size == 0`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        bits: BitWidth,
+        group_size: usize,
+        packed: PackedCodes,
+        params: Vec<GroupParams>,
+        outer_scale: f32,
+    ) -> Self {
+        assert!(bits != BitWidth::Int8, "resident blocks are INT4/3/2");
+        assert!(group_size > 0, "group size must be positive");
+        assert_eq!(packed.bits(), bits, "packed width mismatch");
+        assert_eq!(packed.len(), rows * cols, "packed length mismatch");
+        let groups = if rows == 0 {
+            0
+        } else {
+            rows.div_ceil(group_size)
+        };
+        assert_eq!(
+            params.len(),
+            cols * groups,
+            "group parameter count mismatch"
+        );
+        assert!(
+            outer_scale.is_finite() && outer_scale > 0.0,
+            "invalid outer scale"
+        );
+        Self {
+            rows,
+            cols,
+            bits,
+            group_size,
+            packed,
+            params,
+            outer_scale,
+        }
+    }
+
+    /// The packed second-stage codes.
+    pub fn packed(&self) -> &PackedCodes {
+        &self.packed
+    }
+
+    /// Integer-only dequantization back to INT8 codes with the original
+    /// stage-1 scale: `q̂¹ = clamp((q² + z)·s, −127, 127)`.
+    pub fn dequantize_to_int8(&self) -> SymQuantized {
+        let groups_per_channel = if self.rows == 0 {
+            0
+        } else {
+            self.rows.div_ceil(self.group_size)
+        };
+        let mut out = vec![0i8; self.rows * self.cols];
+        let mut idx = 0;
+        for c in 0..self.cols {
+            for g in 0..groups_per_channel {
+                let p = self.params[c * groups_per_channel + g];
+                let start = g * self.group_size;
+                let len = self.group_size.min(self.rows - start);
+                for r in start..start + len {
+                    let q2 = self.packed.get(idx) as i32;
+                    idx += 1;
+                    let q1 = ((q2 + p.zero as i32) * p.scale as i32).clamp(-127, 127);
+                    out[r * self.cols + c] = q1 as i8;
+                }
+            }
+        }
+        SymQuantized::from_parts(out, self.outer_scale, self.rows, self.cols)
+    }
+
+    /// Full dequantization to f32.
+    pub fn dequantize(&self) -> Matrix {
+        self.dequantize_to_int8().dequantize()
+    }
+
+    /// Tile shape `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of token rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of channels.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Code bit width (INT4 or INT2).
+    pub fn bits(&self) -> BitWidth {
+        self.bits
+    }
+
+    /// Token-group size of the channel-wise second stage.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Stage-1 f32 scale.
+    pub fn outer_scale(&self) -> f32 {
+        self.outer_scale
+    }
+
+    /// Per-group integer parameters, channel-major.
+    pub fn group_params(&self) -> &[GroupParams] {
+        &self.params
+    }
+
+    /// Physical storage: packed codes + 2 bytes per group (INT8 scale and
+    /// zero) + the stage-1 f32 scale.
+    pub fn storage_bytes(&self) -> usize {
+        self.packed.storage_bytes() + 2 * self.params.len() + std::mem::size_of::<f32>()
+    }
+
+    /// Storage of the same tile in FP16, for compression-ratio reporting.
+    pub fn fp16_reference_bytes(&self) -> usize {
+        2 * self.rows * self.cols
+    }
+
+    /// Compression ratio versus FP16 storage.
+    pub fn compression_ratio(&self) -> f64 {
+        self.fp16_reference_bytes() as f64 / self.storage_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::{max_abs_error, mse, TensorRng};
+
+    #[test]
+    fn div_round_matches_f32_round() {
+        for a in -300i32..=300 {
+            for b in [1, 2, 3, 7, 15, 16] {
+                let expect = (a as f32 / b as f32).round() as i32;
+                // f32::round rounds half away from zero, matching div_round.
+                assert_eq!(div_round(a, b), expect, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn int4_round_trip_is_tight() {
+        let mut rng = TensorRng::new(21);
+        let m = rng.normal(64, 32, 0.0, 1.0);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+        let back = pq.dequantize();
+        // INT4 over an INT8 range of ~238 gives steps of ~16 INT8 units;
+        // worst-case error ~ (16/2 + 0.5) * outer_scale.
+        let bound = 16.0 * pq.outer_scale();
+        assert!(max_abs_error(&m, &back) <= bound);
+    }
+
+    #[test]
+    fn int2_round_trip_is_coarser_but_bounded() {
+        let mut rng = TensorRng::new(22);
+        let m = rng.normal(64, 32, 0.0, 1.0);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int2, 64);
+        let e2 = mse(&m, &pq.dequantize());
+        let pq4 = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+        let e4 = mse(&m, &pq4.dequantize());
+        assert!(e4 < e2, "INT4 ({e4}) must beat INT2 ({e2})");
+        assert!(max_abs_error(&m, &pq.dequantize()) <= 44.0 * pq.outer_scale());
+    }
+
+    #[test]
+    fn constant_tile_round_trips_exactly_through_int8() {
+        let m = Matrix::filled(16, 4, 2.5);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 8);
+        let q1 = pq.dequantize_to_int8();
+        // All codes identical -> reconstruction equals stage-1 value.
+        let back = q1.dequantize();
+        for &v in back.as_slice() {
+            assert!((v - 2.5).abs() < 2.5 / SYM_INT8_DIVISOR);
+        }
+    }
+
+    #[test]
+    fn dequantize_to_int8_is_integer_consistent() {
+        // Every reconstructed INT8 code must equal (q2 + z) * s exactly.
+        let mut rng = TensorRng::new(23);
+        let m = rng.normal(32, 8, 0.0, 3.0);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 16);
+        let q1 = pq.dequantize_to_int8();
+        let groups = 32usize.div_ceil(16);
+        let mut idx = 0;
+        for c in 0..8 {
+            for g in 0..groups {
+                let p = pq.group_params()[c * groups + g];
+                for r in g * 16..(g * 16 + 16) {
+                    let q2 = pq.packed.get(idx) as i32;
+                    idx += 1;
+                    let expect = ((q2 + p.zero as i32) * p.scale as i32).clamp(-127, 127);
+                    assert_eq!(q1.codes()[r * 8 + c] as i32, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn channel_outliers_do_not_pollute_other_channels() {
+        let mut rng = TensorRng::new(24);
+        let m = rng.normal_with_channel_outliers(64, 16, 1.0, &[5], 40.0);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+        let back = pq.dequantize();
+        // Error on a non-outlier channel should reflect that channel's own
+        // range, not the outlier channel's. Stage 1 is per-tile so the outer
+        // scale is inflated; the channel-wise stage-2 params keep per-channel
+        // code resolution. The residual error must stay well below the
+        // outlier channel's magnitude.
+        let mut err_nonoutlier = 0.0f32;
+        for r in 0..64 {
+            for c in 0..16 {
+                if c != 5 {
+                    err_nonoutlier = err_nonoutlier.max((m.get(r, c) - back.get(r, c)).abs());
+                }
+            }
+        }
+        assert!(err_nonoutlier < 4.0, "non-outlier error {err_nonoutlier}");
+    }
+
+    #[test]
+    fn ragged_rows_and_groups() {
+        let mut rng = TensorRng::new(25);
+        let m = rng.normal(37, 5, 0.0, 1.0); // 37 rows, group 16 -> 3 ragged groups
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 16);
+        assert_eq!(pq.shape(), (37, 5));
+        let back = pq.dequantize();
+        assert!(max_abs_error(&m, &back) <= 16.0 * pq.outer_scale());
+    }
+
+    #[test]
+    fn storage_is_compressed_vs_fp16() {
+        let mut rng = TensorRng::new(26);
+        let m = rng.normal(128, 128, 0.0, 1.0);
+        let pq4 = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+        let pq2 = ProgressiveBlock::quantize(&m, BitWidth::Int2, 64);
+        assert!(pq4.compression_ratio() > 3.5, "{}", pq4.compression_ratio());
+        assert!(pq2.compression_ratio() > 6.5, "{}", pq2.compression_ratio());
+    }
+
+    #[test]
+    fn progressive_beats_or_matches_direct_int4_with_outliers() {
+        // With per-channel outliers, channelwise progressive INT4 should be
+        // comparable to direct channelwise INT4 and much better than
+        // per-tile direct INT4.
+        let mut rng = TensorRng::new(27);
+        let m = rng.normal_with_channel_outliers(64, 32, 1.0, &[3, 19], 25.0);
+        let pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 64);
+        let e_pq = mse(&m, &pq.dequantize());
+        // Direct per-tile (single group spanning everything) INT4:
+        let flat = crate::asymmetric::AsymQuantized::quantize(m.as_slice(), BitWidth::Int4);
+        let direct = Matrix::from_vec(64, 32, flat.dequantize());
+        let e_direct = mse(&m, &direct);
+        assert!(e_pq < e_direct / 2.0, "pq {e_pq} vs direct {e_direct}");
+    }
+
+    #[test]
+    #[should_panic(expected = "narrower than INT8")]
+    fn int8_second_stage_panics() {
+        let m = Matrix::zeros(4, 4);
+        ProgressiveBlock::quantize(&m, BitWidth::Int8, 4);
+    }
+}

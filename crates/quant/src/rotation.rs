@@ -1,0 +1,139 @@
+//! QuaRot-style Hadamard rotation.
+//!
+//! Table 1 notes that rotation schemes (QuaRot, Atom) are *orthogonal* to
+//! TurboAttention and composable with it. This module makes that concrete:
+//! a normalized fast Walsh–Hadamard transform applied to query and key
+//! rows is an orthogonal change of basis, so exact attention scores are
+//! untouched (`⟨Hq, Hk⟩ = ⟨q, k⟩`), while channel outliers are smeared
+//! across all channels — exactly what per-tile symmetric quantization
+//! wants.
+//!
+//! The cost on real hardware is `O(d log d)` per row fused into the QKV
+//! projection; here it is provided as an explicit operator plus the error
+//! ablation backing the composability claim.
+
+use crate::symmetric::SymQuantized;
+use turbo_tensor::Matrix;
+
+/// In-place normalized fast Walsh–Hadamard transform.
+///
+/// Applies the orthonormal Hadamard matrix `H/√n`; applying it twice
+/// returns the original vector (the transform is an involution).
+///
+/// # Panics
+///
+/// Panics if `xs.len()` is not a power of two.
+pub fn fht(xs: &mut [f32]) {
+    let n = xs.len();
+    assert!(n.is_power_of_two(), "length {n} is not a power of two");
+    let mut h = 1;
+    while h < n {
+        for block in (0..n).step_by(h * 2) {
+            for i in block..block + h {
+                let (a, b) = (xs[i], xs[i + h]);
+                xs[i] = a + b;
+                xs[i + h] = a - b;
+            }
+        }
+        h *= 2;
+    }
+    let norm = 1.0 / (n as f32).sqrt();
+    for x in xs {
+        *x *= norm;
+    }
+}
+
+/// Applies the normalized Hadamard rotation to every row of `m`.
+///
+/// # Panics
+///
+/// Panics if `m.cols()` is not a power of two.
+pub fn hadamard_rotate(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    for r in 0..out.rows() {
+        fht(out.row_mut(r));
+    }
+    out
+}
+
+/// Quantization-error comparison backing the composability claim: per-tile
+/// symmetric INT8 round-trip MSE of `m` with and without rotation.
+///
+/// Returns `(mse_plain, mse_rotated)`, where the rotated variant measures
+/// error *in the original basis* (rotate → quantize → dequantize →
+/// rotate back).
+pub fn rotation_ablation(m: &Matrix) -> (f64, f64) {
+    let plain = SymQuantized::quantize(m).dequantize();
+    let rotated = hadamard_rotate(m);
+    let rq = SymQuantized::quantize(&rotated).dequantize();
+    let back = hadamard_rotate(&rq); // involution: rotate back
+    (turbo_tensor::mse(&plain, m), turbo_tensor::mse(&back, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::{matmul_transposed_b, max_abs_error, TensorRng};
+
+    #[test]
+    fn involution() {
+        let mut rng = TensorRng::new(1);
+        let m = rng.normal(8, 64, 0.0, 1.0);
+        let twice = hadamard_rotate(&hadamard_rotate(&m));
+        assert!(max_abs_error(&twice, &m) < 1e-5);
+    }
+
+    #[test]
+    fn preserves_norms_and_dot_products() {
+        let mut rng = TensorRng::new(2);
+        let q = rng.normal(4, 32, 0.0, 1.0);
+        let k = rng.normal(6, 32, 0.0, 1.0);
+        let plain = matmul_transposed_b(&q, &k);
+        let rotated = matmul_transposed_b(&hadamard_rotate(&q), &hadamard_rotate(&k));
+        assert!(max_abs_error(&plain, &rotated) < 1e-4);
+    }
+
+    #[test]
+    fn known_small_transform() {
+        let mut xs = [1.0f32, 1.0];
+        fht(&mut xs);
+        // H/√2 · [1,1] = [√2, 0].
+        assert!((xs[0] - 2.0f32.sqrt()).abs() < 1e-6);
+        assert!(xs[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn smears_channel_outliers() {
+        let mut rng = TensorRng::new(3);
+        let m = rng.normal_with_channel_outliers(128, 64, 1.0, &[5], 30.0);
+        let rotated = hadamard_rotate(&m);
+        // Peak magnitude shrinks: the outlier channel's energy spreads.
+        assert!(rotated.abs_max() < m.abs_max() * 0.5);
+    }
+
+    #[test]
+    fn rotation_reduces_per_tile_quant_error_on_outliers() {
+        let mut rng = TensorRng::new(4);
+        let m = rng.normal_with_channel_outliers(128, 64, 1.0, &[5, 40], 30.0);
+        let (plain, rotated) = rotation_ablation(&m);
+        assert!(
+            rotated < plain / 4.0,
+            "rotated {rotated} should be well below plain {plain}"
+        );
+    }
+
+    #[test]
+    fn rotation_is_neutral_without_outliers() {
+        let mut rng = TensorRng::new(5);
+        let m = rng.normal(128, 64, 0.0, 1.0);
+        let (plain, rotated) = rotation_ablation(&m);
+        // Gaussian is isotropic: rotation neither helps nor hurts much.
+        assert!(rotated < plain * 1.5 && plain < rotated * 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        fht(&mut [0.0; 6]);
+    }
+}

@@ -1,0 +1,101 @@
+//! Exact (reference) softmax in `f32`.
+
+use turbo_tensor::Matrix;
+
+/// Numerically stable row-wise softmax, returning a new matrix.
+///
+/// Each row is shifted by its maximum before exponentiation, so arbitrarily
+/// large scores are safe. A row of all `-∞` would produce NaNs; attention
+/// score rows always contain at least one finite entry (the diagonal), so
+/// this function asserts the invariant instead of silently propagating NaN.
+///
+/// # Panics
+///
+/// Panics if any row has no finite maximum.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::Matrix;
+/// use turbo_softmax::softmax;
+///
+/// let s = softmax(&Matrix::from_rows(&[&[0.0, 0.0]]));
+/// assert_eq!(s.row(0), &[0.5, 0.5]);
+/// ```
+pub fn softmax(m: &Matrix) -> Matrix {
+    let mut out = m.clone();
+    softmax_in_place(&mut out);
+    out
+}
+
+/// In-place variant of [`softmax`].
+///
+/// # Panics
+///
+/// Panics if any row has no finite maximum.
+pub fn softmax_in_place(m: &mut Matrix) {
+    for r in 0..m.rows() {
+        let row = m.row_mut(r);
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        assert!(max.is_finite(), "softmax row {r} has no finite entry");
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        for x in row.iter_mut() {
+            *x /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_sum_to_one() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0, 3.0], &[-5.0, 0.0, 5.0]]);
+        let s = softmax(&m);
+        for r in 0..2 {
+            let sum: f32 = s.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn invariant_to_row_shift() {
+        let a = softmax(&Matrix::from_rows(&[&[1.0, 2.0, 3.0]]));
+        let b = softmax(&Matrix::from_rows(&[&[101.0, 102.0, 103.0]]));
+        for (x, y) in a.row(0).iter().zip(b.row(0)) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn extreme_scores_do_not_overflow() {
+        let s = softmax(&Matrix::from_rows(&[&[1e4, 0.0]]));
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-6);
+        assert_eq!(s.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn ordering_preserved() {
+        let s = softmax(&Matrix::from_rows(&[&[3.0, 1.0, 2.0]]));
+        assert!(s.get(0, 0) > s.get(0, 2));
+        assert!(s.get(0, 2) > s.get(0, 1));
+    }
+
+    #[test]
+    fn masked_entries_get_zero_probability() {
+        // Causal masking uses -inf; softmax must zero them without NaN.
+        let s = softmax(&Matrix::from_rows(&[&[0.0, f32::NEG_INFINITY]]));
+        assert_eq!(s.row(0), &[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite entry")]
+    fn all_masked_row_panics() {
+        softmax(&Matrix::from_rows(&[&[f32::NEG_INFINITY; 2]]));
+    }
+}

@@ -1,0 +1,252 @@
+//! Reusable online-softmax accumulator (Milakov & Gimelshein 2018).
+//!
+//! FlashAttention's single-pass trick — and Algorithm 1's quantized
+//! variant — both rest on the same recurrence: fold score blocks into a
+//! running `(output, max, sum)` triple, rescaling past contributions when
+//! a new maximum appears. This module exposes that recurrence as a
+//! standalone type so downstream code (new kernels, tests, teaching
+//! examples) can build on it without re-deriving the algebra.
+
+use crate::sas::Sas;
+use turbo_tensor::Matrix;
+
+/// Streaming softmax-weighted accumulator for one query row.
+///
+/// Feed `(scores, values)` blocks in any order; [`OnlineSoftmax::finish`]
+/// returns exactly `softmax(all scores) · all values` (up to f32
+/// rounding).
+///
+/// # Example
+///
+/// ```
+/// use turbo_softmax::OnlineSoftmax;
+/// use turbo_tensor::Matrix;
+///
+/// let mut acc = OnlineSoftmax::new(2);
+/// acc.update(&[0.0, 1.0], &Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]));
+/// acc.update(&[2.0], &Matrix::from_rows(&[&[4.0, 4.0]]));
+/// let out = acc.finish();
+/// // Equivalent to softmax([0, 1, 2]) · [[1,0],[0,1],[4,4]].
+/// assert!((out[0] - (0.0900 + 0.0 + 0.6652 * 4.0)).abs() < 1e-3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OnlineSoftmax {
+    output: Vec<f32>,
+    max: f32,
+    sum: f32,
+    exp: ExpMode,
+}
+
+#[derive(Clone, Debug)]
+enum ExpMode {
+    Exact,
+    Sas(Sas),
+}
+
+impl OnlineSoftmax {
+    /// Creates an accumulator producing `d`-dimensional outputs, using
+    /// exact `f32` exponentiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "output dimension must be positive");
+        Self {
+            output: vec![0.0; d],
+            max: f32::NEG_INFINITY,
+            sum: 0.0,
+            exp: ExpMode::Exact,
+        }
+    }
+
+    /// Creates an accumulator that exponentiates with SAS — the recurrence
+    /// Algorithm 1 runs on GPU tensor cores.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn with_sas(d: usize, sas: Sas) -> Self {
+        let mut s = Self::new(d);
+        s.exp = ExpMode::Sas(sas);
+        s
+    }
+
+    fn exp(&self, x: f32) -> f32 {
+        match &self.exp {
+            ExpMode::Exact => x.exp(),
+            ExpMode::Sas(s) => s.exp(x),
+        }
+    }
+
+    /// Number of score entries folded in so far... tracked via the running
+    /// sum being positive.
+    pub fn is_empty(&self) -> bool {
+        self.max == f32::NEG_INFINITY
+    }
+
+    /// Folds one block: `scores[j]` weighs `values.row(j)`.
+    ///
+    /// Entries of `-∞` are treated as masked (zero weight).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores.len() != values.rows()` or widths mismatch.
+    pub fn update(&mut self, scores: &[f32], values: &Matrix) {
+        assert_eq!(scores.len(), values.rows(), "score/value count mismatch");
+        assert_eq!(values.cols(), self.output.len(), "value width mismatch");
+        let block_max = scores.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let new_max = self.max.max(block_max);
+        if new_max == f32::NEG_INFINITY {
+            return; // fully masked block, nothing to fold
+        }
+        let corr = if self.max == f32::NEG_INFINITY {
+            0.0
+        } else {
+            self.exp(self.max - new_max)
+        };
+        self.sum *= corr;
+        for o in &mut self.output {
+            *o *= corr;
+        }
+        for (j, &s) in scores.iter().enumerate() {
+            if s == f32::NEG_INFINITY {
+                continue;
+            }
+            let w = self.exp(s - new_max);
+            self.sum += w;
+            for (o, &v) in self.output.iter_mut().zip(values.row(j)) {
+                *o += w * v;
+            }
+        }
+        self.max = new_max;
+    }
+
+    /// The running logsumexp `m + ln ℓ` of everything folded so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been folded.
+    pub fn logsumexp(&self) -> f32 {
+        assert!(!self.is_empty(), "no scores folded");
+        self.max + self.sum.ln()
+    }
+
+    /// Normalizes and returns the softmax-weighted output.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing (or only masked entries) was folded.
+    pub fn finish(self) -> Vec<f32> {
+        assert!(
+            self.sum > 0.0,
+            "online softmax finished without any unmasked scores"
+        );
+        let inv = 1.0 / self.sum;
+        self.output.into_iter().map(|o| o * inv).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exact::softmax;
+    use turbo_tensor::{matmul, TensorRng};
+
+    /// Dense reference: softmax(scores) · values.
+    fn dense(scores: &[f32], values: &Matrix) -> Vec<f32> {
+        let s = Matrix::from_vec(1, scores.len(), scores.to_vec());
+        matmul(&softmax(&s), values).row(0).to_vec()
+    }
+
+    #[test]
+    fn single_block_matches_dense() {
+        let mut rng = TensorRng::new(1);
+        let v = rng.normal(10, 4, 0.0, 1.0);
+        let s: Vec<f32> = (0..10).map(|_| rng.standard_normal()).collect();
+        let mut acc = OnlineSoftmax::new(4);
+        acc.update(&s, &v);
+        let out = acc.finish();
+        for (a, b) in out.iter().zip(dense(&s, &v)) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn block_partitioning_is_invisible() {
+        let mut rng = TensorRng::new(2);
+        let v = rng.normal(32, 8, 0.0, 1.0);
+        let s: Vec<f32> = (0..32).map(|_| rng.standard_normal() * 3.0).collect();
+        let reference = dense(&s, &v);
+        for chunk in [1usize, 3, 8, 32] {
+            let mut acc = OnlineSoftmax::new(8);
+            let mut start = 0;
+            while start < 32 {
+                let len = chunk.min(32 - start);
+                acc.update(&s[start..start + len], &v.row_block(start, len));
+                start += len;
+            }
+            let out = acc.finish();
+            for (a, b) in out.iter().zip(&reference) {
+                assert!((a - b).abs() < 1e-4, "chunk {chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn masked_entries_are_skipped() {
+        let v = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[9.0, 9.0]]);
+        let s = [0.0, 0.0, f32::NEG_INFINITY];
+        let mut acc = OnlineSoftmax::new(2);
+        acc.update(&s, &v);
+        let out = acc.finish();
+        assert!((out[0] - 0.5).abs() < 1e-6);
+        assert!((out[1] - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fully_masked_blocks_are_noops() {
+        let mut acc = OnlineSoftmax::new(2);
+        acc.update(
+            &[f32::NEG_INFINITY; 2],
+            &Matrix::from_rows(&[&[5.0, 5.0], &[6.0, 6.0]]),
+        );
+        assert!(acc.is_empty());
+        acc.update(&[1.0], &Matrix::from_rows(&[&[2.0, 3.0]]));
+        let out = acc.finish();
+        assert_eq!(out, vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn logsumexp_matches_dense() {
+        let mut rng = TensorRng::new(3);
+        let v = rng.normal(16, 2, 0.0, 1.0);
+        let s: Vec<f32> = (0..16).map(|_| rng.standard_normal() * 2.0).collect();
+        let mut acc = OnlineSoftmax::new(2);
+        acc.update(&s[..7], &v.row_block(0, 7));
+        acc.update(&s[7..], &v.row_block(7, 9));
+        let max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let lse = max + s.iter().map(|&x| (x - max).exp()).sum::<f32>().ln();
+        assert!((acc.logsumexp() - lse).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sas_mode_approximates_exact_mode() {
+        let mut rng = TensorRng::new(4);
+        let v = rng.normal(24, 4, 0.0, 1.0);
+        let s: Vec<f32> = (0..24).map(|_| rng.standard_normal() * 2.0).collect();
+        let mut exact = OnlineSoftmax::new(4);
+        let mut approx = OnlineSoftmax::with_sas(4, Sas::paper_default());
+        exact.update(&s, &v);
+        approx.update(&s, &v);
+        for (a, b) in exact.finish().iter().zip(approx.finish()) {
+            assert!((a - b).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "without any unmasked scores")]
+    fn finishing_empty_accumulator_panics() {
+        OnlineSoftmax::new(2).finish();
+    }
+}

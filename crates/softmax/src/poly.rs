@@ -1,0 +1,183 @@
+//! Degree-3 polynomial approximation of `e^{-t}` on `[0, 1]`.
+//!
+//! The paper fits `POLY(t) = c₃t³ + c₂t² + c₁t + c₀` by least squares
+//! (Equation 15):
+//!
+//! ```text
+//! POLY(t) = −0.1025 t³ + 0.4626 t² − 0.9922 t + 0.9996
+//! ```
+//!
+//! [`PAPER_POLY`] hard-codes those published coefficients; [`fit_exp_poly`]
+//! re-derives them from scratch (Figure 5's fit) so the reproduction does
+//! not depend on trusting the paper's arithmetic.
+
+use turbo_tensor::round_f16;
+
+/// A cubic polynomial `c₃t³ + c₂t² + c₁t + c₀`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Poly3 {
+    /// Coefficients `[c₀, c₁, c₂, c₃]` (constant term first).
+    pub coeffs: [f32; 4],
+}
+
+/// The paper's published coefficients (Equation 15).
+pub const PAPER_POLY: Poly3 = Poly3 {
+    coeffs: [0.9996, -0.9922, 0.4626, -0.1025],
+};
+
+impl Poly3 {
+    /// Evaluates the polynomial in `f32` using Horner's rule.
+    #[inline]
+    pub fn eval(&self, t: f32) -> f32 {
+        let [c0, c1, c2, c3] = self.coeffs;
+        ((c3 * t + c2) * t + c1) * t + c0
+    }
+
+    /// Evaluates with every intermediate rounded through binary16 — the
+    /// numerics of running POLY on FP16 tensor cores, as the paper does.
+    #[inline]
+    pub fn eval_f16(&self, t: f32) -> f32 {
+        let [c0, c1, c2, c3] = self.coeffs.map(round_f16);
+        let t = round_f16(t);
+        let mut acc = round_f16(c3 * t + c2);
+        acc = round_f16(acc * t + c1);
+        round_f16(acc * t + c0)
+    }
+
+    /// Maximum absolute error against `e^{-t}` over `[0, 1]`, sampled at
+    /// `samples + 1` evenly spaced points.
+    pub fn max_error_vs_exp(&self, samples: usize) -> f32 {
+        (0..=samples)
+            .map(|i| {
+                let t = i as f32 / samples as f32;
+                (self.eval(t) - (-t).exp()).abs()
+            })
+            .fold(0.0, f32::max)
+    }
+}
+
+/// Fits a cubic to `e^{-t}` on `[0, 1]` by discrete least squares over
+/// `samples + 1` evenly spaced points, solving the 4×4 normal equations by
+/// Gaussian elimination with partial pivoting.
+///
+/// # Panics
+///
+/// Panics if `samples < 4` (underdetermined fit).
+pub fn fit_exp_poly(samples: usize) -> Poly3 {
+    assert!(samples >= 4, "need at least 5 sample points");
+    // Normal equations: (VᵀV) c = Vᵀy with Vandermonde V[i][j] = t_i^j.
+    let mut ata = [[0.0f64; 4]; 4];
+    let mut aty = [0.0f64; 4];
+    for i in 0..=samples {
+        let t = i as f64 / samples as f64;
+        let y = (-t).exp();
+        let powers = [1.0, t, t * t, t * t * t];
+        for r in 0..4 {
+            aty[r] += powers[r] * y;
+            for c in 0..4 {
+                ata[r][c] += powers[r] * powers[c];
+            }
+        }
+    }
+    // Gaussian elimination with partial pivoting.
+    let mut aug = [[0.0f64; 5]; 4];
+    for r in 0..4 {
+        aug[r][..4].copy_from_slice(&ata[r]);
+        aug[r][4] = aty[r];
+    }
+    for col in 0..4 {
+        let pivot = (col..4)
+            .max_by(|&a, &b| aug[a][col].abs().partial_cmp(&aug[b][col].abs()).unwrap())
+            .unwrap();
+        aug.swap(col, pivot);
+        let p = aug[col][col];
+        assert!(p.abs() > 1e-12, "singular normal equations");
+        for r in 0..4 {
+            if r != col {
+                let f = aug[r][col] / p;
+                let pivot_row = aug[col];
+                for (c, cell) in aug[r].iter_mut().enumerate().skip(col) {
+                    *cell -= f * pivot_row[c];
+                }
+            }
+        }
+    }
+    let mut coeffs = [0.0f32; 4];
+    for (r, c) in coeffs.iter_mut().enumerate() {
+        *c = (aug[r][4] / aug[r][r]) as f32;
+    }
+    Poly3 { coeffs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_poly_matches_exp_closely() {
+        // Figure 5 shows a visually indistinguishable fit; max error of the
+        // published coefficients is a few 1e-4.
+        let err = PAPER_POLY.max_error_vs_exp(1000);
+        assert!(err < 1.5e-3, "paper poly error {err}");
+    }
+
+    #[test]
+    fn refit_reproduces_paper_coefficients() {
+        let fit = fit_exp_poly(1000);
+        for (mine, paper) in fit.coeffs.iter().zip(PAPER_POLY.coeffs) {
+            assert!(
+                (mine - paper).abs() < 5e-3,
+                "fit {:?} vs paper {:?}",
+                fit.coeffs,
+                PAPER_POLY.coeffs
+            );
+        }
+    }
+
+    #[test]
+    fn refit_is_at_least_as_good_as_paper() {
+        let fit = fit_exp_poly(1000);
+        assert!(fit.max_error_vs_exp(997) <= PAPER_POLY.max_error_vs_exp(997) + 1e-5);
+    }
+
+    #[test]
+    fn endpoints_are_accurate() {
+        assert!((PAPER_POLY.eval(0.0) - 1.0).abs() < 1e-3);
+        assert!((PAPER_POLY.eval(1.0) - (-1.0f32).exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn f16_evaluation_stays_close_to_f32() {
+        for i in 0..=100 {
+            let t = i as f32 / 100.0;
+            let d = (PAPER_POLY.eval_f16(t) - PAPER_POLY.eval(t)).abs();
+            assert!(d < 3e-3, "t={t} diff={d}");
+        }
+    }
+
+    #[test]
+    fn horner_matches_naive_evaluation() {
+        let p = Poly3 {
+            coeffs: [1.0, -2.0, 3.0, -4.0],
+        };
+        let t = 0.7f32;
+        let naive = 1.0 - 2.0 * t + 3.0 * t * t - 4.0 * t * t * t;
+        assert!((p.eval(t) - naive).abs() < 1e-6);
+    }
+
+    #[test]
+    fn poly_stays_positive_on_domain() {
+        // SAS multiplies LUT (positive) by POLY; a negative POLY value
+        // would corrupt probabilities. Verify positivity on [0, 1].
+        for i in 0..=1000 {
+            let t = i as f32 / 1000.0;
+            assert!(PAPER_POLY.eval(t) > 0.0, "POLY({t}) ≤ 0");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn tiny_fit_panics() {
+        fit_exp_poly(2);
+    }
+}

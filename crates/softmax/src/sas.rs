@@ -1,0 +1,334 @@
+//! Sparse Activated Softmax (Algorithm 3).
+
+use crate::poly::{Poly3, PAPER_POLY};
+use turbo_tensor::Matrix;
+
+/// The paper's sparsification threshold `n_r = −6`: max-subtracted scores
+/// below −6 contribute `e^{-6} ≈ 0.0025` at most and are zeroed.
+pub const PAPER_THRESHOLD: i32 = -6;
+
+/// The SAS approximate exponential: a small LUT for the integer part of
+/// the (negated) exponent and a cubic polynomial for the fractional part.
+///
+/// Inputs are the *max-subtracted* attention scores of online softmax, so
+/// they are always ≤ 0; the approximation domain is `[n_r, 0]` and
+/// everything below `n_r` is sparsified to exactly zero.
+///
+/// # Example
+///
+/// ```
+/// use turbo_softmax::Sas;
+/// use turbo_tensor::Matrix;
+///
+/// let sas = Sas::paper_default();
+/// let probs = sas.softmax(&Matrix::from_rows(&[&[2.0, 1.0, -9.0]]));
+/// let row = probs.row(0);
+/// assert!(row[0] > row[1]);
+/// assert_eq!(row[2], 0.0); // 11 below the max: sparsified
+/// let sum: f32 = row.iter().sum();
+/// assert!((sum - 1.0).abs() < 1e-6);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sas {
+    lut: Vec<f32>,
+    poly: Poly3,
+    threshold: i32,
+    f16_poly: bool,
+    exact: bool,
+}
+
+impl Sas {
+    /// Builds a SAS evaluator with sparsity threshold `threshold` (a
+    /// negative integer, e.g. −6) and the given fractional-part polynomial.
+    ///
+    /// The LUT holds `e^0 … e^{threshold}` — `|threshold| + 1` entries —
+    /// which is why aggressive sparsification keeps it register-resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold >= 0`.
+    pub fn new(threshold: i32, poly: Poly3) -> Self {
+        assert!(threshold < 0, "threshold must be negative");
+        let lut = (0..=(-threshold) as usize)
+            .map(|n| (-(n as f32)).exp())
+            .collect();
+        Self {
+            lut,
+            poly,
+            threshold,
+            f16_poly: false,
+            exact: false,
+        }
+    }
+
+    /// The paper's configuration: `n_r = −6`, published Equation 15
+    /// coefficients, `f32` polynomial evaluation.
+    pub fn paper_default() -> Self {
+        Self::new(PAPER_THRESHOLD, PAPER_POLY)
+    }
+
+    /// A reference evaluator that computes `e^x` exactly with no
+    /// sparsification — used to isolate FlashQ's quantization error from
+    /// SAS's approximation error (Table 4's "FlashQ-4bit" row).
+    pub fn exact_reference() -> Self {
+        let mut sas = Self::new(-87, PAPER_POLY); // e^-87 underflows f32 anyway
+        sas.exact = true;
+        sas
+    }
+
+    /// Whether this evaluator computes `e^x` exactly (reference mode).
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// Switches polynomial evaluation to emulated FP16 (tensor-core
+    /// numerics). Returns `self` for builder-style chaining.
+    pub fn with_f16_poly(mut self, enabled: bool) -> Self {
+        self.f16_poly = enabled;
+        self
+    }
+
+    /// The sparsification threshold `n_r`.
+    pub fn threshold(&self) -> i32 {
+        self.threshold
+    }
+
+    /// The lookup table `e^0 … e^{n_r}`.
+    pub fn lut(&self) -> &[f32] {
+        &self.lut
+    }
+
+    /// Approximates `e^x` for a max-subtracted score `x ≤ 0`.
+    ///
+    /// Scores below the threshold return exactly 0 (sparsification).
+    /// Small positive inputs (floating-point jitter around the row max)
+    /// are clamped to 0.
+    #[inline]
+    pub fn exp(&self, x: f32) -> f32 {
+        let x = x.min(0.0);
+        if self.exact {
+            return x.exp();
+        }
+        if x < self.threshold as f32 {
+            return 0.0;
+        }
+        let t = -x;
+        let n = t as usize; // floor for non-negative t
+        let frac = t - n as f32;
+        let p = if self.f16_poly {
+            self.poly.eval_f16(frac)
+        } else {
+            self.poly.eval(frac)
+        };
+        self.lut[n] * p
+    }
+
+    /// Element-wise SAS over a matrix of max-subtracted scores.
+    pub fn exp_matrix(&self, m: &Matrix) -> Matrix {
+        m.map(|x| self.exp(x))
+    }
+
+    /// Full Algorithm 3: row-max subtraction, sparsification, LUT×POLY
+    /// exponentiation, and row-sum normalization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any row has no finite maximum (fully masked row).
+    pub fn softmax(&self, scores: &Matrix) -> Matrix {
+        let mut out = scores.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            assert!(max.is_finite(), "SAS softmax row {r} has no finite entry");
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = self.exp(*x - max);
+                sum += *x;
+            }
+            // The max entry always yields POLY(0) ≈ 1 > 0, so sum > 0.
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute error of [`Sas::exp`] against `e^x` over the live
+    /// domain `[n_r, 0]`, sampled at `samples + 1` points.
+    pub fn max_error_vs_exp(&self, samples: usize) -> f32 {
+        (0..=samples)
+            .map(|i| {
+                let x = self.threshold as f32 * i as f32 / samples as f32;
+                (self.exp(x) - x.exp()).abs()
+            })
+            .fold(0.0, f32::max)
+    }
+
+    /// Fraction of entries a matrix of max-subtracted scores would have
+    /// sparsified to zero — the "sparsity" knob behind SAS's name.
+    pub fn sparsity(&self, scores: &Matrix) -> f64 {
+        if scores.is_empty() {
+            return 0.0;
+        }
+        let mut zeroed = 0usize;
+        for r in 0..scores.rows() {
+            let max = scores
+                .row(r)
+                .iter()
+                .copied()
+                .fold(f32::NEG_INFINITY, f32::max);
+            zeroed += scores
+                .row(r)
+                .iter()
+                .filter(|&&x| x - max < self.threshold as f32)
+                .count();
+        }
+        zeroed as f64 / scores.len() as f64
+    }
+}
+
+impl Default for Sas {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_tensor::TensorRng;
+
+    #[test]
+    fn exp_accuracy_on_domain() {
+        let sas = Sas::paper_default();
+        let err = sas.max_error_vs_exp(10_000);
+        assert!(err < 1.5e-3, "SAS exp error {err}");
+    }
+
+    #[test]
+    fn exp_at_zero_is_nearly_one() {
+        let sas = Sas::paper_default();
+        assert!((sas.exp(0.0) - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sparsification_below_threshold() {
+        let sas = Sas::paper_default();
+        assert_eq!(sas.exp(-6.001), 0.0);
+        assert_eq!(sas.exp(-100.0), 0.0);
+        assert!(sas.exp(-6.0) > 0.0); // exactly at the threshold is kept
+        assert_eq!(sas.exp(f32::NEG_INFINITY), 0.0);
+    }
+
+    #[test]
+    fn positive_jitter_clamps_to_zero_exponent() {
+        let sas = Sas::paper_default();
+        assert_eq!(sas.exp(1e-6), sas.exp(0.0));
+    }
+
+    #[test]
+    fn integer_points_hit_lut_times_poly0() {
+        let sas = Sas::paper_default();
+        for n in 0..=6 {
+            let x = -(n as f32);
+            let expect = (x.exp()) * PAPER_POLY.eval(0.0);
+            assert!((sas.exp(x) - expect).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let sas = Sas::paper_default();
+        let mut rng = TensorRng::new(1);
+        let scores = rng.normal(8, 32, 0.0, 3.0);
+        let p = sas.softmax(&scores);
+        for r in 0..8 {
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+            assert!(p.row(r).iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_close_to_exact() {
+        let sas = Sas::paper_default();
+        let mut rng = TensorRng::new(2);
+        let scores = rng.normal(16, 64, 0.0, 2.0);
+        let approx = sas.softmax(&scores);
+        let exact = crate::exact::softmax(&scores);
+        // Sparsification zeroes tail probabilities < e^-6 ≈ 2.5e-3 each;
+        // renormalization over a 64-wide row concentrates the removed mass
+        // onto the head, so the element-wise deviation is ~1e-2.
+        assert!(turbo_tensor::max_abs_error(&approx, &exact) < 2e-2);
+    }
+
+    #[test]
+    fn softmax_preserves_argmax() {
+        let sas = Sas::paper_default();
+        let mut rng = TensorRng::new(3);
+        for _ in 0..20 {
+            let scores = rng.normal(1, 50, 0.0, 4.0);
+            let exact = crate::exact::softmax(&scores);
+            let approx = sas.softmax(&scores);
+            let am = |m: &Matrix| {
+                m.row(0)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .unwrap()
+                    .0
+            };
+            assert_eq!(am(&exact), am(&approx));
+        }
+    }
+
+    #[test]
+    fn sparsity_measures_tail_mass() {
+        let sas = Sas::paper_default();
+        // One dominant score, everything else 10 below -> all but one zeroed.
+        let mut scores = Matrix::filled(1, 100, -10.0);
+        scores.set(0, 0, 0.0);
+        assert!((sas.sparsity(&scores) - 0.99).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wider_threshold_reduces_error() {
+        let tight = Sas::new(-3, PAPER_POLY);
+        let wide = Sas::new(-9, PAPER_POLY);
+        // At x = -4: tight zeroes it (error e^-4), wide approximates it.
+        let x = -4.0f32;
+        assert_eq!(tight.exp(x), 0.0);
+        assert!((wide.exp(x) - x.exp()).abs() < 1e-3);
+    }
+
+    #[test]
+    fn f16_poly_mode_stays_accurate() {
+        let sas = Sas::paper_default().with_f16_poly(true);
+        let err = sas.max_error_vs_exp(1000);
+        assert!(err < 4e-3, "f16 SAS error {err}");
+    }
+
+    #[test]
+    fn exact_reference_matches_std_exp() {
+        let sas = Sas::exact_reference();
+        assert!(sas.is_exact());
+        for i in 0..200 {
+            let x = -(i as f32) * 0.25;
+            assert_eq!(sas.exp(x), x.exp());
+        }
+        // No sparsification inside f32 range.
+        assert!(sas.exp(-50.0) > 0.0);
+    }
+
+    #[test]
+    fn lut_size_tracks_threshold() {
+        assert_eq!(Sas::paper_default().lut().len(), 7);
+        assert_eq!(Sas::new(-3, PAPER_POLY).lut().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "negative")]
+    fn non_negative_threshold_panics() {
+        Sas::new(0, PAPER_POLY);
+    }
+}

@@ -1,0 +1,159 @@
+//! Error metrics between an approximation and a reference tensor.
+//!
+//! Used everywhere the reproduction compares an approximate attention
+//! output against the exact `f32` result (quantization-error ablations,
+//! SAS accuracy, Figure 7b / Figure 10 sweeps).
+
+use crate::matrix::Matrix;
+
+/// Mean squared error between matching-shape matrices.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the matrices are empty.
+pub fn mse(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mse shape mismatch");
+    assert!(!a.is_empty(), "mse of empty matrices");
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| {
+            let d = (x - y) as f64;
+            d * d
+        })
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Maximum absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn max_abs_error(a: &Matrix, b: &Matrix) -> f32 {
+    assert_eq!(a.shape(), b.shape(), "max_abs_error shape mismatch");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .fold(0.0f32, |m, (&x, &y)| m.max((x - y).abs()))
+}
+
+/// Mean absolute element-wise error.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the matrices are empty.
+pub fn mean_abs_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "mean_abs_error shape mismatch");
+    assert!(!a.is_empty(), "mean_abs_error of empty matrices");
+    let sum: f64 = a
+        .as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(&x, &y)| ((x - y) as f64).abs())
+        .sum();
+    sum / a.len() as f64
+}
+
+/// Relative Frobenius-norm error `‖a − b‖ / ‖b‖` with `b` as reference.
+///
+/// Returns 0 when both are zero, and ∞ when only the reference is zero.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn relative_error(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "relative_error shape mismatch");
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        let d = (x - y) as f64;
+        num += d * d;
+        den += (y as f64) * (y as f64);
+    }
+    if den == 0.0 {
+        if num == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (num / den).sqrt()
+    }
+}
+
+/// Cosine similarity of the two matrices flattened to vectors.
+///
+/// Returns 1.0 for two zero matrices (identical) and 0.0 when exactly one
+/// is zero.
+///
+/// # Panics
+///
+/// Panics if shapes differ.
+pub fn cosine_similarity(a: &Matrix, b: &Matrix) -> f64 {
+    assert_eq!(a.shape(), b.shape(), "cosine_similarity shape mismatch");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (&x, &y) in a.as_slice().iter().zip(b.as_slice()) {
+        dot += x as f64 * y as f64;
+        na += x as f64 * x as f64;
+        nb += y as f64 * y as f64;
+    }
+    if na == 0.0 && nb == 0.0 {
+        1.0
+    } else if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        dot / (na.sqrt() * nb.sqrt())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_matrices_have_zero_error() {
+        let m = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        assert_eq!(mse(&m, &m), 0.0);
+        assert_eq!(max_abs_error(&m, &m), 0.0);
+        assert_eq!(mean_abs_error(&m, &m), 0.0);
+        assert_eq!(relative_error(&m, &m), 0.0);
+        assert!((cosine_similarity(&m, &m) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_errors() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+        let b = Matrix::from_rows(&[&[0.0, 4.0]]);
+        assert_eq!(mse(&a, &b), (1.0 + 4.0) / 2.0);
+        assert_eq!(max_abs_error(&a, &b), 2.0);
+        assert_eq!(mean_abs_error(&a, &b), 1.5);
+    }
+
+    #[test]
+    fn relative_error_normalizes_by_reference() {
+        let a = Matrix::from_rows(&[&[2.0]]);
+        let b = Matrix::from_rows(&[&[1.0]]);
+        assert_eq!(relative_error(&a, &b), 1.0);
+    }
+
+    #[test]
+    fn cosine_of_opposite_vectors_is_minus_one() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[-1.0, -1.0]]);
+        assert!((cosine_similarity(&a, &b) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_edge_cases() {
+        let z = Matrix::zeros(2, 2);
+        let m = Matrix::filled(2, 2, 1.0);
+        assert_eq!(relative_error(&z, &z), 0.0);
+        assert_eq!(relative_error(&m, &z), f64::INFINITY);
+        assert_eq!(cosine_similarity(&z, &z), 1.0);
+        assert_eq!(cosine_similarity(&m, &z), 0.0);
+    }
+}

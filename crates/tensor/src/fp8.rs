@@ -1,0 +1,233 @@
+//! Software emulation of the OCP 8-bit float formats (FP8).
+//!
+//! Hopper-class GPUs (the FlashAttention-3 target the paper cites) offer
+//! FP8 tensor cores in two flavours:
+//!
+//! * **E4M3** — 1 sign, 4 exponent (bias 7), 3 mantissa bits; max finite
+//!   ±448, no infinities (0x7F is NaN). The usual activation format.
+//! * **E5M2** — 1 sign, 5 exponent (bias 15), 2 mantissa bits; the wider
+//!   range / lower precision variant (a truncated binary16).
+//!
+//! The reproduction uses these to model an *FP8 KV cache* baseline —
+//! the natural competitor to INT4/INT2 progressive quantization on newer
+//! hardware — with round-to-nearest-even conversion and saturating
+//! overflow, matching NVIDIA's `__nv_fp8` semantics.
+
+use std::fmt;
+
+/// Generic minifloat description used by both FP8 formats.
+#[derive(Clone, Copy, Debug, PartialEq)]
+struct MiniSpec {
+    exp_bits: u32,
+    man_bits: u32,
+    bias: i32,
+    /// Largest finite magnitude.
+    max_finite: f32,
+    /// Whether the top exponent is reserved for inf/NaN (E5M2) or only
+    /// all-ones-mantissa is NaN (E4M3).
+    ieee_like: bool,
+}
+
+const E4M3: MiniSpec = MiniSpec {
+    exp_bits: 4,
+    man_bits: 3,
+    bias: 7,
+    max_finite: 448.0,
+    ieee_like: false,
+};
+
+const E5M2: MiniSpec = MiniSpec {
+    exp_bits: 5,
+    man_bits: 2,
+    bias: 15,
+    max_finite: 57344.0,
+    ieee_like: true,
+};
+
+/// Quantizes `x` through a minifloat grid with RNE and saturation,
+/// returning the nearest representable value as `f32`.
+fn round_minifloat(x: f32, spec: MiniSpec) -> f32 {
+    if x.is_nan() {
+        return f32::NAN;
+    }
+    let sign = if x.is_sign_negative() { -1.0 } else { 1.0 };
+    let mag = x.abs();
+    if mag == 0.0 {
+        return sign * 0.0;
+    }
+    // Saturate (FP8 hardware converts out-of-range to max finite, not inf,
+    // for E4M3; E5M2 keeps ±inf beyond max).
+    if mag > spec.max_finite {
+        return if spec.ieee_like && mag.is_infinite() {
+            sign * f32::INFINITY
+        } else {
+            sign * spec.max_finite
+        };
+    }
+    // Smallest normal exponent and subnormal quantum.
+    let min_normal_exp = 1 - spec.bias; // value 2^(1-bias)
+    let quantum_exp = min_normal_exp - spec.man_bits as i32;
+
+    let e = mag.log2().floor() as i32;
+    let step_exp = if e < min_normal_exp {
+        quantum_exp
+    } else {
+        e - spec.man_bits as i32
+    };
+    let step = (step_exp as f32).exp2();
+    let q = (mag / step).round_ties_even() * step;
+    // Rounding can carry past max finite.
+    sign * q.min(spec.max_finite)
+}
+
+/// Rounds an `f32` through FP8 E4M3 precision and back.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::fp8::round_e4m3;
+///
+/// assert_eq!(round_e4m3(1.0), 1.0);
+/// assert_eq!(round_e4m3(1000.0), 448.0); // saturates
+/// assert!((round_e4m3(0.3) - 0.3).abs() < 0.02);
+/// ```
+pub fn round_e4m3(x: f32) -> f32 {
+    round_minifloat(x, E4M3)
+}
+
+/// Rounds an `f32` through FP8 E5M2 precision and back.
+pub fn round_e5m2(x: f32) -> f32 {
+    round_minifloat(x, E5M2)
+}
+
+/// FP8 flavour selector for APIs that support both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Fp8Format {
+    /// 4-bit exponent, 3-bit mantissa (activation format).
+    #[default]
+    E4M3,
+    /// 5-bit exponent, 2-bit mantissa (wide-range format).
+    E5M2,
+}
+
+impl Fp8Format {
+    /// Rounds a value through this format.
+    pub fn round(self, x: f32) -> f32 {
+        match self {
+            Fp8Format::E4M3 => round_e4m3(x),
+            Fp8Format::E5M2 => round_e5m2(x),
+        }
+    }
+
+    /// Largest finite magnitude.
+    pub fn max_finite(self) -> f32 {
+        match self {
+            Fp8Format::E4M3 => E4M3.max_finite,
+            Fp8Format::E5M2 => E5M2.max_finite,
+        }
+    }
+}
+
+impl fmt::Display for Fp8Format {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fp8Format::E4M3 => write!(f, "FP8-E4M3"),
+            Fp8Format::E5M2 => write!(f, "FP8-E5M2"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e4m3_representable_values_round_trip() {
+        // All values m * 2^e with 3-bit mantissas are fixed points
+        // (the top binade only reaches 1.75 * 256 = 448).
+        for e in -6..=7 {
+            for m in 0..8 {
+                let x = (1.0 + m as f32 / 8.0) * (e as f32).exp2();
+                assert_eq!(round_e4m3(x), x, "{x}");
+                assert_eq!(round_e4m3(-x), -x);
+            }
+        }
+        for m in 0..=6 {
+            let x = (1.0 + m as f32 / 8.0) * 256.0;
+            assert_eq!(round_e4m3(x), x, "{x}");
+        }
+    }
+
+    #[test]
+    fn e4m3_saturates_at_448() {
+        assert_eq!(round_e4m3(448.0), 448.0);
+        assert_eq!(round_e4m3(10_000.0), 448.0);
+        assert_eq!(round_e4m3(-10_000.0), -448.0);
+        assert_eq!(round_e4m3(f32::INFINITY), 448.0);
+    }
+
+    #[test]
+    fn e5m2_has_wider_range_but_coarser_grid() {
+        assert_eq!(round_e5m2(57344.0), 57344.0);
+        assert_eq!(round_e5m2(f32::INFINITY), f32::INFINITY);
+        // Near 1.0: E4M3 step is 1/8, E5M2 step is 1/4. Pick a point on
+        // the E4M3 grid but off the E5M2 grid.
+        let x = 1.13f32;
+        assert!((round_e4m3(x) - x).abs() < (round_e5m2(x) - x).abs());
+    }
+
+    #[test]
+    fn relative_error_bounded_by_half_ulp() {
+        // Bound applies to the normal range [2^-6, 448].
+        let mut x = 0.02f32;
+        while x < 400.0 {
+            let r = round_e4m3(x);
+            // 3 mantissa bits -> half-ulp relative error ≤ 2^-4.
+            assert!((r - x).abs() / x <= 1.0 / 16.0 + 1e-6, "x={x} r={r}");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn subnormals_and_zero() {
+        assert_eq!(round_e4m3(0.0), 0.0);
+        // E4M3 quantum is 2^-9; below half of it rounds to zero.
+        let q = (2.0f32).powi(-9);
+        assert_eq!(round_e4m3(q), q);
+        assert_eq!(round_e4m3(q * 0.49), 0.0);
+        assert_eq!(round_e4m3(q * 0.51), q);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(round_e4m3(f32::NAN).is_nan());
+        assert!(round_e5m2(f32::NAN).is_nan());
+    }
+
+    #[test]
+    fn rne_ties_to_even() {
+        // Between 1.0 and 1.125 the midpoint 1.0625 ties to 1.0 (even).
+        assert_eq!(round_e4m3(1.0625), 1.0);
+        // Between 1.125 and 1.25 the midpoint ties to 1.25 (even mantissa).
+        assert_eq!(round_e4m3(1.1875), 1.25);
+    }
+
+    #[test]
+    fn format_selector() {
+        assert_eq!(Fp8Format::E4M3.round(1000.0), 448.0);
+        assert_eq!(Fp8Format::E5M2.max_finite(), 57344.0);
+        assert_eq!(Fp8Format::E4M3.to_string(), "FP8-E4M3");
+    }
+
+    #[test]
+    fn monotonicity() {
+        let mut prev = round_e4m3(-500.0);
+        let mut x = -500.0f32;
+        while x < 500.0 {
+            let r = round_e4m3(x);
+            assert!(r >= prev, "x={x}");
+            prev = r;
+            x += 0.37;
+        }
+    }
+}

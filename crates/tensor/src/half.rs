@@ -1,0 +1,404 @@
+//! Software emulation of IEEE-754 binary16 ("FP16").
+//!
+//! The paper's kernels run matrix multiplications on FP16 tensor cores with
+//! FP32 accumulation. We have no GPU in this environment, so FP16 effects on
+//! numerics are modelled by explicitly rounding values through this type:
+//! convert `f32 → F16 → f32` before a multiply to emulate tensor-core input
+//! precision.
+//!
+//! The conversion implements round-to-nearest-even, gradual underflow to
+//! subnormals, and saturating overflow to ±∞, matching hardware behaviour.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An IEEE-754 binary16 value stored as its raw bit pattern.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::F16;
+///
+/// let x = F16::from_f32(1.0009765); // rounds to nearest representable
+/// assert_eq!(x.to_f32(), 1.0009766);
+/// assert!(F16::from_f32(1e6).is_infinite()); // overflow saturates to ∞
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct F16(u16);
+
+impl F16 {
+    /// Positive zero.
+    pub const ZERO: F16 = F16(0);
+    /// One.
+    pub const ONE: F16 = F16(0x3C00);
+    /// Largest finite value, 65504.
+    pub const MAX: F16 = F16(0x7BFF);
+    /// Smallest positive normal value, 2^-14.
+    pub const MIN_POSITIVE: F16 = F16(0x0400);
+    /// Positive infinity.
+    pub const INFINITY: F16 = F16(0x7C00);
+    /// Negative infinity.
+    pub const NEG_INFINITY: F16 = F16(0xFC00);
+
+    /// Builds an `F16` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> F16 {
+        F16(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even.
+    ///
+    /// Values above the finite range become ±∞; tiny values flush through
+    /// the subnormal range down to ±0.
+    pub fn from_f32(x: f32) -> F16 {
+        let bits = x.to_bits();
+        let sign = ((bits >> 16) & 0x8000) as u16;
+        let exp = ((bits >> 23) & 0xFF) as i32;
+        let mant = bits & 0x007F_FFFF;
+
+        if exp == 0xFF {
+            // NaN or infinity.
+            let payload = if mant != 0 { 0x0200 } else { 0 };
+            return F16(sign | 0x7C00 | payload);
+        }
+
+        // Unbiased exponent; f32 bias 127, f16 bias 15.
+        let unbiased = exp - 127;
+        if unbiased > 15 {
+            // Overflow: saturate to infinity (hardware F32->F16 default).
+            return F16(sign | 0x7C00);
+        }
+        if unbiased >= -14 {
+            // Normal range. 23-bit mantissa -> 10-bit with RNE.
+            let exp16 = (unbiased + 15) as u16;
+            let mant16 = mant >> 13;
+            let round_bits = mant & 0x1FFF;
+            let mut out = (exp16 << 10) | mant16 as u16;
+            // Round to nearest, ties to even.
+            if round_bits > 0x1000 || (round_bits == 0x1000 && (mant16 & 1) == 1) {
+                out += 1; // may carry into exponent; that is correct (e.g. 2047.9999 -> 2048)
+            }
+            return F16(sign | out);
+        }
+        if unbiased >= -25 {
+            // Subnormal range: shift mantissa (with implicit leading 1).
+            let mant_full = mant | 0x0080_0000;
+            let shift = (-14 - unbiased) as u32 + 13;
+            let mant16 = (mant_full >> shift) as u16;
+            let round_mask = (1u32 << shift) - 1;
+            let round_bits = mant_full & round_mask;
+            let half = 1u32 << (shift - 1);
+            let mut out = mant16;
+            if round_bits > half || (round_bits == half && (mant16 & 1) == 1) {
+                out += 1;
+            }
+            return F16(sign | out);
+        }
+        // Underflow to zero.
+        F16(sign)
+    }
+
+    /// Converts back to `f32` (exact — every f16 is representable in f32).
+    pub fn to_f32(self) -> f32 {
+        let sign = ((self.0 & 0x8000) as u32) << 16;
+        let exp = ((self.0 >> 10) & 0x1F) as u32;
+        let mant = (self.0 & 0x03FF) as u32;
+
+        let bits = if exp == 0 {
+            if mant == 0 {
+                sign // ±0
+            } else {
+                // Subnormal: normalize. Value is mant * 2^-24; find leading 1.
+                let mut e = -14i32;
+                let mut m = mant;
+                while m & 0x0400 == 0 {
+                    m <<= 1;
+                    e -= 1;
+                }
+                m &= 0x03FF;
+                sign | (((e + 127) as u32) << 23) | (m << 13)
+            }
+        } else if exp == 0x1F {
+            sign | 0x7F80_0000 | (mant << 13) // inf / NaN
+        } else {
+            sign | ((exp + 127 - 15) << 23) | (mant << 13)
+        };
+        f32::from_bits(bits)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7C00) == 0x7C00 && (self.0 & 0x03FF) != 0
+    }
+
+    /// True if the value is ±∞.
+    pub fn is_infinite(self) -> bool {
+        (self.0 & 0x7FFF) == 0x7C00
+    }
+
+    /// True if the value is finite (not NaN, not ±∞).
+    pub fn is_finite(self) -> bool {
+        (self.0 & 0x7C00) != 0x7C00
+    }
+}
+
+impl From<F16> for f32 {
+    fn from(x: F16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl PartialOrd for F16 {
+    fn partial_cmp(&self, other: &F16) -> Option<Ordering> {
+        self.to_f32().partial_cmp(&other.to_f32())
+    }
+}
+
+impl fmt::Debug for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for F16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// An IEEE-754-style bfloat16 value stored as its raw bit pattern.
+///
+/// BF16 is the other tensor-core input format on Ampere+: the top 16 bits
+/// of an `f32` (8-bit exponent, 7-bit mantissa). It trades precision for
+/// `f32`-sized dynamic range, so unlike [`F16`] it never overflows on
+/// attention-scale values — which is why some serving stacks prefer it
+/// for the softmax path.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Bf16(u16);
+
+impl Bf16 {
+    /// Positive zero.
+    pub const ZERO: Bf16 = Bf16(0);
+    /// One.
+    pub const ONE: Bf16 = Bf16(0x3F80);
+
+    /// Builds a `Bf16` from its raw bit pattern.
+    #[inline]
+    pub const fn from_bits(bits: u16) -> Bf16 {
+        Bf16(bits)
+    }
+
+    /// Raw bit pattern.
+    #[inline]
+    pub const fn to_bits(self) -> u16 {
+        self.0
+    }
+
+    /// Converts an `f32` with round-to-nearest-even on the truncated
+    /// 16 mantissa bits. NaNs are preserved (payload forced non-zero).
+    pub fn from_f32(x: f32) -> Bf16 {
+        let bits = x.to_bits();
+        if x.is_nan() {
+            return Bf16(((bits >> 16) as u16) | 0x0040);
+        }
+        // Round to nearest even on the low 16 bits.
+        let round_bit = 0x0000_8000u32;
+        let lsb = (bits >> 16) & 1;
+        let rounded = bits.wrapping_add(0x0000_7FFF + lsb) & 0xFFFF_0000;
+        let _ = round_bit;
+        Bf16((rounded >> 16) as u16)
+    }
+
+    /// Converts back to `f32` (exact).
+    #[inline]
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits((self.0 as u32) << 16)
+    }
+
+    /// True if the value is NaN.
+    pub fn is_nan(self) -> bool {
+        (self.0 & 0x7F80) == 0x7F80 && (self.0 & 0x007F) != 0
+    }
+}
+
+impl From<Bf16> for f32 {
+    fn from(x: Bf16) -> f32 {
+        x.to_f32()
+    }
+}
+
+impl fmt::Debug for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Bf16({})", self.to_f32())
+    }
+}
+
+impl fmt::Display for Bf16 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f32())
+    }
+}
+
+/// Rounds an `f32` through binary16 precision and back.
+///
+/// Shorthand for `F16::from_f32(x).to_f32()`, used to emulate FP16
+/// tensor-core inputs throughout the workspace.
+#[inline]
+pub fn round_f16(x: f32) -> f32 {
+    F16::from_f32(x).to_f32()
+}
+
+/// Rounds an `f32` through bfloat16 precision and back.
+#[inline]
+pub fn round_bf16(x: f32) -> f32 {
+    Bf16::from_f32(x).to_f32()
+}
+
+/// Rounds every element of a slice through binary16 precision in place.
+pub fn round_f16_slice(xs: &mut [f32]) {
+    for x in xs {
+        *x = round_f16(*x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_small_integers_round_trip() {
+        for i in -2048i32..=2048 {
+            let x = i as f32;
+            assert_eq!(round_f16(x), x, "{i} should be exact in f16");
+        }
+    }
+
+    #[test]
+    fn powers_of_two_round_trip() {
+        for e in -14..=15 {
+            let x = (2.0f32).powi(e);
+            assert_eq!(round_f16(x), x);
+            assert_eq!(round_f16(-x), -x);
+        }
+    }
+
+    #[test]
+    fn max_finite_value() {
+        assert_eq!(F16::MAX.to_f32(), 65504.0);
+        assert_eq!(round_f16(65504.0), 65504.0);
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        assert!(F16::from_f32(70000.0).is_infinite());
+        assert!(F16::from_f32(-70000.0).is_infinite());
+        assert_eq!(F16::from_f32(f32::INFINITY), F16::INFINITY);
+        assert_eq!(F16::from_f32(f32::NEG_INFINITY), F16::NEG_INFINITY);
+    }
+
+    #[test]
+    fn nan_propagates() {
+        assert!(F16::from_f32(f32::NAN).is_nan());
+        assert!(F16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn subnormals_round_trip() {
+        // Smallest positive f16 subnormal is 2^-24.
+        let tiny = (2.0f32).powi(-24);
+        assert_eq!(round_f16(tiny), tiny);
+        // Below half the smallest subnormal underflows to zero.
+        assert_eq!(round_f16((2.0f32).powi(-26)), 0.0);
+    }
+
+    #[test]
+    fn round_to_nearest_even() {
+        // 1 + 2^-11 is exactly between 1.0 and 1+2^-10: ties to even -> 1.0.
+        let x = 1.0 + (2.0f32).powi(-11);
+        assert_eq!(round_f16(x), 1.0);
+        // 1 + 3*2^-11 is between 1+2^-10 and 1+2^-9: ties to even -> 1+2^-9.
+        let y = 1.0 + 3.0 * (2.0f32).powi(-11);
+        assert_eq!(round_f16(y), 1.0 + (2.0f32).powi(-9));
+    }
+
+    #[test]
+    fn rounding_carry_into_exponent() {
+        // 2047.9999 rounds up to 2048 (mantissa carry increments exponent).
+        assert_eq!(round_f16(2047.9999), 2048.0);
+    }
+
+    #[test]
+    fn signed_zero_preserved() {
+        assert_eq!(F16::from_f32(-0.0).to_bits(), 0x8000);
+        assert_eq!(F16::from_f32(0.0).to_bits(), 0x0000);
+    }
+
+    #[test]
+    fn slice_rounding() {
+        let mut v = vec![1.0001, -2.00007, 0.333333];
+        round_f16_slice(&mut v);
+        for &x in &v {
+            assert_eq!(x, round_f16(x));
+        }
+    }
+
+    #[test]
+    fn bf16_preserves_f32_range() {
+        // 1e20 overflows f16 but is representable in bf16.
+        assert!(F16::from_f32(1e20).is_infinite());
+        let b = Bf16::from_f32(1e20);
+        assert!(!b.is_nan());
+        assert!((b.to_f32() - 1e20).abs() / 1e20 < 0.01);
+    }
+
+    #[test]
+    fn bf16_round_trip_exact_values() {
+        for x in [0.0f32, 1.0, -2.0, 0.5, 256.0, -1024.0] {
+            assert_eq!(round_bf16(x), x);
+        }
+        assert_eq!(Bf16::ONE.to_f32(), 1.0);
+        assert_eq!(Bf16::ZERO.to_f32(), 0.0);
+    }
+
+    #[test]
+    fn bf16_rounds_to_nearest_even() {
+        // 1 + 2^-8 is exactly between 1.0 and 1 + 2^-7: ties to even -> 1.0.
+        let x = 1.0 + (2.0f32).powi(-8);
+        assert_eq!(round_bf16(x), 1.0);
+        // 1 + 3·2^-8 ties to even -> 1 + 2^-6.
+        let y = 1.0 + 3.0 * (2.0f32).powi(-8);
+        assert_eq!(round_bf16(y), 1.0 + (2.0f32).powi(-6));
+    }
+
+    #[test]
+    fn bf16_is_coarser_than_f16_for_small_values() {
+        // Near 1.0 f16 has 10 mantissa bits vs bf16's 7.
+        let x = 1.003f32;
+        let e16 = (round_f16(x) - x).abs();
+        let eb16 = (round_bf16(x) - x).abs();
+        assert!(eb16 > e16);
+    }
+
+    #[test]
+    fn bf16_nan_preserved() {
+        assert!(Bf16::from_f32(f32::NAN).is_nan());
+        assert!(Bf16::from_f32(f32::NAN).to_f32().is_nan());
+    }
+
+    #[test]
+    fn monotonic_on_grid() {
+        // f16 rounding must preserve ordering of already-representable values.
+        let mut prev = f32::NEG_INFINITY;
+        for bits in (0x0000u16..0x7C00).step_by(7) {
+            let x = F16::from_bits(bits).to_f32();
+            assert!(x >= prev);
+            prev = x;
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! # turbo-tensor
+//!
+//! Dense-tensor substrate for the TurboAttention reproduction.
+//!
+//! This crate provides the numeric foundation that the rest of the
+//! workspace builds on:
+//!
+//! * [`Matrix`] — a row-major, heap-allocated `f32` matrix with tiled
+//!   (block-row) views matching FlashAttention's `B_r`/`B_c` chunking.
+//! * [`f16`](crate::half::F16) — software emulation of IEEE-754 binary16
+//!   with round-to-nearest-even, used to model tensor-core input precision
+//!   on hardware we do not have.
+//! * Integer matmul kernels (`i8 × i8 → i32`) mirroring INT8 tensor-core
+//!   semantics, plus an `f32` reference matmul with optional f16 input
+//!   rounding.
+//! * Row-wise reductions (max/sum) used by online softmax.
+//! * Deterministic random tensor generators for workloads, including the
+//!   channel-outlier distributions observed in the paper's Figure 4.
+//! * Error metrics (MSE, max-abs, cosine similarity) used throughout the
+//!   evaluation harness.
+//!
+//! # Example
+//!
+//! ```
+//! use turbo_tensor::{Matrix, matmul};
+//!
+//! let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+//! let b = Matrix::eye(2);
+//! let c = matmul(&a, &b);
+//! assert_eq!(c.get(1, 0), 3.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod fp8;
+pub mod half;
+pub mod matmul;
+pub mod matrix;
+pub mod reduce;
+pub mod rng;
+
+pub use error::{cosine_similarity, max_abs_error, mean_abs_error, mse, relative_error};
+pub use fp8::{round_e4m3, round_e5m2, Fp8Format};
+pub use half::{round_bf16, round_f16, round_f16_slice, Bf16, F16};
+pub use matmul::{matmul, matmul_f16, matmul_i8, matmul_i8_transposed_b, matmul_transposed_b};
+pub use matrix::Matrix;
+pub use reduce::{col_max_min, row_abs_max, row_max, row_sum};
+pub use rng::TensorRng;

@@ -1,0 +1,294 @@
+//! Matrix-multiplication kernels.
+//!
+//! Three families, mirroring the precisions the paper's kernels use:
+//!
+//! * [`matmul`] / [`matmul_transposed_b`] — `f32` reference GEMM.
+//! * [`matmul_f16`] — inputs rounded through binary16, `f32` accumulation:
+//!   the numerics of an FP16 tensor-core MMA.
+//! * [`matmul_i8`] / [`matmul_i8_transposed_b`] — `i8 × i8 → i32`
+//!   accumulation: the numerics of an INT8 tensor-core MMA (IMMA). `i32`
+//!   accumulation cannot overflow for the dimensions used in attention
+//!   (`|a·b| ≤ 127² · k`, so `k` up to ~2²⁷ is safe).
+
+use crate::half::round_f16;
+use crate::matrix::Matrix;
+
+/// Exact `f32` GEMM: `C = A · B`.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::{Matrix, matmul};
+/// let a = Matrix::from_rows(&[&[1.0, 2.0]]);
+/// let b = Matrix::from_rows(&[&[3.0], &[4.0]]);
+/// assert_eq!(matmul(&a, &b).get(0, 0), 11.0);
+/// ```
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (kk, &av) in arow.iter().enumerate().take(k) {
+            let brow = b.row(kk);
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A · Bᵀ` without materializing the transpose.
+///
+/// This is the natural layout for attention scores `S = Q · Kᵀ` where both
+/// `Q` and `K` are stored token-major.
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.cols()`.
+pub fn matmul_transposed_b(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_transposed_b dimension mismatch: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let m = a.rows();
+    let n = b.rows();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let arow = a.row(i);
+        let crow = c.row_mut(i);
+        for (j, cv) in crow.iter_mut().enumerate() {
+            let brow = b.row(j);
+            let mut acc = 0.0f32;
+            for (av, bv) in arow.iter().zip(brow) {
+                acc += av * bv;
+            }
+            *cv = acc;
+        }
+    }
+    c
+}
+
+/// FP16-emulated GEMM: inputs and the per-element products are rounded
+/// through binary16; accumulation stays in `f32` (tensor-core semantics).
+///
+/// # Panics
+///
+/// Panics if `a.cols() != b.rows()`.
+pub fn matmul_f16(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul_f16 dimension mismatch: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f32;
+            for kk in 0..k {
+                acc += round_f16(a.get(i, kk)) * round_f16(b.get(kk, j));
+            }
+            c.set(i, j, acc);
+        }
+    }
+    c
+}
+
+/// INT8 GEMM with `i32` accumulation: `C = A · B`.
+///
+/// `a` is `m × k` row-major, `b` is `k × n` row-major.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the given dimensions.
+pub fn matmul_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "a length mismatch");
+    assert_eq!(b.len(), k * n, "b length mismatch");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk] as i32;
+            if av == 0 {
+                continue;
+            }
+            let brow = &b[kk * n..(kk + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv as i32;
+            }
+        }
+    }
+    c
+}
+
+/// INT8 GEMM against a transposed second operand: `C = A · Bᵀ`.
+///
+/// `a` is `m × k`, `b` is `n × k`, both row-major; result is `m × n` in
+/// `i32`. This matches the `Q⁸ · (K⁸)ᵀ` step of Algorithm 1.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the given dimensions.
+pub fn matmul_i8_transposed_b(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "a length mismatch");
+    assert_eq!(b.len(), n * k, "b length mismatch");
+    let mut c = vec![0i32; m * n];
+    for i in 0..m {
+        let arow = &a[i * k..(i + 1) * k];
+        for j in 0..n {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0i32;
+            for (&av, &bv) in arow.iter().zip(brow) {
+                acc += av as i32 * bv as i32;
+            }
+            c[i * n + j] = acc;
+        }
+    }
+    c
+}
+
+/// Row-sum of an `i8` matrix in `i32` — the correction term
+/// `Σ_k Q(A_ik)` needed by asymmetric integer GEMMs (Equation 5).
+pub fn row_sums_i8(a: &[i8], m: usize, k: usize) -> Vec<i32> {
+    assert_eq!(a.len(), m * k, "length mismatch");
+    (0..m)
+        .map(|i| a[i * k..(i + 1) * k].iter().map(|&x| x as i32).sum())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_identity() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r * 3 + c) as f32);
+        assert_eq!(matmul(&a, &Matrix::eye(3)), a);
+        assert_eq!(matmul(&Matrix::eye(3), &a), a);
+    }
+
+    #[test]
+    fn matmul_known_values() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c.row(0), &[19.0, 22.0]);
+        assert_eq!(c.row(1), &[43.0, 50.0]);
+    }
+
+    #[test]
+    fn transposed_b_matches_explicit_transpose() {
+        let a = Matrix::from_fn(4, 6, |r, c| (r as f32 - c as f32) * 0.37);
+        let b = Matrix::from_fn(5, 6, |r, c| (r * c) as f32 * 0.11 - 1.0);
+        let direct = matmul_transposed_b(&a, &b);
+        let via_t = matmul(&a, &b.transpose());
+        for i in 0..4 {
+            for j in 0..5 {
+                assert!((direct.get(i, j) - via_t.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn f16_matmul_close_to_f32_for_small_values() {
+        let a = Matrix::from_fn(3, 8, |r, c| ((r + c) as f32 * 0.125) - 0.5);
+        let b = Matrix::from_fn(8, 3, |r, c| ((r * c) as f32 * 0.0625) - 0.25);
+        let exact = matmul(&a, &b);
+        let approx = matmul_f16(&a, &b);
+        for i in 0..3 {
+            for j in 0..3 {
+                assert!((exact.get(i, j) - approx.get(i, j)).abs() < 1e-2);
+            }
+        }
+    }
+
+    #[test]
+    fn f16_matmul_is_exact_on_f16_grid() {
+        // Inputs already representable in f16 -> identical to f32 result.
+        let a = Matrix::from_fn(2, 4, |r, c| (r as f32 + c as f32) * 0.5);
+        let b = Matrix::from_fn(4, 2, |r, c| r as f32 - c as f32);
+        assert_eq!(matmul(&a, &b), matmul_f16(&a, &b));
+    }
+
+    #[test]
+    fn i8_matmul_matches_i64_reference() {
+        let m = 5;
+        let k = 17;
+        let n = 7;
+        let a: Vec<i8> = (0..m * k).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let b: Vec<i8> = (0..k * n).map(|i| ((i * 91 + 3) % 255) as i8).collect();
+        let c = matmul_i8(&a, &b, m, k, n);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0i64;
+                for kk in 0..k {
+                    acc += a[i * k + kk] as i64 * b[kk * n + j] as i64;
+                }
+                assert_eq!(c[i * n + j] as i64, acc);
+            }
+        }
+    }
+
+    #[test]
+    fn i8_transposed_matches_dense() {
+        let m = 4;
+        let k = 9;
+        let n = 6;
+        let a: Vec<i8> = (0..m * k).map(|i| (i as i32 % 251 - 125) as i8).collect();
+        let bt: Vec<i8> = (0..n * k).map(|i| (i as i32 % 201 - 100) as i8).collect();
+        // Build dense b (k x n) from bt (n x k).
+        let mut b = vec![0i8; k * n];
+        for j in 0..n {
+            for kk in 0..k {
+                b[kk * n + j] = bt[j * k + kk];
+            }
+        }
+        assert_eq!(
+            matmul_i8_transposed_b(&a, &bt, m, k, n),
+            matmul_i8(&a, &b, m, k, n)
+        );
+    }
+
+    #[test]
+    fn i8_extremes_do_not_overflow_i32() {
+        // Worst case: all entries ±127 over k=1024 -> 127*127*1024 ≈ 1.65e7,
+        // far below i32::MAX. Verify exactness at extremes.
+        let k = 1024;
+        let a = vec![127i8; k];
+        let b = vec![-128i8; k];
+        let c = matmul_i8(&a, &b, 1, k, 1);
+        assert_eq!(c[0], 127 * -128 * k as i32);
+    }
+
+    #[test]
+    fn row_sums() {
+        let a: Vec<i8> = vec![1, -2, 3, 100, -100, 5];
+        assert_eq!(row_sums_i8(&a, 2, 3), vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn matmul_shape_mismatch_panics() {
+        matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+}

@@ -1,0 +1,83 @@
+//! Row- and column-wise reductions used by online softmax and quantization.
+
+use crate::matrix::Matrix;
+
+/// Row-wise maximum: `out[i] = max_j m[i][j]`.
+///
+/// Returns `-∞` for rows of an empty-width matrix, matching the online
+/// softmax initialization `m_i^(0) = -∞`.
+pub fn row_max(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().copied().fold(f32::NEG_INFINITY, f32::max))
+        .collect()
+}
+
+/// Row-wise sum: `out[i] = Σ_j m[i][j]`.
+pub fn row_sum(m: &Matrix) -> Vec<f32> {
+    (0..m.rows()).map(|r| m.row(r).iter().sum()).collect()
+}
+
+/// Row-wise maximum absolute value — the symmetric-quantization statistic
+/// `max(abs(X))` of Algorithm 1.
+pub fn row_abs_max(m: &Matrix) -> Vec<f32> {
+    (0..m.rows())
+        .map(|r| m.row(r).iter().fold(0.0f32, |a, &x| a.max(x.abs())))
+        .collect()
+}
+
+/// Per-column `(max, min)` pairs — the channel-range statistic behind the
+/// paper's head-priority metric (Equation 11) and Figure 4.
+///
+/// # Panics
+///
+/// Panics if the matrix has zero rows.
+pub fn col_max_min(m: &Matrix) -> Vec<(f32, f32)> {
+    assert!(m.rows() > 0, "col_max_min on empty matrix");
+    let mut out = vec![(f32::NEG_INFINITY, f32::INFINITY); m.cols()];
+    for r in 0..m.rows() {
+        for (c, &v) in m.row(r).iter().enumerate() {
+            let (mx, mn) = &mut out[c];
+            *mx = mx.max(v);
+            *mn = mn.min(v);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Matrix {
+        Matrix::from_rows(&[&[1.0, -4.0, 2.0], &[-1.0, 0.5, 3.0]])
+    }
+
+    #[test]
+    fn row_max_works() {
+        assert_eq!(row_max(&sample()), vec![2.0, 3.0]);
+    }
+
+    #[test]
+    fn row_sum_works() {
+        assert_eq!(row_sum(&sample()), vec![-1.0, 2.5]);
+    }
+
+    #[test]
+    fn row_abs_max_works() {
+        assert_eq!(row_abs_max(&sample()), vec![4.0, 3.0]);
+    }
+
+    #[test]
+    fn col_max_min_works() {
+        let ranges = col_max_min(&sample());
+        assert_eq!(ranges[0], (1.0, -1.0));
+        assert_eq!(ranges[1], (0.5, -4.0));
+        assert_eq!(ranges[2], (3.0, 2.0));
+    }
+
+    #[test]
+    fn row_max_of_zero_width_is_neg_infinity() {
+        let m = Matrix::zeros(2, 0);
+        assert_eq!(row_max(&m), vec![f32::NEG_INFINITY; 2]);
+    }
+}

@@ -1,0 +1,193 @@
+//! Deterministic random tensor generation for workloads.
+//!
+//! All evaluation workloads in this reproduction are synthetic, so
+//! determinism matters: the same seed must regenerate the same table row.
+//! [`TensorRng`] wraps a seeded [`rand::rngs::StdRng`] and supplies the
+//! distributions the paper's analysis depends on, including the
+//! channel-outlier structure of query/key activations shown in Figure 4.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Seeded random tensor generator.
+///
+/// # Example
+///
+/// ```
+/// use turbo_tensor::TensorRng;
+///
+/// let mut rng = TensorRng::new(42);
+/// let a = rng.normal(4, 8, 0.0, 1.0);
+/// let mut rng2 = TensorRng::new(42);
+/// let b = rng2.normal(4, 8, 0.0, 1.0);
+/// assert_eq!(a, b); // same seed, same tensor
+/// ```
+#[derive(Debug)]
+pub struct TensorRng {
+    rng: StdRng,
+    /// Cached second Box-Muller output.
+    spare: Option<f32>,
+}
+
+impl TensorRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            spare: None,
+        }
+    }
+
+    /// One standard-normal sample via Box–Muller.
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // Draw u1 in (0,1] to avoid ln(0).
+        let u1: f32 = 1.0 - self.rng.gen::<f32>();
+        let u2: f32 = self.rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// One uniform sample in `[lo, hi)`.
+    pub fn uniform_value(&mut self, lo: f32, hi: f32) -> f32 {
+        self.rng.gen_range(lo..hi)
+    }
+
+    /// One uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "index range must be non-empty");
+        self.rng.gen_range(0..n)
+    }
+
+    /// A `rows × cols` matrix of `N(mean, std²)` samples.
+    pub fn normal(&mut self, rows: usize, cols: usize, mean: f32, std: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| mean + std * self.standard_normal())
+    }
+
+    /// A `rows × cols` matrix of `U[lo, hi)` samples.
+    pub fn uniform(&mut self, rows: usize, cols: usize, lo: f32, hi: f32) -> Matrix {
+        Matrix::from_fn(rows, cols, |_, _| self.uniform_value(lo, hi))
+    }
+
+    /// A Gaussian activation matrix where the listed channels (columns) are
+    /// amplified by `outlier_scale` — the channel-outlier pattern the paper
+    /// observes in query/key tensors (Figure 4) and that motivates
+    /// channel-wise second-stage quantization.
+    pub fn normal_with_channel_outliers(
+        &mut self,
+        rows: usize,
+        cols: usize,
+        std: f32,
+        outlier_channels: &[usize],
+        outlier_scale: f32,
+    ) -> Matrix {
+        let mut m = self.normal(rows, cols, 0.0, std);
+        for &c in outlier_channels {
+            assert!(
+                c < cols,
+                "outlier channel {c} out of bounds for {cols} cols"
+            );
+            for r in 0..rows {
+                m.set(r, c, m.get(r, c) * outlier_scale);
+            }
+        }
+        m
+    }
+
+    /// Chooses `count` distinct indices from `[0, n)` (partial
+    /// Fisher–Yates), e.g. to pick which channels carry outliers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > n`.
+    pub fn distinct_indices(&mut self, n: usize, count: usize) -> Vec<usize> {
+        assert!(count <= n, "cannot draw {count} distinct from {n}");
+        let mut pool: Vec<usize> = (0..n).collect();
+        for i in 0..count {
+            let j = i + self.rng.gen_range(0..(n - i));
+            pool.swap(i, j);
+        }
+        pool.truncate(count);
+        pool
+    }
+
+    /// Permutes `0..n` uniformly at random.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        self.distinct_indices(n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let a = TensorRng::new(7).normal(8, 8, 0.0, 1.0);
+        let b = TensorRng::new(7).normal(8, 8, 0.0, 1.0);
+        assert_eq!(a, b);
+        let c = TensorRng::new(8).normal(8, 8, 0.0, 1.0);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn normal_moments_are_plausible() {
+        let m = TensorRng::new(1).normal(200, 200, 2.0, 3.0);
+        let n = m.len() as f64;
+        let mean: f64 = m.as_slice().iter().map(|&x| x as f64).sum::<f64>() / n;
+        let var: f64 = m
+            .as_slice()
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        assert!((mean - 2.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 3.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let m = TensorRng::new(2).uniform(50, 50, -1.0, 3.0);
+        assert!(m.as_slice().iter().all(|&x| (-1.0..3.0).contains(&x)));
+    }
+
+    #[test]
+    fn outlier_channels_are_amplified() {
+        let m = TensorRng::new(3).normal_with_channel_outliers(500, 16, 1.0, &[3, 9], 20.0);
+        let ranges = crate::reduce::col_max_min(&m);
+        let gap = |c: usize| ranges[c].0 - ranges[c].1;
+        // Outlier channels should have a far larger range than typical ones.
+        assert!(gap(3) > 4.0 * gap(0));
+        assert!(gap(9) > 4.0 * gap(1));
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct_and_in_range() {
+        let mut rng = TensorRng::new(4);
+        let idx = rng.distinct_indices(20, 10);
+        assert_eq!(idx.len(), 10);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+        assert!(idx.iter().all(|&i| i < 20));
+    }
+
+    #[test]
+    fn permutation_covers_all() {
+        let mut rng = TensorRng::new(5);
+        let mut p = rng.permutation(16);
+        p.sort_unstable();
+        assert_eq!(p, (0..16).collect::<Vec<_>>());
+    }
+}

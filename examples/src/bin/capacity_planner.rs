@@ -1,0 +1,64 @@
+//! A100 serving-capacity planning with the analytical cost model.
+//!
+//! Scenario: you operate Phi3-medium on a single A100-80GB and want to
+//! know, for a given prompt/generation profile, which attention method
+//! yields the best latency and throughput and how far the batch size can
+//! be pushed before OOM.
+
+use turbo_gpusim::{
+    decode_latency, generation_breakdown, max_throughput, memory_usage, prefill_latency,
+    AttnMethod, GpuSpec, ModelGeometry,
+};
+
+fn main() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let (prompt, gen, batch) = (8192usize, 256usize, 4usize);
+
+    println!(
+        "capacity plan: {} on {}, prompt {prompt}, gen {gen}, batch {batch}\n",
+        geom.name, gpu.name
+    );
+
+    println!(
+        "{:<22} {:>10} {:>12} {:>12} {:>10} {:>14}",
+        "method", "mem (GB)", "prefill (ms)", "decode (ms)", "e2e (s)", "max tok/s"
+    );
+    for m in AttnMethod::figure6_lineup() {
+        let mem = memory_usage(&geom, m, batch, prompt + gen) / 1e9;
+        let fits = mem <= gpu.usable_memory() / 1e9;
+        let prefill = prefill_latency(&gpu, &geom, m, batch, prompt).total() * 1e3;
+        let decode = decode_latency(&gpu, &geom, m, batch, prompt).total() * 1e3;
+        let e2e = generation_breakdown(&gpu, &geom, m, batch, prompt, gen).total();
+        let best = max_throughput(&gpu, &geom, m, 1024, 125, 4096);
+        println!(
+            "{:<22} {:>10.1}{} {:>11.1} {:>12.2} {:>10.2} {:>14}",
+            m.to_string(),
+            mem,
+            if fits { " " } else { "!" },
+            prefill,
+            decode,
+            e2e,
+            best.map(|(b, t)| format!("{t:.0} (b={b})"))
+                .unwrap_or_else(|| "OOM".into()),
+        );
+    }
+    println!("\n('!' marks configurations that exceed usable HBM)");
+
+    // Where does FP16 fall over as the context grows?
+    println!("\ncontext scaling at batch {batch}:");
+    for ctx in [4096usize, 8192, 16384, 32768, 65536] {
+        let row: Vec<String> = AttnMethod::figure6_lineup()
+            .into_iter()
+            .map(|m| {
+                let mem = memory_usage(&geom, m, batch, ctx);
+                if mem <= gpu.usable_memory() {
+                    format!("{m}: ok")
+                } else {
+                    format!("{m}: OOM")
+                }
+            })
+            .collect();
+        println!("  ctx {ctx:>6}: {}", row.join("  "));
+    }
+}

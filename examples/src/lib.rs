@@ -1,0 +1,12 @@
+//! Runnable examples for the TurboAttention reproduction.
+//!
+//! * `cargo run -p turbo-examples --bin quickstart` — the core API in a
+//!   minute: quantized prefill, decode, accuracy and compression stats.
+//! * `cargo run -p turbo-examples --bin chat_serving` — long-context chat
+//!   serving with head-wise mixed precision across a whole layer.
+//! * `cargo run -p turbo-examples --bin document_retrieval` — the
+//!   multi-hop retrieval workload, comparing methods end to end.
+//! * `cargo run -p turbo-examples --bin capacity_planner` — A100 serving
+//!   capacity planning with the analytical cost model.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,8 @@
+//! Host crate for the cross-crate integration tests in `tests/tests/`.
+//!
+//! The unit tests live with their modules in each crate; everything here
+//! exercises behaviour that only emerges when the crates compose — the
+//! full prefill→decode lifecycle, accuracy orderings across backends, and
+//! property-based invariants spanning quantization, softmax and attention.
+
+#![forbid(unsafe_code)]

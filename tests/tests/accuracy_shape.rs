@@ -1,0 +1,153 @@
+//! Coarse accuracy-shape checks: the qualitative relationships Table 2 /
+//! Table 4 / Figure 7b report must hold on the synthetic substrate.
+//!
+//! These use modest episode counts to stay fast; the `figures` binary
+//! regenerates the full tables.
+
+use turbo_model::backend::{
+    Backend, Fp16Backend, GearBackend, KiviBackend, SasOnlyBackend, TurboBackend,
+};
+use turbo_model::{evaluate, EvalConfig, ModelProfile, TaskSuite, WeightQuant};
+use turbo_quant::BitWidth;
+
+fn cfg() -> EvalConfig {
+    EvalConfig {
+        episodes: 40,
+        seed: 0x5EED,
+    }
+}
+
+/// Average accuracy across all nine (profile, suite) cells.
+fn avg_accuracy(b: &dyn Backend) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0;
+    for p in ModelProfile::paper_profiles() {
+        for s in TaskSuite::paper_suites() {
+            sum += evaluate(b, &p, &s, &cfg()).accuracy;
+            n += 1;
+        }
+    }
+    sum / n as f64
+}
+
+#[test]
+fn table2_shape_holds_on_average() {
+    let fp16 = avg_accuracy(&Fp16Backend);
+    let turbo4 = avg_accuracy(&TurboBackend::int4());
+    let kivi4 = avg_accuracy(&KiviBackend::new(BitWidth::Int4));
+    let kivi3 = avg_accuracy(&KiviBackend::new(BitWidth::Int3));
+    let gear3 = avg_accuracy(&GearBackend::new(BitWidth::Int3));
+    let mixed = avg_accuracy(&TurboBackend::mixed(4));
+
+    // Near-lossless 4-bit TurboAttention (paper: 60.27 vs 61.89).
+    assert!(
+        turbo4 >= fp16 - 0.06,
+        "turbo4 {turbo4} should be within 6 points of fp16 {fp16}"
+    );
+    // TurboAttention competitive with KIVI at 4-bit. (The paper reports a
+    // large Turbo advantage — 60.27 vs 51.85 — that our substrate does not
+    // reproduce: KIVI's fine-grained float groups are numerically strong
+    // here; see EXPERIMENTS.md. We assert Turbo stays within a few points.)
+    assert!(turbo4 >= kivi4 - 0.06, "turbo4 {turbo4} vs kivi4 {kivi4}");
+    // 3-bit does not beat 4-bit beyond noise. (The paper's 3-bit drop is
+    // ~14 points; our substrate's 4→3-bit gradient is shallower — the
+    // margins are dominated by task noise until 2-bit. The strong,
+    // reliably reproduced gradient is 4-bit vs 2-bit, asserted in
+    // `accuracy_falls_monotonically_with_bits_for_kivi`.)
+    assert!(kivi3 <= kivi4 + 0.03, "kivi3 {kivi3} vs kivi4 {kivi4}");
+    // Mixed 2/4 Turbo is competitive with the 3-bit baselines
+    // (paper: 53.31 vs 51.10/50.01 — with individual cells much worse,
+    // e.g. Phi3/AQuA at 31.5; our mixed rows show the same harsh cells).
+    assert!(
+        mixed >= kivi3.min(gear3) - 0.10,
+        "mixed {mixed} vs kivi3 {kivi3} gear3 {gear3}"
+    );
+}
+
+#[test]
+fn gear_error_compensation_beats_kivi_at_low_bits() {
+    // Paper Table 2: GEAR-L > KIVI at both 4- and 3-bit averages.
+    let kivi3 = avg_accuracy(&KiviBackend::new(BitWidth::Int3));
+    let gear3 = avg_accuracy(&GearBackend::new(BitWidth::Int3));
+    assert!(gear3 >= kivi3, "gear3 {gear3} vs kivi3 {kivi3}");
+}
+
+#[test]
+fn table4_shape_each_component_is_near_lossless() {
+    // Paper Table 4 (LLaMA3/AQuA): FP16 50.79, FlashQ 49.60, SAS 50.12,
+    // combined 48.03 — each component costs little, combined costs most.
+    let p = ModelProfile::llama3_like();
+    let s = TaskSuite::aqua_proxy();
+    let e = |b: &dyn Backend| evaluate(b, &p, &s, &cfg()).accuracy;
+    let fp16 = e(&Fp16Backend);
+    let flashq = e(&TurboBackend::flashq_only());
+    let sas = e(&SasOnlyBackend::default());
+    let combined = e(&TurboBackend::int4());
+    assert!(sas >= fp16 - 0.08, "sas {sas} vs fp16 {fp16}");
+    assert!(flashq >= fp16 - 0.1, "flashq {flashq} vs fp16 {fp16}");
+    assert!(
+        combined >= fp16 - 0.12,
+        "combined {combined} vs fp16 {fp16}"
+    );
+    assert!(
+        combined <= flashq.max(sas) + 0.05,
+        "combined {combined} should not beat its components materially"
+    );
+}
+
+#[test]
+fn table5_weight_quant_composes() {
+    // Weight quantization costs little, and TurboAttention on top costs
+    // little more (paper Table 5).
+    let s = TaskSuite::gsm8k_proxy();
+    let base = ModelProfile::llama3_like();
+    let int8 = base.with_weight_quant(WeightQuant::Int8PerChannel);
+    let e = |p: &ModelProfile, b: &dyn Backend| evaluate(b, p, &s, &cfg()).accuracy;
+    let fp16 = e(&base, &Fp16Backend);
+    let w8 = e(&int8, &Fp16Backend);
+    let w8_turbo = e(&int8, &TurboBackend::int4());
+    assert!(w8 >= fp16 - 0.08, "w8 {w8} vs fp16 {fp16}");
+    assert!(w8_turbo >= w8 - 0.1, "w8+turbo {w8_turbo} vs w8 {w8}");
+}
+
+#[test]
+fn figure7b_priority_is_at_least_as_good_as_alternatives_at_half() {
+    use turbo_attention::SelectionMethod;
+    let p = ModelProfile::llama3_like();
+    let s = TaskSuite::aqua_proxy();
+    let e = |m| evaluate(&TurboBackend::mixed_with(4, m), &p, &s, &cfg()).accuracy;
+    let priority = e(SelectionMethod::Priority);
+    let entropy = e(SelectionMethod::Entropy);
+    // Priority protects the fragile anisotropic heads; entropy demotes
+    // them (heavy-tailed histograms have low entropy), so priority must
+    // beat entropy clearly.
+    assert!(
+        priority > entropy + 0.05,
+        "priority {priority} vs entropy {entropy}"
+    );
+}
+
+#[test]
+fn accuracy_falls_monotonically_with_bits_for_kivi() {
+    let p = ModelProfile::qwen2_like();
+    let s = TaskSuite::gsm8k_proxy();
+    let e = |bits| evaluate(&KiviBackend::new(bits), &p, &s, &cfg()).accuracy;
+    let a8 = e(BitWidth::Int8);
+    let a4 = e(BitWidth::Int4);
+    let a2 = e(BitWidth::Int2);
+    assert!(a8 >= a4 - 0.05, "int8 {a8} vs int4 {a4}");
+    assert!(a4 > a2, "int4 {a4} vs int2 {a2}");
+}
+
+#[test]
+fn quarot_composes_losslessly_with_turbo() {
+    // Table 1 claims rotation schemes are orthogonal to TurboAttention:
+    // rotating Q/K must not cost accuracy (scores are invariant exactly;
+    // quantization sees smeared outliers).
+    use turbo_model::backend::QuarotTurboBackend;
+    let p = ModelProfile::llama3_like();
+    let s = TaskSuite::gsm8k_proxy();
+    let plain = evaluate(&TurboBackend::int4(), &p, &s, &cfg()).accuracy;
+    let rotated = evaluate(&QuarotTurboBackend::int4(), &p, &s, &cfg()).accuracy;
+    assert!(rotated >= plain - 0.08, "quarot {rotated} vs plain {plain}");
+}
