@@ -52,6 +52,7 @@ pub mod parallel;
 pub mod prefill;
 pub mod reference;
 pub mod ring;
+pub mod robust;
 pub mod splitk;
 
 pub use api::{TurboAttention, TurboConfig};
@@ -62,4 +63,5 @@ pub use head_select::{select_two_bit_heads, HeadStats, SelectionMethod};
 pub use prefill::{turbo_prefill_head, PrefillOutput};
 pub use reference::{flash_attention, flash_attention_f16, naive_attention, Masking};
 pub use ring::{merge_shards, ring_prefill_exact, ring_prefill_turbo};
+pub use robust::{AttnError, PrecisionLevel, RobustAttention, RobustHeadCache};
 pub use splitk::{turbo_attend_cache_splitk, PartialAttention};

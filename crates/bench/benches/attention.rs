@@ -1,7 +1,8 @@
 //! Whole-attention benchmarks: prefill and decode per method on the CPU
 //! reference kernels.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use turbo_bench::harness::{BatchSize, Criterion};
+use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_attention::{
     flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_splitk,

@@ -2,7 +2,8 @@
 //! from DESIGN.md: fixed-scale append+clamp (the paper's design) vs
 //! re-deriving a scale for every appended row.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use turbo_bench::harness::{BatchSize, Criterion};
+use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_kvcache::{HeadKvCache, Int8Buffer, KvCacheConfig};
 use turbo_quant::symmetric::quantize_slice_sym;

@@ -1,6 +1,7 @@
 //! GEMM micro-benchmarks across precisions.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use turbo_bench::harness::Criterion;
+use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_tensor::{matmul, matmul_f16, matmul_i8_transposed_b, matmul_transposed_b, TensorRng};
 

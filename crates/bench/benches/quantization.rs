@@ -1,7 +1,8 @@
 //! Quantization-kernel micro-benchmarks, including the
 //! progressive-vs-direct ablation called out in DESIGN.md.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use turbo_bench::harness::{BatchSize, Criterion};
+use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_quant::asymmetric::fake_quant_channelwise;
 use turbo_quant::{AsymQuantized, BitWidth, PackedCodes, ProgressiveBlock, SymQuantized};

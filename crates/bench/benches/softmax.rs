@@ -2,7 +2,8 @@
 //! element-for-element; these benches measure that on the CPU substrate
 //! (the GPU-side factor is modelled in `turbo-gpusim`).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use turbo_bench::harness::Criterion;
+use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_softmax::{softmax, Sas, PAPER_POLY};
 use turbo_tensor::TensorRng;

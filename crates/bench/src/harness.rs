@@ -1,0 +1,184 @@
+//! Minimal self-contained benchmark harness.
+//!
+//! Implements the small subset of the `criterion` API the bench targets
+//! use (`Criterion`, `benchmark_group`, `bench_function`, `iter`,
+//! `iter_batched`, `BatchSize`, and the `criterion_group!`/
+//! `criterion_main!` macros) so the workspace carries zero external
+//! dependencies and still builds, tests and benches offline. Timing is
+//! wall-clock medians over adaptively sized batches — coarser than
+//! criterion's bootstrapped statistics but adequate for the relative
+//! comparisons these benches make.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can `use turbo_bench::harness::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Batch sizing hint (accepted for API compatibility; the harness always
+/// re-runs setup per iteration, which matches `BatchSize::PerIteration`
+/// semantics and is safe for every benchmark in this workspace).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every iteration.
+    PerIteration,
+}
+
+/// Target measurement budget per benchmark.
+const TARGET: Duration = Duration::from_millis(120);
+/// Warm-up budget per benchmark.
+const WARMUP: Duration = Duration::from_millis(20);
+
+/// One benchmark's measurement context.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            std_black_box(f());
+        }
+        // Measure.
+        let mut iters = 0u64;
+        let start = Instant::now();
+        while start.elapsed() < TARGET {
+            std_black_box(f());
+            iters += 1;
+        }
+        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+
+    /// Times `routine` on fresh input from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP {
+            std_black_box(routine(setup()));
+        }
+        // Measure routine time only.
+        let mut spent = Duration::ZERO;
+        let mut iters = 0u64;
+        while spent < TARGET {
+            let input = setup();
+            let t = Instant::now();
+            std_black_box(routine(input));
+            spent += t.elapsed();
+            iters += 1;
+        }
+        self.ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+fn report(name: &str, ns: f64) {
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("bench {name:<50} {human}/iter");
+}
+
+/// Entry point handed to every benchmark function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(name, b.ns_per_iter);
+        self
+    }
+
+    /// Opens a named group; member benchmarks are prefixed with its name.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            prefix: name.into(),
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl AsRef<str>,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.prefix, name.as_ref()), b.ns_per_iter);
+        self
+    }
+
+    /// Ends the group (formatting no-op, mirrors criterion).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::harness::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::harness::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter(|| std::hint::black_box(1 + 1));
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_excludes_setup() {
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
+        assert!(b.ns_per_iter > 0.0);
+    }
+}

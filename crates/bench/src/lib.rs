@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod figs;
+pub mod harness;
 pub mod report;
 
 pub use report::Table;

@@ -40,5 +40,8 @@ pub use hw::GpuSpec;
 pub use kernels::{decode_latency, prefill_latency, KernelBreakdown};
 pub use memory::{fits_in_memory, memory_usage};
 pub use method::AttnMethod;
-pub use serving::{simulate_serving, uniform_workload, RequestSpec, ServingStats};
+pub use serving::{
+    simulate_serving, simulate_serving_robust, uniform_workload, RequestSpec,
+    RobustServingStats, ServingPolicy, ServingStats,
+};
 pub use throughput::{max_throughput, throughput};

@@ -22,6 +22,7 @@ use crate::hw::GpuSpec;
 use crate::kernels::{decode_latency, prefill_latency};
 use crate::memory::fits_in_memory;
 use crate::method::AttnMethod;
+use turbo_robust::{HealthEvent, HealthStats};
 
 /// One inference request.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -197,6 +198,348 @@ pub fn simulate_serving(
     }
 }
 
+/// Operational policy of the fault-tolerant serving loop.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ServingPolicy {
+    /// Per-request deadline in seconds from arrival. A waiting request
+    /// past its deadline is rejected; a decoding one is truncated.
+    /// `f64::INFINITY` disables deadlines.
+    pub deadline: f64,
+    /// Base backoff in seconds after a failed admission attempt; doubles
+    /// per attempt. Must be positive.
+    pub admission_backoff: f64,
+    /// Failed admission attempts tolerated before the request is rejected.
+    pub max_admission_retries: u32,
+    /// If set and the method is [`AttnMethod::Turbo`], the serving loop
+    /// may demote the resident KV bit width to this value when admission
+    /// fails — trading accuracy for capacity instead of rejecting load.
+    pub degrade_bits: Option<f64>,
+    /// Fraction of HBM actually usable (simulated memory pressure from
+    /// co-tenants/fragmentation). `1.0` = the whole device.
+    pub hbm_usable_fraction: f64,
+}
+
+impl Default for ServingPolicy {
+    /// No deadlines, no pressure, no demotion; retry for a while before
+    /// rejecting.
+    fn default() -> Self {
+        Self {
+            deadline: f64::INFINITY,
+            admission_backoff: 0.25,
+            max_admission_retries: 16,
+            degrade_bits: None,
+            hbm_usable_fraction: 1.0,
+        }
+    }
+}
+
+/// Results of a fault-tolerant serving run.
+///
+/// Requests partition into `completed + truncated + rejected`; latency
+/// statistics cover the requests that produced output (completed and
+/// truncated).
+#[derive(Clone, Debug, PartialEq)]
+pub struct RobustServingStats {
+    /// Requests that generated every token before any deadline.
+    pub completed: usize,
+    /// Requests cut off mid-generation by their deadline.
+    pub truncated: usize,
+    /// Requests never admitted (deadline, retry budget, or infeasible).
+    pub rejected: usize,
+    /// Deadline events (truncations + waiting-past-deadline rejections).
+    pub deadline_misses: usize,
+    /// Failed admission attempts across all requests.
+    pub admission_retries: u64,
+    /// Bit-width demotions performed under memory pressure (0 or 1).
+    pub demotions: u64,
+    /// Tokens actually generated (including partial output of truncated
+    /// requests).
+    pub generated_tokens: usize,
+    /// Wall-clock time when the last served request finished.
+    pub makespan: f64,
+    /// Generated tokens per second of makespan (0 if nothing was served).
+    pub throughput: f64,
+    /// Mean end-to-end latency of served requests.
+    pub mean_latency: f64,
+    /// 95th-percentile end-to-end latency of served requests.
+    pub p95_latency: f64,
+    /// Mean admission wait of served requests.
+    pub mean_queue_time: f64,
+    /// Largest number of sequences decoding together.
+    pub peak_batch: usize,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct WaitingReq {
+    req: usize,
+    attempts: u32,
+    next_try: f64,
+}
+
+fn record(health: Option<&HealthStats>, event: HealthEvent) {
+    if let Some(h) = health {
+        h.record(event);
+    }
+}
+
+/// Fault-tolerant variant of [`simulate_serving`]: same continuous-batching
+/// engine, but infeasible or unlucky requests are *rejected* instead of
+/// panicking or stalling the queue forever, deadlines bound every
+/// request's latency, admission failures back off exponentially, and —
+/// when the policy allows — the KV cache is demoted to a lower bit width
+/// under memory pressure rather than shedding load. Every intervention is
+/// recorded in `health` (when given) and mirrored in the returned stats.
+///
+/// With the default policy and no memory pressure this follows the exact
+/// trajectory of [`simulate_serving`].
+///
+/// # Panics
+///
+/// Panics only on caller errors: empty/unsorted `requests` or a
+/// non-positive backoff/HBM fraction in `policy`.
+pub fn simulate_serving_robust(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    requests: &[RequestSpec],
+    policy: &ServingPolicy,
+    health: Option<&HealthStats>,
+) -> RobustServingStats {
+    assert!(!requests.is_empty(), "no requests to serve");
+    for w in requests.windows(2) {
+        assert!(
+            w[0].arrival <= w[1].arrival,
+            "requests must be sorted by arrival"
+        );
+    }
+    assert!(
+        policy.admission_backoff > 0.0,
+        "admission backoff must be positive"
+    );
+    assert!(
+        policy.hbm_usable_fraction > 0.0 && policy.hbm_usable_fraction <= 1.0,
+        "usable HBM fraction must be in (0, 1]"
+    );
+
+    // Simulated memory pressure: co-tenants shrink the usable device.
+    let mut gpu = *gpu;
+    gpu.hbm_capacity *= policy.hbm_usable_fraction;
+    let mut method = method;
+
+    let demoted_method = |m: AttnMethod| -> Option<AttnMethod> {
+        match (m, policy.degrade_bits) {
+            (AttnMethod::Turbo { kv_bits }, Some(target)) if target < kv_bits => {
+                Some(AttnMethod::Turbo { kv_bits: target })
+            }
+            _ => None,
+        }
+    };
+
+    let mut now = 0.0f64;
+    let mut next_arrival = 0usize;
+    let mut waiting: Vec<WaitingReq> = Vec::new();
+    let mut live: Vec<LiveSeq> = Vec::new();
+    let mut admit_time = vec![f64::NAN; requests.len()];
+    let mut finish_time = vec![f64::NAN; requests.len()];
+    let mut generated = vec![0usize; requests.len()];
+    let mut truncated_flag = vec![false; requests.len()];
+    let mut rejected = 0usize;
+    let mut deadline_misses = 0usize;
+    let mut admission_retries = 0u64;
+    let mut demotions = 0u64;
+    let mut peak_batch = 0usize;
+
+    let reserved_tokens = |live: &[LiveSeq], extra: usize| -> usize {
+        live.iter()
+            .map(|s| requests[s.req].prompt + requests[s.req].gen)
+            .sum::<usize>()
+            + extra
+    };
+
+    loop {
+        // Ingest arrivals up to `now`.
+        while next_arrival < requests.len() && requests[next_arrival].arrival <= now {
+            waiting.push(WaitingReq {
+                req: next_arrival,
+                attempts: 0,
+                next_try: requests[next_arrival].arrival,
+            });
+            next_arrival += 1;
+        }
+
+        // Shed waiting requests whose deadline already passed.
+        waiting.retain(|w| {
+            if now - requests[w.req].arrival > policy.deadline {
+                deadline_misses += 1;
+                rejected += 1;
+                record(health, HealthEvent::DeadlineMiss);
+                record(health, HealthEvent::RequestRejected);
+                false
+            } else {
+                true
+            }
+        });
+
+        // Admission sweep: admit the first eligible request that fits;
+        // count a retry (with backoff) against each eligible one that
+        // doesn't.
+        let mut admitted = false;
+        let mut i = 0usize;
+        while i < waiting.len() {
+            let w = waiting[i];
+            if w.next_try > now {
+                i += 1;
+                continue;
+            }
+            let spec = requests[w.req];
+            let footprint = |m: AttnMethod, live: &[LiveSeq]| {
+                let total = reserved_tokens(live, spec.prompt + spec.gen);
+                fits_in_memory(&gpu, geom, m, 1, total.max(1))
+            };
+            let mut fits_now = footprint(method, &live);
+            if !fits_now {
+                if let Some(lower) = demoted_method(method) {
+                    // Demote the whole cache rather than shed this load.
+                    if footprint(lower, &live) {
+                        method = lower;
+                        demotions += 1;
+                        record(health, HealthEvent::PressureDemotion);
+                        fits_now = true;
+                    }
+                }
+            }
+            if fits_now {
+                waiting.remove(i);
+                admit_time[w.req] = now;
+                now += prefill_latency(&gpu, geom, method, 1, spec.prompt).total()
+                    + linear_time(&gpu, geom, 1, spec.prompt);
+                live.push(LiveSeq {
+                    req: w.req,
+                    generated: 0,
+                    ctx: spec.prompt,
+                });
+                peak_batch = peak_batch.max(live.len());
+                admitted = true;
+                break;
+            }
+            // Infeasible even on an idle device at the lowest width we are
+            // allowed: no amount of retrying will help.
+            let best = demoted_method(method).unwrap_or(method);
+            let alone = fits_in_memory(&gpu, geom, best, 1, (spec.prompt + spec.gen).max(1));
+            admission_retries += 1;
+            record(health, HealthEvent::AdmissionRetry);
+            if !alone || w.attempts >= policy.max_admission_retries {
+                waiting.remove(i);
+                rejected += 1;
+                record(health, HealthEvent::RequestRejected);
+                continue;
+            }
+            waiting[i].attempts += 1;
+            waiting[i].next_try =
+                now + policy.admission_backoff * f64::powi(2.0, w.attempts as i32);
+            i += 1;
+        }
+        if admitted {
+            continue;
+        }
+
+        if !live.is_empty() {
+            // One decode step for the whole live batch at the longest ctx.
+            let batch = live.len();
+            let max_ctx = live.iter().map(|s| s.ctx).max().unwrap();
+            now += decode_latency(&gpu, geom, method, batch, max_ctx).total()
+                + linear_time(&gpu, geom, batch, 1);
+            let mut still_live = Vec::with_capacity(live.len());
+            for mut s in live.into_iter() {
+                s.generated += 1;
+                s.ctx += 1;
+                generated[s.req] = s.generated;
+                if s.generated >= requests[s.req].gen {
+                    finish_time[s.req] = now;
+                } else if now - requests[s.req].arrival > policy.deadline {
+                    // Out of time mid-generation: return what we have.
+                    finish_time[s.req] = now;
+                    truncated_flag[s.req] = true;
+                    deadline_misses += 1;
+                    record(health, HealthEvent::DeadlineMiss);
+                } else {
+                    still_live.push(s);
+                }
+            }
+            live = still_live;
+            continue;
+        }
+
+        // Idle: jump to the next arrival or the earliest retry, or finish.
+        let next_retry = waiting
+            .iter()
+            .map(|w| w.next_try)
+            .fold(f64::INFINITY, f64::min);
+        let next_event = if next_arrival < requests.len() {
+            next_retry.min(requests[next_arrival].arrival)
+        } else {
+            next_retry
+        };
+        if next_event.is_finite() {
+            now = now.max(next_event);
+            continue;
+        }
+        break;
+    }
+
+    // Statistics over the requests that produced output.
+    let served: Vec<usize> = (0..requests.len())
+        .filter(|&i| finish_time[i].is_finite())
+        .collect();
+    let completed = served.iter().filter(|&&i| !truncated_flag[i]).count();
+    let truncated = served.len() - completed;
+    let generated_tokens: usize = generated.iter().sum();
+    let makespan = served
+        .iter()
+        .map(|&i| finish_time[i])
+        .fold(0.0f64, f64::max);
+    let mut latencies: Vec<f64> = served
+        .iter()
+        .map(|&i| finish_time[i] - requests[i].arrival)
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let (mean_latency, p95_latency, mean_queue_time) = if latencies.is_empty() {
+        (0.0, 0.0, 0.0)
+    } else {
+        let pct_idx = ((latencies.len() as f64 - 1.0) * 0.95).round() as usize;
+        let queue: f64 = served
+            .iter()
+            .map(|&i| admit_time[i] - requests[i].arrival)
+            .sum::<f64>()
+            / served.len() as f64;
+        (
+            latencies.iter().sum::<f64>() / latencies.len() as f64,
+            latencies[pct_idx],
+            queue,
+        )
+    };
+
+    RobustServingStats {
+        completed,
+        truncated,
+        rejected,
+        deadline_misses,
+        admission_retries,
+        demotions,
+        generated_tokens,
+        makespan,
+        throughput: if makespan > 0.0 {
+            generated_tokens as f64 / makespan
+        } else {
+            0.0
+        },
+        mean_latency,
+        p95_latency,
+        mean_queue_time,
+        peak_batch,
+    }
+}
+
 /// Generates a deterministic open-loop workload: `n` requests with
 /// exponential-ish inter-arrival gaps around `1/rate` seconds and fixed
 /// prompt/gen sizes.
@@ -338,5 +681,146 @@ mod tests {
             gen: 8,
         }];
         simulate_serving(&gpu, &geom, AttnMethod::FlashFp16, &reqs);
+    }
+
+    #[test]
+    fn robust_default_policy_matches_plain_simulation() {
+        let (gpu, geom) = setup();
+        let reqs = workload();
+        let plain = simulate_serving(&gpu, &geom, AttnMethod::FlashFp16, &reqs);
+        let health = HealthStats::new();
+        let robust = simulate_serving_robust(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &ServingPolicy::default(),
+            Some(&health),
+        );
+        assert_eq!(robust.completed, plain.completed);
+        assert_eq!(robust.rejected, 0);
+        assert_eq!(robust.truncated, 0);
+        assert!((robust.makespan - plain.makespan).abs() < 1e-9);
+        assert!((robust.mean_latency - plain.mean_latency).abs() < 1e-9);
+        assert_eq!(robust.peak_batch, plain.peak_batch);
+        assert!(health.is_clean(), "clean run must record nothing");
+    }
+
+    #[test]
+    fn tight_deadlines_truncate_or_reject_instead_of_stalling() {
+        let (gpu, geom) = setup();
+        let reqs = workload();
+        let health = HealthStats::new();
+        let policy = ServingPolicy {
+            deadline: 2.0,
+            ..ServingPolicy::default()
+        };
+        let stats = simulate_serving_robust(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &policy,
+            Some(&health),
+        );
+        assert_eq!(
+            stats.completed + stats.truncated + stats.rejected,
+            reqs.len()
+        );
+        assert!(stats.deadline_misses > 0, "2s deadline must bite");
+        assert_eq!(
+            health.count(HealthEvent::DeadlineMiss),
+            stats.deadline_misses as u64
+        );
+        // Every served request respected (approximately) its deadline:
+        // p95 is bounded by deadline + one decode step, not the unbounded
+        // queueing latency of the plain simulator.
+        let plain = simulate_serving(&gpu, &geom, AttnMethod::FlashFp16, &reqs);
+        assert!(stats.p95_latency <= plain.p95_latency);
+    }
+
+    #[test]
+    fn pressure_demotion_serves_load_that_would_otherwise_be_rejected() {
+        let (gpu, geom) = setup();
+        // Find an HBM pressure level where a single long request fits at
+        // 2-bit resident KV but not at 4-bit.
+        let long = RequestSpec {
+            arrival: 0.0,
+            prompt: 8192,
+            gen: 32,
+        };
+        let tokens = long.prompt + long.gen;
+        let fraction = (30..=95)
+            .map(|p| p as f64 / 100.0)
+            .find(|f| {
+                let mut g = gpu;
+                g.hbm_capacity *= f;
+                !fits_in_memory(&g, &geom, AttnMethod::Turbo { kv_bits: 4.0 }, 1, tokens)
+                    && fits_in_memory(&g, &geom, AttnMethod::Turbo { kv_bits: 2.0 }, 1, tokens)
+            })
+            .expect("some pressure level separates 4-bit from 2-bit");
+        let reqs = uniform_workload(6, 10.0, long.prompt, long.gen, 11);
+
+        // Exponential backoff from 0.25s covers ~17 minutes of simulated
+        // time in 12 attempts — enough for the whole drained queue.
+        let rigid = ServingPolicy {
+            hbm_usable_fraction: fraction,
+            max_admission_retries: 12,
+            ..ServingPolicy::default()
+        };
+        let flexible = ServingPolicy {
+            degrade_bits: Some(2.0),
+            ..rigid
+        };
+        let method = AttnMethod::Turbo { kv_bits: 4.0 };
+        let health = HealthStats::new();
+        let without = simulate_serving_robust(&gpu, &geom, method, &reqs, &rigid, None);
+        let with =
+            simulate_serving_robust(&gpu, &geom, method, &reqs, &flexible, Some(&health));
+        assert_eq!(without.completed, 0, "4-bit cannot fit any request");
+        assert_eq!(without.rejected, reqs.len());
+        assert_eq!(with.demotions, 1, "one global demotion to 2-bit");
+        assert_eq!(health.count(HealthEvent::PressureDemotion), 1);
+        assert_eq!(with.completed, reqs.len(), "2-bit serves everything");
+        assert_eq!(with.rejected, 0);
+    }
+
+    #[test]
+    fn robust_rejects_infeasible_request_without_panicking() {
+        let (gpu, geom) = setup();
+        let reqs = vec![RequestSpec {
+            arrival: 0.0,
+            prompt: 500_000,
+            gen: 8,
+        }];
+        let health = HealthStats::new();
+        let stats = simulate_serving_robust(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &ServingPolicy::default(),
+            Some(&health),
+        );
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(health.count(HealthEvent::RequestRejected), 1);
+        assert_eq!(stats.throughput, 0.0);
+    }
+
+    #[test]
+    fn robust_simulation_is_deterministic() {
+        let (gpu, geom) = setup();
+        let reqs = workload();
+        let policy = ServingPolicy {
+            deadline: 5.0,
+            hbm_usable_fraction: 0.9,
+            ..ServingPolicy::default()
+        };
+        let a =
+            simulate_serving_robust(&gpu, &geom, AttnMethod::FlashFp16, &reqs, &policy, None);
+        let b =
+            simulate_serving_robust(&gpu, &geom, AttnMethod::FlashFp16, &reqs, &policy, None);
+        assert_eq!(a, b);
     }
 }

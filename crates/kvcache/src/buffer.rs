@@ -1,5 +1,6 @@
 //! The enhanced INT8 decode buffer with a universal scale.
 
+use crate::error::CacheError;
 use turbo_quant::symmetric::{SymQuantized, SYM_INT8_DIVISOR};
 use turbo_tensor::Matrix;
 
@@ -73,22 +74,50 @@ impl Int8Buffer {
     /// # Panics
     ///
     /// Panics if `row.len() != d` or the row contains non-finite values.
+    /// [`Int8Buffer::try_append`] is the non-panicking equivalent.
     pub fn append(&mut self, row: &[f32]) -> usize {
-        assert_eq!(row.len(), self.d, "row width mismatch");
-        let scale = *self.scale.get_or_insert_with(|| {
-            let abs_max = row.iter().fold(0.0f32, |m, &x| {
-                assert!(x.is_finite(), "non-finite value in KV row");
-                m.max(x.abs())
+        match self.try_append(row) {
+            Ok(clamped) => clamped,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Int8Buffer::append`]: validates the row and leaves
+    /// the buffer untouched on error, so a caller can sanitize or degrade
+    /// and retry.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::WidthMismatch`] if `row.len() != d`;
+    /// [`CacheError::NonFinite`] naming the first bad channel if the row
+    /// contains NaN/±Inf.
+    pub fn try_append(&mut self, row: &[f32]) -> Result<usize, CacheError> {
+        if row.len() != self.d {
+            return Err(CacheError::WidthMismatch {
+                expected: self.d,
+                got: row.len(),
             });
+        }
+        if let Some(channel) = row.iter().position(|x| !x.is_finite()) {
+            return Err(CacheError::NonFinite { channel });
+        }
+        let scale = *self.scale.get_or_insert_with(|| {
+            let abs_max = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
             if abs_max == 0.0 {
                 1.0
             } else {
-                abs_max * UNIVERSAL_SCALE_HEADROOM / SYM_INT8_DIVISOR
+                // Divide before multiplying: `abs_max * headroom` overflows
+                // to Inf for abs_max within headroom× of f32::MAX, which
+                // would silently zero every code in the buffer. The cap
+                // keeps every reconstruction `code · scale` finite even
+                // when rounding pushes a code past abs_max / scale.
+                // /128 not /127: a power-of-two divide is exact in f32,
+                // so 127 · cap stays strictly below f32::MAX.
+                (abs_max / SYM_INT8_DIVISOR * UNIVERSAL_SCALE_HEADROOM).min(f32::MAX / 128.0)
             }
         });
         let mut clamped_here = 0usize;
         for &x in row {
-            assert!(x.is_finite(), "non-finite value in KV row");
             let q = (x / scale).round();
             if !(-127.0..=127.0).contains(&q) {
                 clamped_here += 1;
@@ -97,7 +126,7 @@ impl Int8Buffer {
         }
         self.rows += 1;
         self.clamped += clamped_here as u64;
-        clamped_here
+        Ok(clamped_here)
     }
 
     /// Number of buffered tokens.
@@ -250,5 +279,42 @@ mod tests {
     #[should_panic(expected = "non-finite")]
     fn nan_panics() {
         Int8Buffer::new(1).append(&[f32::NAN]);
+    }
+
+    #[test]
+    fn try_append_reports_first_bad_channel_and_leaves_buffer_clean() {
+        let mut b = Int8Buffer::new(3);
+        assert_eq!(
+            b.try_append(&[1.0, f32::NAN, f32::INFINITY]),
+            Err(CacheError::NonFinite { channel: 1 })
+        );
+        assert_eq!(
+            b.try_append(&[1.0, 2.0]),
+            Err(CacheError::WidthMismatch { expected: 3, got: 2 })
+        );
+        assert!(b.is_empty(), "failed appends must not mutate the buffer");
+        assert_eq!(b.scale(), None);
+        assert_eq!(b.try_append(&[1.0, 2.0, 3.0]), Ok(0));
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn extreme_outlier_first_row_keeps_scale_finite() {
+        // Regression: the universal scale used to compute
+        // `abs_max * headroom / divisor`, which overflows to Inf when
+        // abs_max is within headroom× of f32::MAX — every subsequent code
+        // then quantized to 0 silently. Dividing first keeps it finite.
+        let mut b = Int8Buffer::new(2);
+        b.append(&[f32::MAX, -f32::MAX / 2.0]);
+        let s = b.scale().unwrap();
+        assert!(s.is_finite() && s > 0.0, "scale must stay finite, got {s}");
+        // The opening row itself must round-trip to nonzero values.
+        let back = b.dequantize();
+        assert!(back.get(0, 0) > 0.0, "outlier collapsed to {}", back.get(0, 0));
+        assert!(back.get(0, 1) < 0.0);
+        // And ordinary rows afterwards still quantize (to tiny codes).
+        b.append(&[0.0, 0.0]);
+        assert_eq!(b.len(), 2);
+        assert!(b.dequantize().as_slice().iter().all(|x| x.is_finite()));
     }
 }

@@ -1,6 +1,7 @@
 //! Per-head quantized KV cache.
 
 use crate::buffer::Int8Buffer;
+use crate::error::CacheError;
 use crate::stats::MemoryStats;
 use turbo_quant::{BitWidth, ProgressiveBlock, SymQuantized};
 use turbo_tensor::Matrix;
@@ -157,13 +158,43 @@ impl HeadKvCache {
     ///
     /// # Panics
     ///
-    /// Panics if the vectors are not `head_dim` long.
+    /// Panics if the vectors are not `head_dim` long or contain non-finite
+    /// values. [`HeadKvCache::try_append`] is the non-panicking equivalent.
     pub fn append(&mut self, k: &[f32], v: &[f32]) {
-        self.k_buf.append(k);
-        self.v_buf.append(v);
-        if self.k_buf.len() >= self.config.buffer_capacity {
-            self.flush();
+        if let Err(e) = self.try_append(k, v) {
+            panic!("{e}");
         }
+    }
+
+    /// Non-panicking [`HeadKvCache::append`].
+    ///
+    /// # Errors
+    ///
+    /// Validation errors ([`CacheError::WidthMismatch`],
+    /// [`CacheError::NonFinite`]) are returned *before* any mutation — the
+    /// token is not cached. [`CacheError::ScaleOverflow`] means the token
+    /// **was** buffered but the capacity-triggered flush could not compress
+    /// the buffer; the tokens stay in the INT8 buffer, so a caller can
+    /// promote the cache to a higher precision without losing them.
+    pub fn try_append(&mut self, k: &[f32], v: &[f32]) -> Result<(), CacheError> {
+        // Validate V up front so a bad V row cannot leave K one row ahead.
+        if v.len() != self.d {
+            return Err(CacheError::WidthMismatch {
+                expected: self.d,
+                got: v.len(),
+            });
+        }
+        if let Some(channel) = v.iter().position(|x| !x.is_finite()) {
+            return Err(CacheError::NonFinite { channel });
+        }
+        self.k_buf.try_append(k)?;
+        self.v_buf
+            .try_append(v)
+            .expect("V row validated before K was appended");
+        if self.k_buf.len() >= self.config.buffer_capacity {
+            self.try_flush()?;
+        }
+        Ok(())
     }
 
     /// Prefill path: quantizes whole `B_c`-sized K/V tiles directly into
@@ -198,25 +229,41 @@ impl HeadKvCache {
 
     /// Forces the open buffer to compress into resident blocks even if it
     /// is not full. No-op on an empty buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer's universal scale cannot be represented at the
+    /// resident precision. [`HeadKvCache::try_flush`] is the non-panicking
+    /// equivalent.
     pub fn flush(&mut self) {
+        if let Err(e) = self.try_flush() {
+            panic!("{e}");
+        }
+    }
+
+    /// Non-panicking [`HeadKvCache::flush`]. On error the buffer is left
+    /// intact (nothing is compressed, nothing is lost).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::ScaleOverflow`] if the second quantization stage
+    /// cannot represent the buffer's scale.
+    pub fn try_flush(&mut self) -> Result<(), CacheError> {
         if self.k_buf.is_empty() {
-            return;
+            return Ok(());
         }
         let k8: SymQuantized = self.k_buf.as_sym_quantized();
         let v8: SymQuantized = self.v_buf.as_sym_quantized();
-        self.k_blocks.push(ProgressiveBlock::quantize_from_int8(
-            &k8,
-            self.config.bits,
-            self.config.group_size,
-        ));
-        self.v_blocks.push(ProgressiveBlock::quantize_from_int8(
-            &v8,
-            self.config.bits,
-            self.config.group_size,
-        ));
+        let kb =
+            ProgressiveBlock::try_quantize_from_int8(&k8, self.config.bits, self.config.group_size)?;
+        let vb =
+            ProgressiveBlock::try_quantize_from_int8(&v8, self.config.bits, self.config.group_size)?;
+        self.k_blocks.push(kb);
+        self.v_blocks.push(vb);
         self.resident_tokens += self.k_buf.len();
         self.k_buf.clear();
         self.v_buf.clear();
+        Ok(())
     }
 
     /// StreamingLLM-style eviction: keeps the first `sink_blocks` resident
@@ -476,6 +523,38 @@ mod tests {
     #[should_panic(expected = "INT4 or INT2")]
     fn int8_resident_rejected() {
         HeadKvCache::new(4, cfg(BitWidth::Int8, 8));
+    }
+
+    #[test]
+    fn try_append_validates_both_rows_before_mutating() {
+        let mut c = HeadKvCache::new(2, cfg(BitWidth::Int4, 8));
+        // Bad V must not leave K one row ahead.
+        assert_eq!(
+            c.try_append(&[1.0, 2.0], &[f32::NAN, 0.0]),
+            Err(CacheError::NonFinite { channel: 0 })
+        );
+        assert_eq!(
+            c.try_append(&[1.0, 2.0], &[1.0]),
+            Err(CacheError::WidthMismatch { expected: 2, got: 1 })
+        );
+        assert_eq!(
+            c.try_append(&[f32::INFINITY, 0.0], &[1.0, 2.0]),
+            Err(CacheError::NonFinite { channel: 0 })
+        );
+        assert!(c.is_empty());
+        assert_eq!(c.try_append(&[1.0, 2.0], &[3.0, 4.0]), Ok(()));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.key_buffer().len(), c.value_buffer().len());
+    }
+
+    #[test]
+    fn try_flush_on_empty_buffer_is_ok() {
+        let mut c = HeadKvCache::new(2, cfg(BitWidth::Int4, 8));
+        assert_eq!(c.try_flush(), Ok(()));
+        c.try_append(&[1.0, 2.0], &[3.0, 4.0]).unwrap();
+        assert_eq!(c.try_flush(), Ok(()));
+        assert_eq!(c.resident_blocks().len(), 1);
+        assert_eq!(c.buffer_len(), 0);
     }
 
     #[test]

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod error;
 pub mod head;
 pub mod layer;
 pub mod paged;
@@ -44,8 +45,9 @@ pub mod persist;
 pub mod stats;
 
 pub use buffer::Int8Buffer;
+pub use error::CacheError;
 pub use head::{HeadKvCache, KvCacheConfig};
 pub use layer::LayerKvCache;
 pub use paged::{PagedKvPool, SeqId};
-pub use persist::PersistError;
-pub use stats::MemoryStats;
+pub use persist::{recover_head_cache, serialize_head_cache_v1, PersistError};
+pub use stats::{MemoryStats, RecoveryReport, ScrubReport};

@@ -12,24 +12,51 @@
 //! hundred chat sessions over one system prompt store that prompt's pages
 //! once, quantized.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use crate::buffer::Int8Buffer;
+use crate::error::CacheError;
 use crate::head::KvCacheConfig;
-use turbo_quant::{BitWidth, ProgressiveBlock};
+use crate::stats::ScrubReport;
+use turbo_quant::{BitWidth, PackedCodes, ProgressiveBlock};
+use turbo_robust::{Crc32, HealthEvent, HealthStats};
 use turbo_tensor::Matrix;
 
 /// Identifier of a live sequence in a [`PagedKvPool`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct SeqId(u64);
 
+impl SeqId {
+    /// The raw id, for error reporting.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 /// One immutable page: a sealed progressive K/V block pair plus its
-/// reference count.
+/// reference count and seal-time checksum.
 #[derive(Clone, Debug)]
 struct Page {
     k: ProgressiveBlock,
     v: ProgressiveBlock,
     refs: usize,
+    /// CRC32 over the page payload at seal time; [`PagedKvPool::scrub`]
+    /// recomputes it to detect in-memory corruption.
+    crc: u32,
+}
+
+/// Checksum of a page's payload: packed K/V codes, group parameters, and
+/// stage-1 scales — everything a bit-flip could silently alter.
+fn page_checksum(k: &ProgressiveBlock, v: &ProgressiveBlock) -> u32 {
+    let mut crc = Crc32::new();
+    for b in [k, v] {
+        crc.update(b.packed().bytes());
+        for p in b.group_params() {
+            crc.update(&[p.scale as u8, p.zero as u8]);
+        }
+        crc.update(&b.outer_scale().to_le_bytes());
+    }
+    crc.finish()
 }
 
 #[derive(Clone, Debug)]
@@ -124,16 +151,39 @@ impl PagedKvPool {
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is not live.
+    /// Panics if `seq` is not live. [`PagedKvPool::try_fork`] is the
+    /// non-panicking equivalent.
     pub fn fork(&mut self, seq: SeqId) -> SeqId {
-        let parent = self.seqs.get(&seq).expect("unknown sequence").clone();
+        self.try_fork(seq).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::fork`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] if `seq` is not live;
+    /// [`CacheError::DanglingPage`] if its page table references a freed
+    /// slot (pool corruption).
+    pub fn try_fork(&mut self, seq: SeqId) -> Result<SeqId, CacheError> {
+        let parent = self
+            .seqs
+            .get(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?
+            .clone();
+        // Validate the whole page table before touching refcounts so a
+        // failed fork leaves the pool unchanged.
         for &p in &parent.pages {
-            self.pages[p].as_mut().expect("dangling page").refs += 1;
+            if self.pages.get(p).is_none_or(|slot| slot.is_none()) {
+                return Err(CacheError::DanglingPage(p));
+            }
+        }
+        for &p in &parent.pages {
+            self.pages[p].as_mut().expect("validated above").refs += 1;
         }
         let id = SeqId(self.next_seq);
         self.next_seq += 1;
         self.seqs.insert(id, parent);
-        id
+        Ok(id)
     }
 
     /// Releases a sequence, freeing any pages whose reference count drops
@@ -141,17 +191,35 @@ impl PagedKvPool {
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is not live.
+    /// Panics if `seq` is not live. [`PagedKvPool::try_release`] is the
+    /// non-panicking equivalent.
     pub fn release(&mut self, seq: SeqId) {
-        let s = self.seqs.remove(&seq).expect("unknown sequence");
+        self.try_release(seq).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::release`]. Slots already freed (e.g.
+    /// by a [`PagedKvPool::scrub`] that dropped corrupt pages) are
+    /// skipped rather than treated as errors — release must always make
+    /// progress during recovery.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] if `seq` is not live.
+    pub fn try_release(&mut self, seq: SeqId) -> Result<(), CacheError> {
+        let s = self
+            .seqs
+            .remove(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
         for p in s.pages {
-            let page = self.pages[p].as_mut().expect("dangling page");
-            page.refs -= 1;
-            if page.refs == 0 {
-                self.pages[p] = None;
-                self.free.push(p);
+            if let Some(Some(page)) = self.pages.get_mut(p) {
+                page.refs -= 1;
+                if page.refs == 0 {
+                    self.pages[p] = None;
+                    self.free.push(p);
+                }
             }
         }
+        Ok(())
     }
 
     /// Appends one token's K/V vectors to `seq`, sealing a page when the
@@ -160,10 +228,46 @@ impl PagedKvPool {
     /// # Panics
     ///
     /// Panics if `seq` is not live or the vectors are the wrong width.
+    /// [`PagedKvPool::try_append`] is the non-panicking equivalent.
     pub fn append(&mut self, seq: SeqId, k: &[f32], v: &[f32]) {
-        let s = self.seqs.get_mut(&seq).expect("unknown sequence");
-        s.k_buf.append(k);
-        s.v_buf.append(v);
+        self.try_append(seq, k, v).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::append`]: validates the sequence and
+    /// both rows before mutating anything, so a rejected token leaves the
+    /// pool consistent (no half-appended K without V).
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`], [`CacheError::WidthMismatch`], or
+    /// [`CacheError::NonFinite`] (first bad channel of whichever row is
+    /// bad, K checked first).
+    pub fn try_append(&mut self, seq: SeqId, k: &[f32], v: &[f32]) -> Result<(), CacheError> {
+        let d = self.d;
+        let validate = |row: &[f32]| -> Result<(), CacheError> {
+            if row.len() != d {
+                return Err(CacheError::WidthMismatch {
+                    expected: d,
+                    got: row.len(),
+                });
+            }
+            if let Some(channel) = row.iter().position(|x| !x.is_finite()) {
+                return Err(CacheError::NonFinite { channel });
+            }
+            Ok(())
+        };
+        validate(k)?;
+        validate(v)?;
+        let s = self
+            .seqs
+            .get_mut(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
+        s.k_buf
+            .try_append(k)
+            .expect("row validated before mutation");
+        s.v_buf
+            .try_append(v)
+            .expect("row validated before mutation");
         if s.k_buf.len() >= self.config.buffer_capacity {
             let kb = ProgressiveBlock::quantize_from_int8(
                 &s.k_buf.as_sym_quantized(),
@@ -177,10 +281,12 @@ impl PagedKvPool {
             );
             s.k_buf.clear();
             s.v_buf.clear();
+            let crc = page_checksum(&kb, &vb);
             let page = Page {
                 k: kb,
                 v: vb,
                 refs: 1,
+                crc,
             };
             let slot = match self.free.pop() {
                 Some(slot) => {
@@ -194,6 +300,7 @@ impl PagedKvPool {
             };
             s.pages.push(slot);
         }
+        Ok(())
     }
 
     /// Number of live sequences.
@@ -205,10 +312,30 @@ impl PagedKvPool {
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is not live.
+    /// Panics if `seq` is not live. [`PagedKvPool::try_seq_len`] is the
+    /// non-panicking equivalent.
     pub fn seq_len(&self, seq: SeqId) -> usize {
-        let s = self.seqs.get(&seq).expect("unknown sequence");
-        s.pages.len() * self.config.buffer_capacity + s.k_buf.len()
+        self.try_seq_len(seq).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::seq_len`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] if `seq` is not live.
+    pub fn try_seq_len(&self, seq: SeqId) -> Result<usize, CacheError> {
+        let s = self
+            .seqs
+            .get(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
+        Ok(s.pages.len() * self.config.buffer_capacity + s.k_buf.len())
+    }
+
+    /// All live sequence ids, ascending.
+    pub fn sequence_ids(&self) -> Vec<SeqId> {
+        let mut ids: Vec<SeqId> = self.seqs.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// Physical (deduplicated) sealed pages in the pool.
@@ -251,12 +378,31 @@ impl PagedKvPool {
     /// # Panics
     ///
     /// Panics if `seq` is not live.
+    /// [`PagedKvPool::try_dequantize_sequence`] is the non-panicking
+    /// equivalent.
     pub fn dequantize_sequence(&self, seq: SeqId) -> (Matrix, Matrix) {
-        let s = self.seqs.get(&seq).expect("unknown sequence");
+        self.try_dequantize_sequence(seq)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::dequantize_sequence`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] or [`CacheError::DanglingPage`].
+    pub fn try_dequantize_sequence(&self, seq: SeqId) -> Result<(Matrix, Matrix), CacheError> {
+        let s = self
+            .seqs
+            .get(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
         let mut ks = Vec::new();
         let mut vs = Vec::new();
         for &p in &s.pages {
-            let page = self.pages[p].as_ref().expect("dangling page");
+            let page = self
+                .pages
+                .get(p)
+                .and_then(|slot| slot.as_ref())
+                .ok_or(CacheError::DanglingPage(p))?;
             ks.push(page.k.dequantize());
             vs.push(page.v.dequantize());
         }
@@ -265,9 +411,9 @@ impl PagedKvPool {
             vs.push(s.v_buf.dequantize());
         }
         if ks.is_empty() {
-            return (Matrix::zeros(0, self.d), Matrix::zeros(0, self.d));
+            return Ok((Matrix::zeros(0, self.d), Matrix::zeros(0, self.d)));
         }
-        (Matrix::vstack(&ks), Matrix::vstack(&vs))
+        Ok((Matrix::vstack(&ks), Matrix::vstack(&vs)))
     }
 
     /// Visits `seq`'s K/V blocks oldest-first: sealed pages as
@@ -275,21 +421,149 @@ impl PagedKvPool {
     ///
     /// # Panics
     ///
-    /// Panics if `seq` is not live.
+    /// Panics if `seq` is not live. [`PagedKvPool::try_visit_blocks`] is
+    /// the non-panicking equivalent.
     pub fn visit_blocks(
+        &self,
+        seq: SeqId,
+        on_page: impl FnMut(&ProgressiveBlock, &ProgressiveBlock),
+        on_tail: impl FnMut(&Int8Buffer, &Int8Buffer),
+    ) {
+        self.try_visit_blocks(seq, on_page, on_tail)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Non-panicking [`PagedKvPool::visit_blocks`].
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] or [`CacheError::DanglingPage`];
+    /// on error some pages may already have been visited.
+    pub fn try_visit_blocks(
         &self,
         seq: SeqId,
         mut on_page: impl FnMut(&ProgressiveBlock, &ProgressiveBlock),
         mut on_tail: impl FnMut(&Int8Buffer, &Int8Buffer),
-    ) {
-        let s = self.seqs.get(&seq).expect("unknown sequence");
+    ) -> Result<(), CacheError> {
+        let s = self
+            .seqs
+            .get(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
         for &p in &s.pages {
-            let page = self.pages[p].as_ref().expect("dangling page");
+            let page = self
+                .pages
+                .get(p)
+                .and_then(|slot| slot.as_ref())
+                .ok_or(CacheError::DanglingPage(p))?;
             on_page(&page.k, &page.v);
         }
         if !s.k_buf.is_empty() {
             on_tail(&s.k_buf, &s.v_buf);
         }
+        Ok(())
+    }
+
+    // ------------------------------------------- integrity & recovery --
+
+    /// Fault-injection hook: mutable access to the packed K/V codes of
+    /// the `page_pos`-th sealed page of `seq`. The seal-time checksum is
+    /// deliberately *not* updated, so a subsequent [`PagedKvPool::scrub`]
+    /// detects the mutation — exactly like a bit-flip in HBM.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::UnknownSequence`] if `seq` is not live;
+    /// [`CacheError::DanglingPage`] if `page_pos` is out of range or the
+    /// slot is freed.
+    pub fn tamper_page(
+        &mut self,
+        seq: SeqId,
+        page_pos: usize,
+        f: impl FnOnce(&mut PackedCodes, &mut PackedCodes),
+    ) -> Result<(), CacheError> {
+        let s = self
+            .seqs
+            .get(&seq)
+            .ok_or(CacheError::UnknownSequence(seq.0))?;
+        let &slot = s.pages.get(page_pos).ok_or(CacheError::DanglingPage(page_pos))?;
+        let page = self
+            .pages
+            .get_mut(slot)
+            .and_then(|p| p.as_mut())
+            .ok_or(CacheError::DanglingPage(slot))?;
+        f(page.k.packed_mut(), page.v.packed_mut());
+        Ok(())
+    }
+
+    /// Verifies every sealed page against its seal-time checksum, drops
+    /// the pages that fail, and truncates affected sequences at their
+    /// first corrupt page (everything after it depends on a corrupt
+    /// prefix and must be re-prefilled anyway). Tail buffers of affected
+    /// sequences are cleared for the same reason.
+    ///
+    /// Returns a [`ScrubReport`] listing the dropped pages and, per
+    /// affected sequence, the token range the serving layer must
+    /// re-prefill. Each dropped page records
+    /// [`HealthEvent::DroppedPage`] and each truncated sequence
+    /// [`HealthEvent::PartialRecovery`] in `health` when provided.
+    pub fn scrub(&mut self, health: Option<&HealthStats>) -> ScrubReport {
+        // Pass 1: find corrupt slots.
+        let mut corrupt: HashSet<usize> = HashSet::new();
+        for (slot, page) in self.pages.iter().enumerate() {
+            if let Some(p) = page {
+                if page_checksum(&p.k, &p.v) != p.crc {
+                    corrupt.insert(slot);
+                }
+            }
+        }
+        let mut report = ScrubReport::default();
+        if corrupt.is_empty() {
+            return report;
+        }
+        // Pass 2: truncate every sequence at its first corrupt page,
+        // releasing references the truncation drops. Iterate in id order
+        // so reports are deterministic.
+        for id in self.sequence_ids() {
+            let s = self.seqs.get_mut(&id).expect("id just listed");
+            let Some(first_bad) = s.pages.iter().position(|p| corrupt.contains(p)) else {
+                continue;
+            };
+            let old_len = s.pages.len() * self.config.buffer_capacity + s.k_buf.len();
+            let removed: Vec<usize> = s.pages.split_off(first_bad);
+            s.k_buf.clear();
+            s.v_buf.clear();
+            for p in removed {
+                // Healthy-but-unreachable pages lose this reference;
+                // corrupt pages are freed wholesale in pass 3.
+                if !corrupt.contains(&p) {
+                    if let Some(Some(page)) = self.pages.get_mut(p) {
+                        page.refs -= 1;
+                        if page.refs == 0 {
+                            self.pages[p] = None;
+                            self.free.push(p);
+                        }
+                    }
+                }
+            }
+            report
+                .reprefill
+                .push((id.raw(), first_bad * self.config.buffer_capacity..old_len));
+            if let Some(h) = health {
+                h.record(HealthEvent::PartialRecovery);
+            }
+        }
+        // Pass 3: free the corrupt slots themselves.
+        let mut slots: Vec<usize> = corrupt.into_iter().collect();
+        slots.sort_unstable();
+        for slot in slots {
+            self.pages[slot] = None;
+            self.free.push(slot);
+            report.corrupt_pages += 1;
+            if let Some(h) = health {
+                h.record(HealthEvent::DroppedPage);
+            }
+        }
+        report
     }
 }
 
@@ -434,5 +708,125 @@ mod tests {
         let s = p.create_sequence();
         p.release(s);
         p.seq_len(s);
+    }
+
+    #[test]
+    fn try_apis_reject_bad_inputs_without_panicking() {
+        let mut p = pool(4);
+        let s = p.create_sequence();
+        p.release(s);
+        assert_eq!(p.try_seq_len(s), Err(CacheError::UnknownSequence(s.raw())));
+        assert_eq!(p.try_fork(s).unwrap_err(), CacheError::UnknownSequence(s.raw()));
+        assert_eq!(p.try_release(s), Err(CacheError::UnknownSequence(s.raw())));
+        assert!(p.try_dequantize_sequence(s).is_err());
+        let live = p.create_sequence();
+        assert_eq!(
+            p.try_append(live, &[1.0; 3], &[1.0; 8]),
+            Err(CacheError::WidthMismatch { expected: 8, got: 3 })
+        );
+        assert_eq!(
+            p.try_append(live, &[1.0; 8], &[f32::NAN; 8]),
+            Err(CacheError::NonFinite { channel: 0 })
+        );
+        // A rejected append must not leave K without V.
+        assert_eq!(p.try_seq_len(live), Ok(0));
+        assert_eq!(p.try_append(live, &[1.0; 8], &[2.0; 8]), Ok(()));
+        assert_eq!(p.try_seq_len(live), Ok(1));
+    }
+
+    #[test]
+    fn scrub_on_healthy_pool_is_clean() {
+        let mut p = pool(4);
+        let s = p.create_sequence();
+        fill(&mut p, s, 10, 12);
+        let report = p.scrub(None);
+        assert!(report.is_clean());
+        assert_eq!(p.seq_len(s), 12);
+    }
+
+    #[test]
+    fn scrub_drops_tampered_page_and_reports_reprefill_range() {
+        use turbo_robust::{HealthEvent, HealthStats};
+        let mut p = pool(4);
+        let s = p.create_sequence();
+        fill(&mut p, s, 11, 14); // 3 sealed pages + 2 in the tail
+        p.tamper_page(s, 1, |k, _v| {
+            k.bytes_mut()[0] ^= 0x04; // single bit flip in page 1
+        })
+        .unwrap();
+        let health = HealthStats::new();
+        let report = p.scrub(Some(&health));
+        assert_eq!(report.corrupt_pages, 1);
+        // Page 1 onward is lost: tokens 4..14 need re-prefill.
+        assert_eq!(report.reprefill, vec![(s.raw(), 4..14)]);
+        assert_eq!(report.tokens_lost(), 10);
+        assert_eq!(health.count(HealthEvent::DroppedPage), 1);
+        assert_eq!(health.count(HealthEvent::PartialRecovery), 1);
+        // The surviving prefix still reads back.
+        assert_eq!(p.seq_len(s), 4);
+        let (k, v) = p.dequantize_sequence(s);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(v.rows(), 4);
+        // Pool is consistent: page 1's slot was freed, page 2 released.
+        assert_eq!(p.physical_pages(), 1);
+        // And the sequence keeps working after recovery.
+        p.append(s, &[1.0; 8], &[1.0; 8]);
+        assert_eq!(p.seq_len(s), 5);
+    }
+
+    #[test]
+    fn scrub_truncates_every_sharer_of_a_corrupt_page() {
+        let mut p = pool(4);
+        let a = p.create_sequence();
+        fill(&mut p, a, 12, 8); // 2 shared pages
+        let b = p.fork(a);
+        p.append(b, &[0.5; 8], &[0.5; 8]); // b: 2 pages + 1 tail token
+        p.tamper_page(a, 0, |_k, v| {
+            v.bytes_mut()[2] ^= 0x80;
+        })
+        .unwrap();
+        let report = p.scrub(None);
+        assert_eq!(report.corrupt_pages, 1);
+        assert_eq!(
+            report.reprefill,
+            vec![(a.raw(), 0..8), (b.raw(), 0..9)]
+        );
+        assert_eq!(p.seq_len(a), 0);
+        assert_eq!(p.seq_len(b), 0);
+        // Page 1 was healthy but unreachable from both sharers -> freed.
+        assert_eq!(p.physical_pages(), 0);
+        // Releasing after a scrub must not panic on freed slots.
+        p.release(a);
+        p.release(b);
+    }
+
+    #[test]
+    fn scrub_spares_unaffected_sequences() {
+        let mut p = pool(4);
+        let a = p.create_sequence();
+        let b = p.create_sequence();
+        fill(&mut p, a, 13, 8);
+        fill(&mut p, b, 14, 8);
+        p.tamper_page(a, 0, |k, _| {
+            k.bytes_mut()[1] ^= 0x01;
+        })
+        .unwrap();
+        let report = p.scrub(None);
+        assert_eq!(report.reprefill.len(), 1);
+        assert_eq!(report.reprefill[0].0, a.raw());
+        assert_eq!(p.seq_len(b), 8, "healthy sequence untouched");
+        let (kb, _) = p.dequantize_sequence(b);
+        assert_eq!(kb.rows(), 8);
+    }
+
+    #[test]
+    fn tamper_page_validates_target() {
+        let mut p = pool(4);
+        let s = p.create_sequence();
+        fill(&mut p, s, 15, 4);
+        assert!(p.tamper_page(s, 5, |_, _| {}).is_err());
+        let dead = p.create_sequence();
+        p.release(dead);
+        assert!(p.tamper_page(dead, 0, |_, _| {}).is_err());
     }
 }

@@ -11,16 +11,30 @@
 //! | n_blocks u32 | blocks (K,V interleaved) | K buffer | V buffer
 //! ```
 //!
-//! All integers little-endian. Deserialization never panics on malformed
-//! input — every structural violation surfaces as a [`PersistError`].
+//! All integers little-endian. Format **v2** (current) appends a CRC32
+//! checksum after every serialized block and buffer, covering that
+//! element's own bytes, so storage-level corruption is detected
+//! element-by-element instead of producing a plausible-but-wrong cache.
+//! Format **v1** (no checksums) remains readable; [`serialize_head_cache_v1`]
+//! still writes it for compatibility tests.
+//!
+//! Deserialization never panics on malformed input — every structural
+//! violation surfaces as a [`PersistError`]. For payloads where the tail
+//! is damaged but a prefix is intact, [`recover_head_cache`] salvages
+//! the valid prefix and reports how many tokens must be re-prefilled.
 
 use crate::buffer::Int8Buffer;
 use crate::head::{HeadKvCache, KvCacheConfig};
+use crate::stats::RecoveryReport;
 use turbo_quant::progressive::GroupParams;
 use turbo_quant::{BitWidth, PackedCodes, ProgressiveBlock};
+use turbo_robust::{crc32, HealthEvent, HealthStats};
 
 const MAGIC: &[u8; 4] = b"TKVC";
-const VERSION: u16 = 1;
+/// Current format: per-element CRC32 checksums.
+const VERSION: u16 = 2;
+/// Legacy checksum-free format, still readable.
+const VERSION_V1: u16 = 1;
 
 /// Errors produced when decoding a serialized cache.
 #[derive(Debug, PartialEq, Eq)]
@@ -115,11 +129,33 @@ fn write_buffer(w: &mut Writer, b: &Int8Buffer) {
     w.bytes(&raw);
 }
 
-/// Serializes a head cache to a compact binary payload.
-pub fn serialize_head_cache(cache: &HeadKvCache) -> Vec<u8> {
+/// Writes one block, appending a CRC32 over its own bytes when the
+/// format carries checksums (v2).
+fn write_block_checked(w: &mut Writer, b: &ProgressiveBlock, checksums: bool) {
+    let start = w.buf.len();
+    write_block(w, b);
+    if checksums {
+        let crc = crc32(&w.buf[start..]);
+        w.u32(crc);
+    }
+}
+
+/// Writes one buffer, appending a CRC32 over its own bytes when the
+/// format carries checksums (v2).
+fn write_buffer_checked(w: &mut Writer, b: &Int8Buffer, checksums: bool) {
+    let start = w.buf.len();
+    write_buffer(w, b);
+    if checksums {
+        let crc = crc32(&w.buf[start..]);
+        w.u32(crc);
+    }
+}
+
+fn serialize_with_version(cache: &HeadKvCache, version: u16) -> Vec<u8> {
+    let checksums = version >= 2;
     let mut w = Writer::new();
     w.buf.extend_from_slice(MAGIC);
-    w.u16(VERSION);
+    w.u16(version);
     w.u32(cache.head_dim() as u32);
     let cfg = cache.config();
     w.u8(bits_tag(cfg.bits));
@@ -131,12 +167,24 @@ pub fn serialize_head_cache(cache: &HeadKvCache) -> Vec<u8> {
         .iter()
         .zip(cache.resident_value_blocks())
     {
-        write_block(&mut w, kb);
-        write_block(&mut w, vb);
+        write_block_checked(&mut w, kb, checksums);
+        write_block_checked(&mut w, vb, checksums);
     }
-    write_buffer(&mut w, cache.key_buffer());
-    write_buffer(&mut w, cache.value_buffer());
+    write_buffer_checked(&mut w, cache.key_buffer(), checksums);
+    write_buffer_checked(&mut w, cache.value_buffer(), checksums);
     w.buf
+}
+
+/// Serializes a head cache to a compact binary payload in the current
+/// (v2, checksummed) format.
+pub fn serialize_head_cache(cache: &HeadKvCache) -> Vec<u8> {
+    serialize_with_version(cache, VERSION)
+}
+
+/// Serializes in the legacy v1 (checksum-free) format — kept so
+/// compatibility with old snapshots stays testable.
+pub fn serialize_head_cache_v1(cache: &HeadKvCache) -> Vec<u8> {
+    serialize_with_version(cache, VERSION_V1)
 }
 
 // ------------------------------------------------------------- reading --
@@ -159,20 +207,28 @@ impl<'a> Reader<'a> {
         self.pos += n;
         Ok(s)
     }
+    /// Reads exactly `N` bytes into an array without any fallible
+    /// conversion on the hot path.
+    fn take_array<const N: usize>(&mut self) -> Result<[u8; N], PersistError> {
+        let s = self.take(N)?;
+        let mut a = [0u8; N];
+        a.copy_from_slice(s);
+        Ok(a)
+    }
     fn u8(&mut self) -> Result<u8, PersistError> {
         Ok(self.take(1)?[0])
     }
     fn u16(&mut self) -> Result<u16, PersistError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+        Ok(u16::from_le_bytes(self.take_array()?))
     }
     fn u32(&mut self) -> Result<u32, PersistError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(u32::from_le_bytes(self.take_array()?))
     }
     fn u64(&mut self) -> Result<u64, PersistError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+        Ok(u64::from_le_bytes(self.take_array()?))
     }
     fn f32(&mut self) -> Result<f32, PersistError> {
-        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+        Ok(f32::from_le_bytes(self.take_array()?))
     }
     fn bytes(&mut self) -> Result<Vec<u8>, PersistError> {
         let n = self.u32()? as usize;
@@ -277,21 +333,57 @@ fn read_buffer(r: &mut Reader<'_>, d: usize) -> Result<Int8Buffer, PersistError>
     Ok(Int8Buffer::from_parts(codes, rows, d, scale, clamped))
 }
 
-/// Decodes a payload produced by [`serialize_head_cache`].
-///
-/// # Errors
-///
-/// Returns a [`PersistError`] describing the first structural violation
-/// found; malformed input never panics.
-pub fn deserialize_head_cache(payload: &[u8]) -> Result<HeadKvCache, PersistError> {
-    let mut r = Reader::new(payload);
+/// Reads one block and, for checksummed formats, verifies the CRC32
+/// stored after it against the bytes just consumed.
+fn read_block_checked(
+    r: &mut Reader<'_>,
+    checksums: bool,
+) -> Result<ProgressiveBlock, PersistError> {
+    let start = r.pos;
+    let block = read_block(r)?;
+    if checksums {
+        let actual = crc32(&r.buf[start..r.pos]);
+        if r.u32()? != actual {
+            return Err(PersistError::Corrupt("block checksum mismatch"));
+        }
+    }
+    Ok(block)
+}
+
+/// Reads one buffer and, for checksummed formats, verifies its CRC32.
+fn read_buffer_checked(
+    r: &mut Reader<'_>,
+    d: usize,
+    checksums: bool,
+) -> Result<Int8Buffer, PersistError> {
+    let start = r.pos;
+    let buf = read_buffer(r, d)?;
+    if checksums {
+        let actual = crc32(&r.buf[start..r.pos]);
+        if r.u32()? != actual {
+            return Err(PersistError::Corrupt("buffer checksum mismatch"));
+        }
+    }
+    Ok(buf)
+}
+
+/// Parsed fixed-size header of a serialized cache.
+struct Header {
+    d: usize,
+    config: KvCacheConfig,
+    n_blocks: usize,
+    checksums: bool,
+}
+
+fn read_header(r: &mut Reader<'_>) -> Result<Header, PersistError> {
     if r.take(4)? != MAGIC {
         return Err(PersistError::BadMagic);
     }
     let version = r.u16()?;
-    if version != VERSION {
+    if version != VERSION && version != VERSION_V1 {
         return Err(PersistError::UnsupportedVersion(version));
     }
+    let checksums = version >= 2;
     let d = r.u32()? as usize;
     if d == 0 {
         return Err(PersistError::Corrupt("zero head dimension"));
@@ -305,32 +397,60 @@ pub fn deserialize_head_cache(payload: &[u8]) -> Result<HeadKvCache, PersistErro
     if group_size == 0 || buffer_capacity == 0 {
         return Err(PersistError::Corrupt("zero config field"));
     }
-    let config = KvCacheConfig {
-        bits,
-        group_size,
-        buffer_capacity,
-    };
     let n_blocks = r.u32()? as usize;
     // Each block is at least ~21 bytes; bound before allocating.
     if n_blocks > r.remaining() / 21 {
         return Err(PersistError::Truncated);
     }
-    let mut k_blocks = Vec::with_capacity(n_blocks);
-    let mut v_blocks = Vec::with_capacity(n_blocks);
-    for _ in 0..n_blocks {
-        let kb = read_block(&mut r)?;
-        let vb = read_block(&mut r)?;
-        if kb.cols() != d || vb.cols() != d {
-            return Err(PersistError::Corrupt("block channel mismatch"));
-        }
-        if kb.rows() != vb.rows() {
-            return Err(PersistError::Corrupt("K/V block row mismatch"));
-        }
+    Ok(Header {
+        d,
+        config: KvCacheConfig {
+            bits,
+            group_size,
+            buffer_capacity,
+        },
+        n_blocks,
+        checksums,
+    })
+}
+
+/// Reads one interleaved K/V block pair with cross-checks.
+fn read_block_pair(
+    r: &mut Reader<'_>,
+    d: usize,
+    checksums: bool,
+) -> Result<(ProgressiveBlock, ProgressiveBlock), PersistError> {
+    let kb = read_block_checked(r, checksums)?;
+    let vb = read_block_checked(r, checksums)?;
+    if kb.cols() != d || vb.cols() != d {
+        return Err(PersistError::Corrupt("block channel mismatch"));
+    }
+    if kb.rows() != vb.rows() {
+        return Err(PersistError::Corrupt("K/V block row mismatch"));
+    }
+    Ok((kb, vb))
+}
+
+/// Decodes a payload produced by [`serialize_head_cache`] (v2) or
+/// [`serialize_head_cache_v1`] (v1).
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] describing the first structural violation
+/// found — including per-element checksum mismatches for v2 payloads;
+/// malformed input never panics.
+pub fn deserialize_head_cache(payload: &[u8]) -> Result<HeadKvCache, PersistError> {
+    let mut r = Reader::new(payload);
+    let h = read_header(&mut r)?;
+    let mut k_blocks = Vec::with_capacity(h.n_blocks);
+    let mut v_blocks = Vec::with_capacity(h.n_blocks);
+    for _ in 0..h.n_blocks {
+        let (kb, vb) = read_block_pair(&mut r, h.d, h.checksums)?;
         k_blocks.push(kb);
         v_blocks.push(vb);
     }
-    let k_buf = read_buffer(&mut r, d)?;
-    let v_buf = read_buffer(&mut r, d)?;
+    let k_buf = read_buffer_checked(&mut r, h.d, h.checksums)?;
+    let v_buf = read_buffer_checked(&mut r, h.d, h.checksums)?;
     if k_buf.len() != v_buf.len() {
         return Err(PersistError::Corrupt("K/V buffer length mismatch"));
     }
@@ -338,8 +458,81 @@ pub fn deserialize_head_cache(payload: &[u8]) -> Result<HeadKvCache, PersistErro
         return Err(PersistError::Corrupt("trailing bytes"));
     }
     Ok(HeadKvCache::from_parts(
-        d, config, k_blocks, v_blocks, k_buf, v_buf,
+        h.d, h.config, k_blocks, v_blocks, k_buf, v_buf,
     ))
+}
+
+/// Best-effort decode: salvages the longest valid prefix of a damaged
+/// payload instead of rejecting it outright.
+///
+/// Block pairs are consumed until the first corruption (checksum
+/// mismatch, structural violation, or truncation); everything before it
+/// becomes the recovered cache with empty tail buffers, and the
+/// [`RecoveryReport`] says how many tokens survived so the serving layer
+/// knows the suffix to re-prefill. Works for v1 payloads too — without
+/// checksums, detection relies on the structural validation only.
+///
+/// Records [`HealthEvent::CorruptBlock`] per dropped block pair and one
+/// [`HealthEvent::PartialRecovery`] per salvage in `health` when given.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] only when the *header* itself is
+/// unusable — nothing can be salvaged without it.
+pub fn recover_head_cache(
+    payload: &[u8],
+    health: Option<&HealthStats>,
+) -> Result<(HeadKvCache, RecoveryReport), PersistError> {
+    let mut r = Reader::new(payload);
+    let h = read_header(&mut r)?;
+    let mut k_blocks = Vec::new();
+    let mut v_blocks = Vec::new();
+    let mut valid_tokens = 0usize;
+    let mut damaged = false;
+    for _ in 0..h.n_blocks {
+        match read_block_pair(&mut r, h.d, h.checksums) {
+            Ok((kb, vb)) => {
+                valid_tokens += kb.rows();
+                k_blocks.push(kb);
+                v_blocks.push(vb);
+            }
+            Err(_) => {
+                damaged = true;
+                break;
+            }
+        }
+    }
+    let mut k_buf = Int8Buffer::new(h.d);
+    let mut v_buf = Int8Buffer::new(h.d);
+    if !damaged {
+        match (
+            read_buffer_checked(&mut r, h.d, h.checksums),
+            read_buffer_checked(&mut r, h.d, h.checksums),
+        ) {
+            (Ok(kb), Ok(vb)) if kb.len() == vb.len() => {
+                valid_tokens += kb.len();
+                k_buf = kb;
+                v_buf = vb;
+            }
+            _ => damaged = true,
+        }
+    }
+    let dropped_blocks = h.n_blocks - k_blocks.len();
+    if let Some(stats) = health {
+        if dropped_blocks > 0 {
+            stats.record_n(HealthEvent::CorruptBlock, dropped_blocks as u64);
+        }
+        if damaged {
+            stats.record(HealthEvent::PartialRecovery);
+        }
+    }
+    let cache = HeadKvCache::from_parts(h.d, h.config, k_blocks, v_blocks, k_buf, v_buf);
+    let report = RecoveryReport {
+        valid_tokens,
+        dropped_blocks,
+        complete: !damaged,
+    };
+    Ok((cache, report))
 }
 
 impl HeadKvCache {
@@ -474,6 +667,107 @@ mod tests {
             HeadKvCache::from_bytes(&bytes).unwrap_err(),
             PersistError::Corrupt("trailing bytes")
         );
+    }
+
+    #[test]
+    fn v1_payloads_still_round_trip() {
+        let cache = populated(8, 50);
+        let v1 = serialize_head_cache_v1(&cache);
+        let back = HeadKvCache::from_bytes(&v1).unwrap();
+        assert_eq!(back.len(), cache.len());
+        assert_eq!(back.dequantize_all(), cache.dequantize_all());
+        // v1 is strictly smaller (no checksums), v2 is the default.
+        let v2 = cache.to_bytes();
+        assert!(v1.len() < v2.len());
+        assert_eq!(v2[4], 2, "default format must be v2");
+        assert_eq!(v1[4], 1);
+    }
+
+    #[test]
+    fn v2_checksums_catch_payload_bit_flips() {
+        // In v1, flips inside packed code bytes decoded "successfully" to
+        // a silently different cache. v2 must reject every single-bit
+        // flip anywhere after the header's version field.
+        let cache = populated(9, 40);
+        let bytes = cache.to_bytes();
+        let mut caught = 0usize;
+        let mut survived = 0usize;
+        for i in 6..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x01;
+            match HeadKvCache::from_bytes(&corrupted) {
+                Err(_) => caught += 1,
+                Ok(back) => {
+                    // A flip may only survive if it demonstrably changed
+                    // nothing observable (cannot happen for CRC-covered
+                    // spans, so this counts silent corruption).
+                    if back.dequantize_all() != cache.dequantize_all() {
+                        survived += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(survived, 0, "{survived} silent corruptions slipped through");
+        assert!(caught > 0);
+    }
+
+    #[test]
+    fn recover_salvages_valid_prefix() {
+        use turbo_robust::{HealthEvent, HealthStats};
+        let cache = populated(10, 50); // 3 sealed blocks of 16 + 2 buffered
+        let mut bytes = cache.to_bytes();
+        // Find the second block pair's K block and corrupt deep inside it:
+        // flip a byte ~60% into the payload (inside block data, after the
+        // first pair). Use a byte known to sit in a packed-code region by
+        // corrupting several bytes in the middle.
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        let health = HealthStats::new();
+        let (back, report) = recover_head_cache(&bytes, Some(&health)).unwrap();
+        assert!(!report.complete);
+        assert!(report.valid_tokens < cache.len());
+        assert_eq!(back.len(), report.valid_tokens);
+        assert!(report.dropped_blocks > 0);
+        assert_eq!(
+            health.count(HealthEvent::CorruptBlock),
+            report.dropped_blocks as u64
+        );
+        assert_eq!(health.count(HealthEvent::PartialRecovery), 1);
+        // The recovered prefix matches the original's prefix exactly.
+        let (k_orig, _) = cache.dequantize_all();
+        let (k_back, _) = back.dequantize_all();
+        for r in 0..back.len() {
+            for c in 0..16 {
+                assert_eq!(k_back.get(r, c), k_orig.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn recover_on_clean_payload_is_complete() {
+        let cache = populated(11, 50);
+        let (back, report) = recover_head_cache(&cache.to_bytes(), None).unwrap();
+        assert!(report.complete);
+        assert_eq!(report.dropped_blocks, 0);
+        assert_eq!(report.valid_tokens, cache.len());
+        assert_eq!(back.dequantize_all(), cache.dequantize_all());
+    }
+
+    #[test]
+    fn recover_truncated_payload_keeps_whole_blocks() {
+        let cache = populated(12, 50);
+        let bytes = cache.to_bytes();
+        let truncated = &bytes[..bytes.len() * 2 / 3];
+        let (back, report) = recover_head_cache(truncated, None).unwrap();
+        assert!(!report.complete);
+        assert!(back.len() <= cache.len());
+        assert_eq!(back.len() % 16, 0, "only whole sealed blocks survive");
+    }
+
+    #[test]
+    fn recover_rejects_unusable_header() {
+        assert!(recover_head_cache(b"NOPE", None).is_err());
+        assert!(recover_head_cache(&[], None).is_err());
     }
 
     #[test]

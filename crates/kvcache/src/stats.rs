@@ -1,4 +1,45 @@
-//! Memory accounting for quantized KV caches.
+//! Memory accounting and integrity reporting for quantized KV caches.
+
+use std::ops::Range;
+
+/// Outcome of a [`crate::PagedKvPool::scrub`] integrity pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Physical pages dropped because their checksum no longer matched.
+    pub corrupt_pages: usize,
+    /// Per affected sequence (by raw id, ascending): the token range that
+    /// was lost and must be re-prefilled. Ranges start at the first
+    /// corrupt page and run to the old sequence end — later pages and the
+    /// tail buffer depend on the corrupt prefix, so they are dropped too.
+    pub reprefill: Vec<(u64, Range<usize>)>,
+}
+
+impl ScrubReport {
+    /// True when no corruption was found.
+    pub fn is_clean(&self) -> bool {
+        self.corrupt_pages == 0 && self.reprefill.is_empty()
+    }
+
+    /// Total tokens that need re-prefilling across all sequences.
+    pub fn tokens_lost(&self) -> usize {
+        self.reprefill.iter().map(|(_, r)| r.len()).sum()
+    }
+}
+
+/// Outcome of a tolerant persisted-cache decode
+/// ([`crate::persist::recover_head_cache`]).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Tokens preserved in the recovered cache (a valid prefix).
+    pub valid_tokens: usize,
+    /// Sealed blocks discarded because of corruption or truncation
+    /// (best-effort count derived from the header).
+    pub dropped_blocks: usize,
+    /// True when the whole payload decoded cleanly; false when a corrupt
+    /// suffix (blocks and/or tail buffers) was dropped and the lost
+    /// tokens must be re-prefilled.
+    pub complete: bool,
+}
 
 /// Byte-level accounting of one cache (head or layer).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]

@@ -50,6 +50,6 @@ pub use asymmetric::{AsymParams, AsymQuantized};
 pub use bitwidth::BitWidth;
 pub use error::{quant_error_channelwise, quant_error_tokenwise, QuantErrorReport};
 pub use packing::PackedCodes;
-pub use progressive::ProgressiveBlock;
+pub use progressive::{ProgressiveBlock, QuantError};
 pub use rotation::{fht, hadamard_rotate};
 pub use symmetric::{SymQuantized, SYM_INT8_DIVISOR};

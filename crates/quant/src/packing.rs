@@ -106,6 +106,16 @@ impl PackedCodes {
         &self.bytes
     }
 
+    /// Mutable access to the raw packed bytes.
+    ///
+    /// Exists for the fault-injection harness (bit-flip campaigns) and
+    /// for in-place recovery; mutations cannot violate memory safety —
+    /// every byte pattern decodes to *some* code sequence — but they do
+    /// change the stored values.
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
     /// Physical storage footprint in bytes.
     pub fn storage_bytes(&self) -> usize {
         self.bytes.len()

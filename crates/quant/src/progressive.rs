@@ -38,6 +38,38 @@ fn div_round(a: i32, b: i32) -> i32 {
     }
 }
 
+/// Why checked progressive quantization refused an input.
+///
+/// Produced by [`ProgressiveBlock::try_quantize`] and
+/// [`ProgressiveBlock::try_quantize_from_int8`] — the non-panicking
+/// entry points the fault-tolerant cache path uses. A caller that sees
+/// one of these is expected to degrade (sanitize the input, fall back a
+/// precision rung) rather than abort.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuantError {
+    /// The input tile contains NaN or ±Inf.
+    NonFiniteInput,
+    /// The stage-1 scale is so large that dequantization would overflow
+    /// f32 (an extreme outlier drove `max|x|` near `f32::MAX`), or it is
+    /// not a positive finite number at all.
+    ScaleOverflow,
+}
+
+impl std::fmt::Display for QuantError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantError::NonFiniteInput => write!(f, "non-finite value in quantizer input"),
+            QuantError::ScaleOverflow => write!(f, "quantization scale overflow"),
+        }
+    }
+}
+
+impl std::error::Error for QuantError {}
+
+/// Largest stage-1 scale that still dequantizes without overflowing f32:
+/// the biggest reconstructed magnitude is `127 · scale`.
+const MAX_OUTER_SCALE: f32 = f32::MAX / 127.0;
+
 /// Per-(channel, group) integer parameters of the second BPQ stage.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct GroupParams {
@@ -146,6 +178,51 @@ impl ProgressiveBlock {
         }
     }
 
+    /// Checked variant of [`ProgressiveBlock::quantize`]: screens the
+    /// tile for non-finite values and the stage-1 scale for overflow
+    /// instead of producing a silently corrupt block.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::NonFiniteInput`] if the tile contains NaN/±Inf;
+    /// [`QuantError::ScaleOverflow`] if an outlier pushes the stage-1
+    /// scale past the reconstructible range.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on *caller* bugs: `bits == Int8` or `group_size == 0`.
+    pub fn try_quantize(x: &Matrix, bits: BitWidth, group_size: usize) -> Result<Self, QuantError> {
+        if x.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(QuantError::NonFiniteInput);
+        }
+        let q1 = SymQuantized::quantize_with_divisor(x, SYM_INT8_DIVISOR);
+        Self::try_quantize_from_int8(&q1, bits, group_size)
+    }
+
+    /// Checked variant of [`ProgressiveBlock::quantize_from_int8`]:
+    /// validates the stage-1 scale before re-quantizing.
+    ///
+    /// # Errors
+    ///
+    /// [`QuantError::ScaleOverflow`] if the INT8 block's scale is not a
+    /// positive finite value small enough to dequantize without
+    /// overflowing f32.
+    ///
+    /// # Panics
+    ///
+    /// Still panics on *caller* bugs: `bits == Int8` or `group_size == 0`.
+    pub fn try_quantize_from_int8(
+        q1: &SymQuantized,
+        bits: BitWidth,
+        group_size: usize,
+    ) -> Result<Self, QuantError> {
+        let s = q1.scale();
+        if !(s.is_finite() && s > 0.0 && s <= MAX_OUTER_SCALE) {
+            return Err(QuantError::ScaleOverflow);
+        }
+        Ok(Self::quantize_from_int8(q1, bits, group_size))
+    }
+
     /// Reassembles a block from raw parts (e.g. read back from a
     /// serialized cache).
     ///
@@ -194,6 +271,14 @@ impl ProgressiveBlock {
     /// The packed second-stage codes.
     pub fn packed(&self) -> &PackedCodes {
         &self.packed
+    }
+
+    /// Mutable access to the packed codes — the fault-injection hook for
+    /// bit-flip campaigns against resident cache pages. Mutations keep
+    /// the block structurally valid (every byte pattern decodes), but the
+    /// stored values change; integrity is the checksum layer's job.
+    pub fn packed_mut(&mut self) -> &mut PackedCodes {
+        &mut self.packed
     }
 
     /// Integer-only dequantization back to INT8 codes with the original
@@ -416,5 +501,50 @@ mod tests {
     fn int8_second_stage_panics() {
         let m = Matrix::zeros(4, 4);
         ProgressiveBlock::quantize(&m, BitWidth::Int8, 4);
+    }
+
+    #[test]
+    fn try_quantize_screens_non_finite() {
+        let mut m = Matrix::filled(8, 4, 1.0);
+        m.set(3, 2, f32::NAN);
+        assert_eq!(
+            ProgressiveBlock::try_quantize(&m, BitWidth::Int4, 8),
+            Err(QuantError::NonFiniteInput)
+        );
+        m.set(3, 2, f32::INFINITY);
+        assert_eq!(
+            ProgressiveBlock::try_quantize(&m, BitWidth::Int4, 8),
+            Err(QuantError::NonFiniteInput)
+        );
+    }
+
+    #[test]
+    fn try_quantize_detects_scale_overflow() {
+        // max|x| near f32::MAX makes the stage-1 scale too large to
+        // dequantize: 127 * scale would overflow to Inf.
+        let m = Matrix::filled(8, 4, f32::MAX);
+        assert_eq!(
+            ProgressiveBlock::try_quantize(&m, BitWidth::Int4, 8),
+            Err(QuantError::ScaleOverflow)
+        );
+    }
+
+    #[test]
+    fn try_quantize_accepts_ordinary_tiles() {
+        let mut rng = TensorRng::new(28);
+        let m = rng.normal(32, 8, 0.0, 2.0);
+        let pq = ProgressiveBlock::try_quantize(&m, BitWidth::Int4, 16).unwrap();
+        assert_eq!(pq, ProgressiveBlock::quantize(&m, BitWidth::Int4, 16));
+    }
+
+    #[test]
+    fn packed_mut_round_trips_through_bit_flip() {
+        let mut rng = TensorRng::new(29);
+        let m = rng.normal(16, 4, 0.0, 1.0);
+        let mut pq = ProgressiveBlock::quantize(&m, BitWidth::Int4, 16);
+        let clean = pq.dequantize();
+        pq.packed_mut().bytes_mut()[0] ^= 0x0F;
+        // Still decodes without panicking; values differ.
+        assert_ne!(pq.dequantize(), clean);
     }
 }

@@ -1,0 +1,228 @@
+//! Deterministic, seedable fault injection.
+//!
+//! [`FaultInjector`] produces the failure modes a production quantized
+//! KV-cache stack actually sees — bit-flips in packed code storage,
+//! truncated or mutated persisted snapshots, NaN/Inf activations, and
+//! HBM pressure — from a seed, so every fault campaign in the test
+//! suite replays byte-for-byte. Each injection method returns a record
+//! of what it did; tests compare those records against the engine's
+//! [`crate::HealthStats`] counters to prove detection matches injection.
+
+use turbo_quant::PackedCodes;
+use turbo_tensor::{Matrix, TensorRng};
+
+/// The non-finite payloads [`FaultInjector::inject_non_finite`] cycles
+/// through.
+const NON_FINITE: [f32; 3] = [f32::NAN, f32::INFINITY, f32::NEG_INFINITY];
+
+/// A record of one byte-level corruption.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ByteFault {
+    /// Byte offset that was mutated.
+    pub offset: usize,
+    /// XOR mask applied (never zero).
+    pub mask: u8,
+}
+
+/// A record of one activation-poisoning campaign.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ActivationFault {
+    /// Flat element indices that were overwritten.
+    pub indices: Vec<usize>,
+    /// The non-finite value written at each index.
+    pub values: Vec<f32>,
+}
+
+/// Deterministic fault generator.
+///
+/// # Example
+///
+/// ```
+/// use turbo_robust::FaultInjector;
+/// use turbo_quant::{BitWidth, PackedCodes};
+///
+/// let mut inj = FaultInjector::new(7);
+/// let mut codes = PackedCodes::pack(&[0, 1, 2, 3], BitWidth::Int2);
+/// let fault = inj.flip_bit(&mut codes).unwrap();
+/// assert_ne!(fault.mask, 0); // exactly one bit flipped
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    rng: TensorRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector; the same seed replays the same fault
+    /// sequence.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: TensorRng::new(seed),
+        }
+    }
+
+    /// Flips one random bit in a byte buffer. Returns `None` for an
+    /// empty buffer.
+    pub fn flip_bit_in_bytes(&mut self, bytes: &mut [u8]) -> Option<ByteFault> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let offset = self.rng.index(bytes.len());
+        let mask = 1u8 << self.rng.index(8);
+        bytes[offset] ^= mask;
+        Some(ByteFault { offset, mask })
+    }
+
+    /// Flips one random bit inside a [`PackedCodes`] store — the
+    /// radiation-upset / HBM-fault model for the quantized KV cache.
+    pub fn flip_bit(&mut self, codes: &mut PackedCodes) -> Option<ByteFault> {
+        self.flip_bit_in_bytes(codes.bytes_mut())
+    }
+
+    /// XORs `count` random bytes of `bytes` with random non-zero masks
+    /// (offsets may repeat). Models a corrupted storage sector in a
+    /// persisted cache.
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8], count: usize) -> Vec<ByteFault> {
+        let mut faults = Vec::with_capacity(count);
+        if bytes.is_empty() {
+            return faults;
+        }
+        for _ in 0..count {
+            let offset = self.rng.index(bytes.len());
+            let mask = 1 + self.rng.index(255) as u8; // non-zero: always a real change
+            bytes[offset] ^= mask;
+            faults.push(ByteFault { offset, mask });
+        }
+        faults
+    }
+
+    /// Truncates a serialized blob at a random interior point (strictly
+    /// shorter than the original, possibly empty). Models a torn write
+    /// or partial download of a persisted cache. Returns the new length,
+    /// or `None` if the blob was already empty.
+    pub fn truncate_bytes(&mut self, bytes: &mut Vec<u8>) -> Option<usize> {
+        if bytes.is_empty() {
+            return None;
+        }
+        let keep = self.rng.index(bytes.len());
+        bytes.truncate(keep);
+        Some(keep)
+    }
+
+    /// Overwrites `count` random elements of an activation matrix with
+    /// NaN/±Inf. Returns the exact fault record so tests can match
+    /// sanitizer counters one-for-one. Duplicate element hits are
+    /// avoided, so `record.indices.len() == min(count, m.len())`.
+    pub fn inject_non_finite(&mut self, m: &mut Matrix, count: usize) -> ActivationFault {
+        let n = m.as_slice().len();
+        let count = count.min(n);
+        let indices = self.rng.distinct_indices(n, count);
+        let mut values = Vec::with_capacity(count);
+        let data = m.as_mut_slice();
+        for (k, &i) in indices.iter().enumerate() {
+            let v = NON_FINITE[k % NON_FINITE.len()];
+            data[i] = v;
+            values.push(v);
+        }
+        ActivationFault { indices, values }
+    }
+
+    /// Draws a simulated "usable HBM fraction" in `[lo, hi)` — the
+    /// memory-pressure knob for the serving simulator (e.g. another
+    /// tenant grabbing capacity, fragmentation, ECC page retirement).
+    pub fn hbm_pressure(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0,
+            "pressure fractions must satisfy 0 <= lo < hi <= 1"
+        );
+        self.rng.uniform_value(lo as f32, hi as f32) as f64
+    }
+
+    /// Uniform index helper exposed for campaign scripting (choose which
+    /// page / head / request to target next).
+    pub fn pick(&mut self, n: usize) -> usize {
+        self.rng.index(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_quant::BitWidth;
+
+    #[test]
+    fn same_seed_same_faults() {
+        let mut a = FaultInjector::new(11);
+        let mut b = FaultInjector::new(11);
+        let mut buf_a = vec![0u8; 64];
+        let mut buf_b = vec![0u8; 64];
+        assert_eq!(a.corrupt_bytes(&mut buf_a, 8), b.corrupt_bytes(&mut buf_b, 8));
+        assert_eq!(buf_a, buf_b);
+    }
+
+    #[test]
+    fn flip_bit_changes_exactly_one_bit() {
+        let mut inj = FaultInjector::new(3);
+        let codes: Vec<u8> = (0..32).map(|i| i % 4).collect();
+        let clean = PackedCodes::pack(&codes, BitWidth::Int2);
+        let mut dirty = clean.clone();
+        let fault = inj.flip_bit(&mut dirty).unwrap();
+        let diff: u32 = clean
+            .bytes()
+            .iter()
+            .zip(dirty.bytes())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        assert_eq!(diff, 1);
+        assert_eq!(clean.bytes()[fault.offset] ^ fault.mask, dirty.bytes()[fault.offset]);
+    }
+
+    #[test]
+    fn truncation_strictly_shrinks() {
+        let mut inj = FaultInjector::new(4);
+        for _ in 0..50 {
+            let mut blob = vec![1u8; 100];
+            let kept = inj.truncate_bytes(&mut blob).unwrap();
+            assert!(kept < 100);
+            assert_eq!(blob.len(), kept);
+        }
+        let mut empty: Vec<u8> = vec![];
+        assert_eq!(inj.truncate_bytes(&mut empty), None);
+    }
+
+    #[test]
+    fn non_finite_injection_is_accounted() {
+        let mut inj = FaultInjector::new(5);
+        let mut m = TensorRng::new(0).normal(16, 16, 0.0, 1.0);
+        let record = inj.inject_non_finite(&mut m, 10);
+        assert_eq!(record.indices.len(), 10);
+        let poisoned = m.as_slice().iter().filter(|x| !x.is_finite()).count();
+        assert_eq!(poisoned, 10);
+        for (&i, &v) in record.indices.iter().zip(&record.values) {
+            let got = m.as_slice()[i];
+            assert!(!got.is_finite());
+            // NaN != NaN, so compare via bit semantics.
+            assert_eq!(got.is_nan(), v.is_nan());
+            if !v.is_nan() {
+                assert_eq!(got, v);
+            }
+        }
+    }
+
+    #[test]
+    fn injection_caps_at_matrix_size() {
+        let mut inj = FaultInjector::new(6);
+        let mut m = TensorRng::new(0).normal(2, 2, 0.0, 1.0);
+        let record = inj.inject_non_finite(&mut m, 100);
+        assert_eq!(record.indices.len(), 4);
+        assert!(m.as_slice().iter().all(|x| !x.is_finite()));
+    }
+
+    #[test]
+    fn hbm_pressure_in_range() {
+        let mut inj = FaultInjector::new(7);
+        for _ in 0..100 {
+            let f = inj.hbm_pressure(0.3, 0.9);
+            assert!((0.3..0.9).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Health counters for the fault-tolerance layer.
+//!
+//! [`HealthStats`] is a small fixed registry of atomic counters keyed by
+//! [`HealthEvent`]. Every detection, repair, and fallback in the stack
+//! records itself here, so tests (and operators) can assert that the
+//! number of *observed* faults matches the number of *injected* ones,
+//! and dashboards can watch degradation rates. Counters use relaxed
+//! atomics — they are monotonic tallies, not synchronization points —
+//! and increment through `&self` so one registry can be shared across
+//! an engine, its caches, and the serving simulator.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Everything the robustness layer knows how to count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum HealthEvent {
+    /// A non-finite (NaN/±Inf) value was detected in a query/key/value
+    /// input and sanitized to zero.
+    NonFiniteInput,
+    /// A non-finite value surfaced in an attention *output*, triggering
+    /// recompute at a higher-precision rung.
+    NonFiniteOutput,
+    /// Progressive quantization detected a scale overflow (outlier too
+    /// large for the INT8 → INT4/2 second stage).
+    ScaleOverflow,
+    /// A persisted-cache block failed its checksum or structural checks.
+    CorruptBlock,
+    /// A paged-pool page failed its checksum scrub and was dropped.
+    DroppedPage,
+    /// A head fell back one rung on the precision ladder.
+    PrecisionFallback,
+    /// A head was promoted back up after a healthy streak.
+    PrecisionPromotion,
+    /// A serving request missed its deadline and was cancelled.
+    DeadlineMiss,
+    /// A serving admission was retried after backoff.
+    AdmissionRetry,
+    /// A live sequence was demoted to a lower bitwidth to relieve HBM
+    /// pressure.
+    PressureDemotion,
+    /// A request was rejected outright (could never fit, or retries
+    /// exhausted).
+    RequestRejected,
+    /// A persisted cache was recovered partially (valid prefix kept,
+    /// corrupt suffix dropped).
+    PartialRecovery,
+}
+
+/// Number of [`HealthEvent`] variants; keep in sync with the enum.
+pub const EVENT_COUNT: usize = 12;
+
+/// All events, in discriminant order, for iteration/reporting.
+pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
+    HealthEvent::NonFiniteInput,
+    HealthEvent::NonFiniteOutput,
+    HealthEvent::ScaleOverflow,
+    HealthEvent::CorruptBlock,
+    HealthEvent::DroppedPage,
+    HealthEvent::PrecisionFallback,
+    HealthEvent::PrecisionPromotion,
+    HealthEvent::DeadlineMiss,
+    HealthEvent::AdmissionRetry,
+    HealthEvent::PressureDemotion,
+    HealthEvent::RequestRejected,
+    HealthEvent::PartialRecovery,
+];
+
+impl HealthEvent {
+    /// Short stable name for logs and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            HealthEvent::NonFiniteInput => "non_finite_input",
+            HealthEvent::NonFiniteOutput => "non_finite_output",
+            HealthEvent::ScaleOverflow => "scale_overflow",
+            HealthEvent::CorruptBlock => "corrupt_block",
+            HealthEvent::DroppedPage => "dropped_page",
+            HealthEvent::PrecisionFallback => "precision_fallback",
+            HealthEvent::PrecisionPromotion => "precision_promotion",
+            HealthEvent::DeadlineMiss => "deadline_miss",
+            HealthEvent::AdmissionRetry => "admission_retry",
+            HealthEvent::PressureDemotion => "pressure_demotion",
+            HealthEvent::RequestRejected => "request_rejected",
+            HealthEvent::PartialRecovery => "partial_recovery",
+        }
+    }
+}
+
+/// Shared registry of per-event counters.
+#[derive(Debug, Default)]
+pub struct HealthStats {
+    counters: [AtomicU64; EVENT_COUNT],
+}
+
+impl HealthStats {
+    /// Fresh registry with every counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments `event` by one.
+    pub fn record(&self, event: HealthEvent) {
+        self.record_n(event, 1);
+    }
+
+    /// Increments `event` by `n`.
+    pub fn record_n(&self, event: HealthEvent, n: u64) {
+        self.counters[event as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count for `event`.
+    pub fn count(&self, event: HealthEvent) -> u64 {
+        self.counters[event as usize].load(Ordering::Relaxed)
+    }
+
+    /// Sum over every counter.
+    pub fn total(&self) -> u64 {
+        self.counters.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// True if nothing has been recorded.
+    pub fn is_clean(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Snapshot as `(name, count)` pairs for non-zero counters.
+    pub fn report(&self) -> Vec<(&'static str, u64)> {
+        ALL_EVENTS
+            .iter()
+            .filter_map(|&e| {
+                let n = self.count(e);
+                (n > 0).then(|| (e.name(), n))
+            })
+            .collect()
+    }
+
+    /// Resets every counter to zero (test convenience).
+    pub fn reset(&self) {
+        for c in &self.counters {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Merges another registry's counts into this one.
+    pub fn absorb(&self, other: &HealthStats) {
+        for (i, c) in other.counters.iter().enumerate() {
+            let n = c.load(Ordering::Relaxed);
+            if n > 0 {
+                self.counters[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Clone for HealthStats {
+    fn clone(&self) -> Self {
+        let out = Self::new();
+        out.absorb(self);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_count() {
+        let h = HealthStats::new();
+        assert!(h.is_clean());
+        h.record(HealthEvent::NonFiniteInput);
+        h.record_n(HealthEvent::NonFiniteInput, 2);
+        h.record(HealthEvent::DroppedPage);
+        assert_eq!(h.count(HealthEvent::NonFiniteInput), 3);
+        assert_eq!(h.count(HealthEvent::DroppedPage), 1);
+        assert_eq!(h.total(), 4);
+        assert!(!h.is_clean());
+    }
+
+    #[test]
+    fn report_lists_only_nonzero() {
+        let h = HealthStats::new();
+        h.record_n(HealthEvent::ScaleOverflow, 5);
+        assert_eq!(h.report(), vec![("scale_overflow", 5)]);
+        h.reset();
+        assert!(h.report().is_empty());
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let a = HealthStats::new();
+        let b = HealthStats::new();
+        a.record(HealthEvent::DeadlineMiss);
+        b.record_n(HealthEvent::DeadlineMiss, 4);
+        a.absorb(&b);
+        assert_eq!(a.count(HealthEvent::DeadlineMiss), 5);
+    }
+
+    #[test]
+    fn all_events_cover_enum() {
+        for (i, e) in ALL_EVENTS.iter().enumerate() {
+            assert_eq!(*e as usize, i, "discriminant order mismatch");
+        }
+    }
+}

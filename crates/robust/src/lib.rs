@@ -1,0 +1,32 @@
+//! # turbo-robust
+//!
+//! Fault-tolerance toolkit for the TurboAttention reproduction: the
+//! pieces a production quantized-attention deployment needs when a bit
+//! flips, a persisted cache tears, or an outlier blows past the INT8
+//! range.
+//!
+//! * [`FaultInjector`] — deterministic, seedable injection of bit-flips
+//!   into packed codes, truncation/mutation of serialized caches,
+//!   NaN/Inf poisoning of activations, and simulated HBM pressure.
+//! * [`HealthStats`] / [`HealthEvent`] — a shared atomic counter
+//!   registry every detection, repair, and fallback reports into, so
+//!   observed-fault counts can be checked against injected-fault counts.
+//! * [`crc32`] / [`Crc32`] — hand-rolled IEEE CRC32 (no external
+//!   crates) backing per-block checksums in the persisted-cache format
+//!   and page scrubbing in the paged pool.
+//!
+//! The crate sits *below* `turbo-kvcache` and `turbo-attention` in the
+//! dependency graph (it only needs `turbo-tensor` and `turbo-quant`),
+//! so cache, engine, and serving layers can all share one vocabulary of
+//! faults and one counter registry.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc32;
+mod fault;
+mod health;
+
+pub use crc32::{crc32, Crc32};
+pub use fault::{ActivationFault, ByteFault, FaultInjector};
+pub use health::{HealthEvent, HealthStats, ALL_EVENTS, EVENT_COUNT};

@@ -7,6 +7,29 @@ use turbo_tensor::Matrix;
 /// below −6 contribute `e^{-6} ≈ 0.0025` at most and are zeroed.
 pub const PAPER_THRESHOLD: i32 = -6;
 
+/// Why a checked softmax could not produce a distribution.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SoftmaxError {
+    /// The row has no finite entry (fully masked, or poisoned with
+    /// NaN/−Inf throughout), so no distribution exists for it.
+    NoFiniteEntry {
+        /// Index of the offending row.
+        row: usize,
+    },
+}
+
+impl std::fmt::Display for SoftmaxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SoftmaxError::NoFiniteEntry { row } => {
+                write!(f, "SAS softmax row {row} has no finite entry")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SoftmaxError {}
+
 /// The SAS approximate exponential: a small LUT for the integer part of
 /// the (negated) exponent and a cubic polynomial for the fractional part.
 ///
@@ -102,9 +125,15 @@ impl Sas {
     ///
     /// Scores below the threshold return exactly 0 (sparsification).
     /// Small positive inputs (floating-point jitter around the row max)
-    /// are clamped to 0.
+    /// are clamped to 0. NaN returns 0 — a poisoned score contributes
+    /// nothing, like a masked entry. (Without the explicit check,
+    /// `NaN.min(0.0)` is `0.0` in Rust, so a NaN score would silently
+    /// act like the row *maximum* and receive weight ≈ 1.)
     #[inline]
     pub fn exp(&self, x: f32) -> f32 {
+        if x.is_nan() {
+            return 0.0;
+        }
         let x = x.min(0.0);
         if self.exact {
             return x.exp();
@@ -134,12 +163,33 @@ impl Sas {
     /// # Panics
     ///
     /// Panics if any row has no finite maximum (fully masked row).
+    /// [`Sas::try_softmax`] is the non-panicking equivalent.
     pub fn softmax(&self, scores: &Matrix) -> Matrix {
+        match self.try_softmax(scores) {
+            Ok(out) => out,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Non-panicking [`Sas::softmax`]. Rows containing *some* NaN/±Inf
+    /// entries still normalize — the poisoned entries get weight 0, like
+    /// masked positions — but a row with no finite entry at all is an
+    /// error because no distribution exists for it.
+    ///
+    /// # Errors
+    ///
+    /// [`SoftmaxError::NoFiniteEntry`] naming the first fully-poisoned
+    /// row.
+    pub fn try_softmax(&self, scores: &Matrix) -> Result<Matrix, SoftmaxError> {
         let mut out = scores.clone();
         for r in 0..out.rows() {
             let row = out.row_mut(r);
+            // f32::max skips NaN operands, so a finite max is found even
+            // in partially poisoned rows.
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            assert!(max.is_finite(), "SAS softmax row {r} has no finite entry");
+            if !max.is_finite() {
+                return Err(SoftmaxError::NoFiniteEntry { row: r });
+            }
             let mut sum = 0.0f32;
             for x in row.iter_mut() {
                 *x = self.exp(*x - max);
@@ -150,7 +200,7 @@ impl Sas {
                 *x /= sum;
             }
         }
-        out
+        Ok(out)
     }
 
     /// Maximum absolute error of [`Sas::exp`] against `e^x` over the live
@@ -330,5 +380,50 @@ mod tests {
     #[should_panic(expected = "negative")]
     fn non_negative_threshold_panics() {
         Sas::new(0, PAPER_POLY);
+    }
+
+    #[test]
+    fn nan_score_gets_zero_weight() {
+        let sas = Sas::paper_default();
+        assert_eq!(sas.exp(f32::NAN), 0.0);
+        // In exact-reference mode too.
+        assert_eq!(Sas::exact_reference().exp(f32::NAN), 0.0);
+    }
+
+    #[test]
+    fn try_softmax_rejects_fully_poisoned_rows() {
+        let sas = Sas::paper_default();
+        let all_nan = Matrix::filled(2, 3, f32::NAN);
+        assert_eq!(
+            sas.try_softmax(&all_nan),
+            Err(SoftmaxError::NoFiniteEntry { row: 0 })
+        );
+        let mut masked = Matrix::filled(3, 4, 0.0);
+        for c in 0..4 {
+            masked.set(1, c, f32::NEG_INFINITY);
+        }
+        assert_eq!(
+            sas.try_softmax(&masked),
+            Err(SoftmaxError::NoFiniteEntry { row: 1 })
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "no finite entry")]
+    fn softmax_still_panics_on_masked_row() {
+        Sas::paper_default().softmax(&Matrix::filled(1, 4, f32::NEG_INFINITY));
+    }
+
+    #[test]
+    fn partially_poisoned_row_still_normalizes() {
+        let sas = Sas::paper_default();
+        let scores = Matrix::from_rows(&[&[1.0, f32::NAN, 2.0, f32::NEG_INFINITY]]);
+        let p = sas.try_softmax(&scores).unwrap();
+        let row = p.row(0);
+        assert_eq!(row[1], 0.0, "NaN entry must get zero weight");
+        assert_eq!(row[3], 0.0, "-Inf entry must get zero weight");
+        let sum: f32 = row.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        assert!(row[2] > row[0], "healthy entries keep their ordering");
     }
 }

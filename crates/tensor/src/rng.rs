@@ -2,14 +2,69 @@
 //!
 //! All evaluation workloads in this reproduction are synthetic, so
 //! determinism matters: the same seed must regenerate the same table row.
-//! [`TensorRng`] wraps a seeded [`rand::rngs::StdRng`] and supplies the
+//! [`TensorRng`] wraps a self-contained seeded PCG32 generator (no external
+//! dependencies, so the workspace builds offline) and supplies the
 //! distributions the paper's analysis depends on, including the
 //! channel-outlier structure of query/key activations shown in Figure 4.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use crate::matrix::Matrix;
+
+/// A PCG-XSH-RR 32-bit generator (O'Neill 2014): a 64-bit LCG state with
+/// an output permutation. Small, fast, statistically solid for synthetic
+/// workload generation, and fully deterministic across platforms.
+#[derive(Clone, Debug)]
+struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MUL: u64 = 6364136223846793005;
+
+/// SplitMix64 step — used only to expand a 64-bit seed into the PCG
+/// state/stream pair so nearby seeds produce unrelated streams.
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Pcg32 {
+    fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        let init_state = splitmix64(&mut sm);
+        let init_inc = splitmix64(&mut sm) | 1; // stream must be odd
+        let mut pcg = Self {
+            state: 0,
+            inc: init_inc,
+        };
+        pcg.next_u32();
+        pcg.state = pcg.state.wrapping_add(init_state);
+        pcg.next_u32();
+        pcg
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MUL).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+
+    /// Uniform f32 in `[0, 1)` from the top 24 bits.
+    #[inline]
+    fn next_f32(&mut self) -> f32 {
+        (self.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
 
 /// Seeded random tensor generator.
 ///
@@ -24,9 +79,9 @@ use crate::matrix::Matrix;
 /// let b = rng2.normal(4, 8, 0.0, 1.0);
 /// assert_eq!(a, b); // same seed, same tensor
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct TensorRng {
-    rng: StdRng,
+    rng: Pcg32,
     /// Cached second Box-Muller output.
     spare: Option<f32>,
 }
@@ -35,7 +90,7 @@ impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         Self {
-            rng: StdRng::seed_from_u64(seed),
+            rng: Pcg32::new(seed),
             spare: None,
         }
     }
@@ -46,8 +101,8 @@ impl TensorRng {
             return s;
         }
         // Draw u1 in (0,1] to avoid ln(0).
-        let u1: f32 = 1.0 - self.rng.gen::<f32>();
-        let u2: f32 = self.rng.gen();
+        let u1: f32 = 1.0 - self.rng.next_f32();
+        let u2: f32 = self.rng.next_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         self.spare = Some(r * theta.sin());
@@ -55,8 +110,13 @@ impl TensorRng {
     }
 
     /// One uniform sample in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
     pub fn uniform_value(&mut self, lo: f32, hi: f32) -> f32 {
-        self.rng.gen_range(lo..hi)
+        assert!(lo < hi, "empty uniform range");
+        lo + (hi - lo) * self.rng.next_f32()
     }
 
     /// One uniform integer in `[0, n)`.
@@ -66,7 +126,8 @@ impl TensorRng {
     /// Panics if `n == 0`.
     pub fn index(&mut self, n: usize) -> usize {
         assert!(n > 0, "index range must be non-empty");
-        self.rng.gen_range(0..n)
+        // Modulo over a 64-bit draw: bias is < 2^-40 for any practical n.
+        (self.rng.next_u64() % n as u64) as usize
     }
 
     /// A `rows × cols` matrix of `N(mean, std²)` samples.
@@ -114,7 +175,7 @@ impl TensorRng {
         assert!(count <= n, "cannot draw {count} distinct from {n}");
         let mut pool: Vec<usize> = (0..n).collect();
         for i in 0..count {
-            let j = i + self.rng.gen_range(0..(n - i));
+            let j = i + self.index(n - i);
             pool.swap(i, j);
         }
         pool.truncate(count);

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Local CI gate: build, test, lint. Run from anywhere; operates on the
+# workspace root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> CI green"

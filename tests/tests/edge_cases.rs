@@ -190,3 +190,76 @@ fn fp8_and_f16_rounding_agree_on_exact_grid() {
         assert_eq!(turbo_tensor::round_e4m3(x), x);
     }
 }
+
+#[test]
+fn persist_deserialization_survives_arbitrary_byte_mutations() {
+    // Deterministic fuzz loop: every mutation of a valid payload must
+    // yield either a clean `PersistError` or a coherent cache — never a
+    // panic. This covers the header (uncovered by checksums) as well as
+    // the CRC-protected body.
+    use turbo_kvcache::persist::{deserialize_head_cache, serialize_head_cache};
+    use turbo_robust::FaultInjector;
+
+    let mut rng = TensorRng::new(0xF022);
+    let mut cache = HeadKvCache::new(
+        6,
+        KvCacheConfig {
+            bits: BitWidth::Int4,
+            group_size: 8,
+            buffer_capacity: 8,
+        },
+    );
+    let data = rng.normal(37, 6, 0.0, 1.0);
+    for t in 0..37 {
+        cache.append(data.row(t), data.row(t));
+    }
+    let clean = serialize_head_cache(&cache);
+    assert_eq!(deserialize_head_cache(&clean).unwrap().len(), 37);
+
+    let mut inj = FaultInjector::new(0xF023);
+    let mut decoded_ok = 0usize;
+    for round in 0..512 {
+        let mut payload = clean.clone();
+        match round % 4 {
+            // Byte corruption anywhere (header included).
+            0 | 1 => {
+                let n = 1 + inj.pick(8);
+                inj.corrupt_bytes(&mut payload, n);
+            }
+            // Truncation to a strictly shorter prefix.
+            2 => {
+                inj.truncate_bytes(&mut payload);
+            }
+            // Both.
+            _ => {
+                inj.truncate_bytes(&mut payload);
+                if !payload.is_empty() {
+                    let n = 1 + inj.pick(4);
+                    inj.corrupt_bytes(&mut payload, n);
+                }
+            }
+        }
+        match deserialize_head_cache(&payload) {
+            Err(_) => {}
+            Ok(c) => {
+                // If it decodes, it must be internally coherent.
+                decoded_ok += 1;
+                assert_eq!(c.head_dim(), 6);
+                let (k, v) = c.dequantize_all();
+                assert_eq!(k.rows(), c.len());
+                assert_eq!(v.rows(), c.len());
+            }
+        }
+        // The recovery path must hold the same never-panic contract.
+        if let Ok((salvaged, report)) = turbo_kvcache::recover_head_cache(&payload, None) {
+            assert_eq!(salvaged.len(), report.valid_tokens);
+        }
+    }
+    // Nearly everything must be rejected: the only undetectable byte
+    // mutations are ones that strike a stored checksum AND its covered
+    // bytes in a colliding way, which the IEEE CRC makes vanishingly rare.
+    assert!(
+        decoded_ok <= 8,
+        "suspiciously many corrupt payloads decoded: {decoded_ok}/512"
+    );
+}
