@@ -16,6 +16,7 @@
 use crate::reference::Masking;
 use turbo_kvcache::HeadKvCache;
 use turbo_quant::symmetric::SymQuantized;
+use turbo_runtime::Runtime;
 use turbo_softmax::Sas;
 use turbo_tensor::{matmul_i8_transposed_b, Matrix};
 
@@ -51,6 +52,124 @@ pub fn turbo_prefill_head(
     block_c: usize,
     cache: &mut HeadKvCache,
 ) -> PrefillOutput {
+    prefill_head_impl(q, k, v, masking, sas, block_r, block_c, cache, None)
+}
+
+/// Pooled variant of [`turbo_prefill_head`]: the independent query
+/// row-block sweeps run as tasks on `rt` instead of a serial loop.
+///
+/// The K/V quantization pre-pass (which mutates `cache`) stays serial;
+/// each row block is then a pure function of the frozen tile set, so the
+/// pool executes a *fixed* partition of the work and results merge in
+/// row order — bit-identical to [`turbo_prefill_head`] at any worker
+/// count. Safe to call from inside another pool task (e.g. head-level
+/// parallelism): the runtime's caller-helps scheduling makes nested
+/// batches deadlock-free.
+///
+/// # Panics
+///
+/// As [`turbo_prefill_head`].
+#[allow(clippy::too_many_arguments)] // mirrors Algorithm 1's parameter list
+pub fn turbo_prefill_head_pooled(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    sas: &Sas,
+    block_r: usize,
+    block_c: usize,
+    cache: &mut HeadKvCache,
+    rt: &Runtime,
+) -> PrefillOutput {
+    prefill_head_impl(q, k, v, masking, sas, block_r, block_c, cache, Some(rt))
+}
+
+/// Per-head sweep state frozen after the K/V quantization pre-pass. Each
+/// query row block is processed by [`HeadSweep::q_block`], a pure
+/// function — the unit of (potential) parallelism.
+struct HeadSweep<'a> {
+    k_tiles: &'a [(usize, SymQuantized)],
+    v_tiles: &'a [SymQuantized],
+    masking: Masking,
+    sas: &'a Sas,
+    offset: usize,
+    n_k: usize,
+    d: usize,
+    scale: f32,
+}
+
+impl HeadSweep<'_> {
+    /// Online-softmax sweep for the row block starting at absolute query
+    /// row `qi`. Returns the normalized `br × d` output rows and their
+    /// logsumexp values.
+    fn q_block(&self, qi: usize, q_blk: &Matrix) -> (Matrix, Vec<f32>) {
+        let (d, n_k, masking, offset) = (self.d, self.n_k, self.masking, self.offset);
+        let br = q_blk.rows();
+        let q8 = SymQuantized::quantize(q_blk);
+        let mut o = Matrix::zeros(br, d);
+        let mut m = vec![f32::NEG_INFINITY; br];
+        let mut l = vec![0.0f32; br];
+
+        let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
+        let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
+        for (tile_idx, (kj, k8)) in self.k_tiles.iter().enumerate() {
+            let kj = *kj;
+            let bc = k8.rows();
+            if masking.is_causal_like() {
+                if kj > blk_hi {
+                    break;
+                }
+                if kj + bc <= blk_lo {
+                    continue;
+                }
+            }
+            // Integer score GEMM with the scalar symmetric correction.
+            let s_int = matmul_i8_transposed_b(q8.codes(), k8.codes(), br, d, bc);
+            let s_scale = q8.scale() * k8.scale() * self.scale;
+            let mut s =
+                Matrix::from_vec(br, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
+            if masking.is_causal_like() {
+                for i in 0..br {
+                    let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
+                    for j in 0..bc {
+                        let key = kj + j;
+                        if key < lo || key > hi {
+                            s.set(i, j, f32::NEG_INFINITY);
+                        }
+                    }
+                }
+            }
+
+            let v8 = &self.v_tiles[tile_idx];
+            online_update_quantized(&mut o, &mut m, &mut l, &s, v8, self.sas);
+        }
+
+        let mut blk_out = Matrix::zeros(br, d);
+        let mut blk_lse = vec![0.0f32; br];
+        for i in 0..br {
+            assert!(l[i] > 0.0, "row {} attended to nothing", qi + i);
+            let inv = 1.0 / l[i];
+            for c in 0..d {
+                blk_out.set(i, c, o.get(i, c) * inv);
+            }
+            blk_lse[i] = m[i] + l[i].ln();
+        }
+        (blk_out, blk_lse)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn prefill_head_impl(
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    masking: Masking,
+    sas: &Sas,
+    block_r: usize,
+    block_c: usize,
+    cache: &mut HeadKvCache,
+    rt: Option<&Runtime>,
+) -> PrefillOutput {
     assert_eq!(q.cols(), k.cols(), "Q/K width mismatch");
     assert_eq!(k.shape(), v.shape(), "K/V shape mismatch");
     assert!(block_r > 0 && block_c > 0, "block sizes must be positive");
@@ -74,7 +193,8 @@ pub fn turbo_prefill_head(
     };
 
     // Stage-1 quantize all K/V tiles once; write progressive blocks to the
-    // cache as Algorithm 1 does on the first row sweep.
+    // cache as Algorithm 1 does on the first row sweep. This pre-pass
+    // mutates the cache, so it stays serial even on the pooled path.
     let mut k_tiles: Vec<(usize, SymQuantized)> = Vec::new();
     let mut v_tiles: Vec<SymQuantized> = Vec::new();
     for (kj, k_blk) in k.row_blocks(block_c) {
@@ -86,57 +206,43 @@ pub fn turbo_prefill_head(
         v_tiles.push(v8);
     }
 
+    let sweep = HeadSweep {
+        k_tiles: &k_tiles,
+        v_tiles: &v_tiles,
+        masking,
+        sas,
+        offset,
+        n_k,
+        d,
+        scale,
+    };
+
+    // The partition into row blocks is fixed by (n_q, block_r) alone, and
+    // results merge below in row order — worker count never influences the
+    // arithmetic or its ordering.
+    let blocks: Vec<(usize, Matrix)> = q.row_blocks(block_r).collect();
+    let results: Vec<(usize, Matrix, Vec<f32>)> = match rt {
+        Some(rt) => rt.par_map(&blocks, |(qi, q_blk)| {
+            let (o, l) = sweep.q_block(*qi, q_blk);
+            (*qi, o, l)
+        }),
+        None => blocks
+            .iter()
+            .map(|(qi, q_blk)| {
+                let (o, l) = sweep.q_block(*qi, q_blk);
+                (*qi, o, l)
+            })
+            .collect(),
+    };
+
     let mut out = Matrix::zeros(n_q, d);
     let mut lse = vec![0.0f32; n_q];
-
-    for (qi, q_blk) in q.row_blocks(block_r) {
-        let br = q_blk.rows();
-        let q8 = SymQuantized::quantize(&q_blk);
-        let mut o = Matrix::zeros(br, d);
-        let mut m = vec![f32::NEG_INFINITY; br];
-        let mut l = vec![0.0f32; br];
-
-        let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
-        let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
-        for (tile_idx, (kj, k8)) in k_tiles.iter().enumerate() {
-            let kj = *kj;
-            let bc = k8.rows();
-            if masking.is_causal_like() {
-                if kj > blk_hi {
-                    break;
-                }
-                if kj + bc <= blk_lo {
-                    continue;
-                }
-            }
-            // Integer score GEMM with the scalar symmetric correction.
-            let s_int = matmul_i8_transposed_b(q8.codes(), k8.codes(), br, d, bc);
-            let s_scale = q8.scale() * k8.scale() * scale;
-            let mut s =
-                Matrix::from_vec(br, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
-            if masking.is_causal_like() {
-                for i in 0..br {
-                    let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
-                    for j in 0..bc {
-                        let key = kj + j;
-                        if key < lo || key > hi {
-                            s.set(i, j, f32::NEG_INFINITY);
-                        }
-                    }
-                }
-            }
-
-            let v8 = &v_tiles[tile_idx];
-            online_update_quantized(&mut o, &mut m, &mut l, &s, v8, sas);
-        }
-
-        for i in 0..br {
-            assert!(l[i] > 0.0, "row {} attended to nothing", qi + i);
-            let inv = 1.0 / l[i];
+    for (qi, blk_out, blk_lse) in results {
+        for i in 0..blk_out.rows() {
             for c in 0..d {
-                out.set(qi + i, c, o.get(i, c) * inv);
+                out.set(qi + i, c, blk_out.get(i, c));
             }
-            lse[qi + i] = m[i] + l[i].ln();
+            lse[qi + i] = blk_lse[i];
         }
     }
 

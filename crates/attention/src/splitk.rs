@@ -10,6 +10,7 @@
 
 use turbo_kvcache::HeadKvCache;
 use turbo_quant::symmetric::{quantize_slice_sym, SymQuantized};
+use turbo_runtime::Runtime;
 use turbo_softmax::Sas;
 use turbo_tensor::{matmul_i8_transposed_b, Matrix};
 
@@ -121,18 +122,35 @@ fn partial_over_block(
 /// Panics if `q.len()` differs from the cache head dimension or the cache
 /// is empty.
 pub fn turbo_attend_cache_splitk(q: &[f32], cache: &HeadKvCache, sas: &Sas) -> Vec<f32> {
+    turbo_attend_cache_splitk_on(turbo_runtime::global(), q, cache, sas)
+}
+
+/// As [`turbo_attend_cache_splitk`], but on an explicit runtime. Each
+/// resident block's partial attention runs as one pooled task; the
+/// partition set is fixed by the cache layout and partials merge in
+/// block order, so the result is bit-identical at any worker count.
+///
+/// # Panics
+///
+/// As [`turbo_attend_cache_splitk`].
+pub fn turbo_attend_cache_splitk_on(
+    rt: &Runtime,
+    q: &[f32],
+    cache: &HeadKvCache,
+    sas: &Sas,
+) -> Vec<f32> {
     let d = cache.head_dim();
     assert_eq!(q.len(), d, "query width mismatch");
     assert!(!cache.is_empty(), "cannot attend to an empty cache");
     let scale = 1.0 / (d as f32).sqrt();
     let (q8, s_q) = quantize_slice_sym(q);
 
-    let mut parts = Vec::new();
-    for b in 0..cache.resident_blocks().len() {
+    let nb = cache.resident_blocks().len();
+    let mut parts: Vec<PartialAttention> = rt.par_map_indexed(nb, |b| {
         let k8 = cache.resident_blocks()[b].dequantize_to_int8();
         let v8 = cache.resident_value_blocks()[b].dequantize_to_int8();
-        parts.push(partial_over_block(&q8, s_q, scale, &k8, &v8, sas));
-    }
+        partial_over_block(&q8, s_q, scale, &k8, &v8, sas)
+    });
     if cache.buffer_len() > 0 {
         let k8 = cache.key_buffer().as_sym_quantized();
         let v8 = cache.value_buffer().as_sym_quantized();
@@ -247,5 +265,18 @@ mod tests {
     #[should_panic(expected = "nothing to merge")]
     fn merging_nothing_panics() {
         PartialAttention::merge(&[], &Sas::paper_default());
+    }
+
+    #[test]
+    fn splitk_is_bit_identical_across_worker_counts() {
+        let cache = populated_cache(5, 200, 16, 32);
+        let sas = Sas::paper_default();
+        let q: Vec<f32> = (0..16).map(|i| (i as f32 - 8.0) * 0.1).collect();
+        let baseline = turbo_attend_cache_splitk(&q, &cache, &sas);
+        for workers in [1usize, 2, 8] {
+            let rt = turbo_runtime::Runtime::with_workers(workers);
+            let out = turbo_attend_cache_splitk_on(&rt, &q, &cache, &sas);
+            assert_eq!(baseline, out, "{workers} workers diverged");
+        }
     }
 }

@@ -6,8 +6,9 @@ use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_attention::{
     flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_splitk,
-    turbo_prefill_head, Masking,
+    turbo_prefill_head, Masking, TurboAttention,
 };
+use turbo_quant::BitWidth;
 use turbo_baselines::{
     decode_attention_fp16, GearCache, GearConfig, KiviCache, KiviConfig, KvCompressor,
 };
@@ -117,5 +118,40 @@ fn bench_block_sizes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_prefill, bench_decode, bench_block_sizes);
+/// 32-head layer prefill, serial vs. pooled: the headline number for the
+/// execution runtime. On a ≥4-core machine the pooled path should show
+/// ≥2× over serial; on fewer cores the two converge (the pool adds no
+/// arithmetic, only scheduling).
+fn bench_prefill_layer_32head(c: &mut Criterion) {
+    const H: usize = 32;
+    const SEQ: usize = 128;
+    let mut rng = TensorRng::new(77);
+    let mk = |rng: &mut TensorRng| -> Vec<Matrix> {
+        (0..H).map(|_| rng.normal(SEQ, D, 0.0, 1.0)).collect()
+    };
+    let qs = mk(&mut rng);
+    let ks = mk(&mut rng);
+    let vs = mk(&mut rng);
+    let bits = [BitWidth::Int4; H];
+    let engine = TurboAttention::default();
+
+    let mut g = c.benchmark_group("attention/prefill_layer_32head_128x64");
+    g.bench_function("serial", |b| {
+        b.iter(|| engine.prefill_layer(black_box(&qs), black_box(&ks), black_box(&vs), &bits))
+    });
+    g.bench_function("pooled", |b| {
+        b.iter(|| {
+            engine.prefill_layer_parallel(black_box(&qs), black_box(&ks), black_box(&vs), &bits)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_prefill,
+    bench_decode,
+    bench_block_sizes,
+    bench_prefill_layer_32head,
+);
 criterion_main!(benches);

@@ -4,10 +4,23 @@
 //! use (`Criterion`, `benchmark_group`, `bench_function`, `iter`,
 //! `iter_batched`, `BatchSize`, and the `criterion_group!`/
 //! `criterion_main!` macros) so the workspace carries zero external
-//! dependencies and still builds, tests and benches offline. Timing is
-//! wall-clock medians over adaptively sized batches — coarser than
-//! criterion's bootstrapped statistics but adequate for the relative
-//! comparisons these benches make.
+//! dependencies and still builds, tests and benches offline.
+//!
+//! Each benchmark collects a set of timing *samples* (ns per iteration)
+//! and reports their median and p95 — coarser than criterion's
+//! bootstrapped statistics but adequate for the relative comparisons
+//! these benches make. `iter_batched` honors its [`BatchSize`] hint by
+//! pre-building that many inputs per timed batch, so setup time never
+//! leaks into the measurement.
+//!
+//! Environment knobs:
+//!
+//! * `TURBO_BENCH_OUT=<path>` — write results as JSON (median/p95 ns per
+//!   iteration, keyed by bench name) when the run finishes. This is what
+//!   `scripts/bench.sh` uses to produce `BENCH_attention.json`.
+//! * `TURBO_BENCH_SMOKE=1` — one sample of one iteration per bench, no
+//!   warm-up: the CI smoke mode that proves the pipeline end-to-end
+//!   without paying for real measurements.
 
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};
@@ -17,76 +30,167 @@ pub fn black_box<T>(x: T) -> T {
     std_black_box(x)
 }
 
-/// Batch sizing hint (accepted for API compatibility; the harness always
-/// re-runs setup per iteration, which matches `BatchSize::PerIteration`
-/// semantics and is safe for every benchmark in this workspace).
+/// Batch sizing hint for [`Bencher::iter_batched`]: how many inputs to
+/// pre-build per timed batch. Bigger batches amortize timer overhead;
+/// smaller ones bound memory held alive at once.
 #[derive(Clone, Copy, Debug)]
 pub enum BatchSize {
-    /// Small per-iteration inputs.
+    /// Small per-iteration inputs: 64 inputs per timed batch.
     SmallInput,
-    /// Large per-iteration inputs.
+    /// Large per-iteration inputs: 8 inputs per timed batch.
     LargeInput,
-    /// Fresh setup for every iteration.
+    /// Fresh setup for every iteration (batch of 1) — for routines that
+    /// must not share any state between iterations.
     PerIteration,
+}
+
+impl BatchSize {
+    fn inputs_per_batch(self) -> usize {
+        match self {
+            BatchSize::SmallInput => 64,
+            BatchSize::LargeInput => 8,
+            BatchSize::PerIteration => 1,
+        }
+    }
 }
 
 /// Target measurement budget per benchmark.
 const TARGET: Duration = Duration::from_millis(120);
 /// Warm-up budget per benchmark.
 const WARMUP: Duration = Duration::from_millis(20);
+/// Timing samples per benchmark (each sample is the mean of a timed run
+/// of one or more iterations).
+const SAMPLES: usize = 16;
 
 /// One benchmark's measurement context.
 pub struct Bencher {
-    /// Mean nanoseconds per iteration, filled by `iter`/`iter_batched`.
-    ns_per_iter: f64,
+    /// Per-sample nanoseconds per iteration, filled by `iter` /
+    /// `iter_batched`.
+    samples: Vec<f64>,
+    /// Smoke mode: one sample of one iteration, no warm-up.
+    smoke: bool,
 }
 
 impl Bencher {
-    /// Times `f` until the measurement budget is spent.
-    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
-        // Warm-up.
-        let start = Instant::now();
-        while start.elapsed() < WARMUP {
-            std_black_box(f());
+    fn new(smoke: bool) -> Self {
+        Self {
+            samples: Vec::new(),
+            smoke,
         }
-        // Measure.
-        let mut iters = 0u64;
-        let start = Instant::now();
-        while start.elapsed() < TARGET {
-            std_black_box(f());
-            iters += 1;
-        }
-        self.ns_per_iter = start.elapsed().as_nanos() as f64 / iters.max(1) as f64;
     }
 
-    /// Times `routine` on fresh input from `setup` each iteration; setup
-    /// time is excluded from the measurement.
-    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    /// Times `f` until the measurement budget is spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.smoke {
+            let t = Instant::now();
+            std_black_box(f());
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            return;
+        }
+        // Warm-up, and calibrate how many iterations fit in one sample.
+        let start = Instant::now();
+        let mut warm_iters = 0u64;
+        while start.elapsed() < WARMUP {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let est_ns = start.elapsed().as_nanos() as f64 / warm_iters.max(1) as f64;
+        let per_sample_ns = TARGET.as_nanos() as f64 / SAMPLES as f64;
+        let iters = ((per_sample_ns / est_ns.max(1.0)) as u64).max(1);
+
+        for _ in 0..SAMPLES {
+            let t = Instant::now();
+            for _ in 0..iters {
+                std_black_box(f());
+            }
+            self.samples
+                .push(t.elapsed().as_nanos() as f64 / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`. Inputs are built in
+    /// batches of `size.inputs_per_batch()` *before* the timer starts, so
+    /// setup cost is excluded from every sample.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, size: BatchSize)
     where
         S: FnMut() -> I,
         R: FnMut(I) -> O,
     {
-        // Warm-up.
-        let start = Instant::now();
-        while start.elapsed() < WARMUP {
-            std_black_box(routine(setup()));
-        }
-        // Measure routine time only.
-        let mut spent = Duration::ZERO;
-        let mut iters = 0u64;
-        while spent < TARGET {
+        if self.smoke {
             let input = setup();
             let t = Instant::now();
             std_black_box(routine(input));
-            spent += t.elapsed();
-            iters += 1;
+            self.samples.push(t.elapsed().as_nanos() as f64);
+            return;
         }
-        self.ns_per_iter = spent.as_nanos() as f64 / iters.max(1) as f64;
+        let batch = size.inputs_per_batch();
+
+        // Warm-up on one batch; calibrate batches per sample from it.
+        let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+        let t = Instant::now();
+        for input in inputs {
+            std_black_box(routine(input));
+        }
+        let est_ns = t.elapsed().as_nanos() as f64 / batch as f64;
+        let per_sample_ns = TARGET.as_nanos() as f64 / SAMPLES as f64;
+        // Cap batches per sample: for nanosecond-scale routines the limit
+        // on precision is timer overhead, not sample size, and an
+        // expensive `setup` (excluded from timing but still paid in wall
+        // time) must not blow the bench budget.
+        let batches = ((per_sample_ns / (est_ns.max(1.0) * batch as f64)) as u64).clamp(1, 64);
+
+        for _ in 0..SAMPLES {
+            let mut timed = Duration::ZERO;
+            let mut iters = 0u64;
+            for _ in 0..batches {
+                let inputs: Vec<I> = (0..batch).map(|_| setup()).collect();
+                let t = Instant::now();
+                for input in inputs {
+                    std_black_box(routine(input));
+                }
+                timed += t.elapsed();
+                iters += batch as u64;
+            }
+            self.samples
+                .push(timed.as_nanos() as f64 / iters.max(1) as f64);
+        }
     }
 }
 
-fn report(name: &str, ns: f64) {
-    let human = if ns >= 1e9 {
+/// Finished measurement of one benchmark.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchResult {
+    /// Full bench name (`group/member`).
+    pub name: String,
+    /// Median nanoseconds per iteration across samples.
+    pub median_ns: f64,
+    /// 95th-percentile nanoseconds per iteration across samples.
+    pub p95_ns: f64,
+    /// Number of timing samples taken.
+    pub samples: usize,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn summarize(name: &str, samples: &[f64]) -> BenchResult {
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    BenchResult {
+        name: name.to_string(),
+        median_ns: percentile(&sorted, 0.5),
+        p95_ns: percentile(&sorted, 0.95),
+        samples: samples.len(),
+    }
+}
+
+fn human(ns: f64) -> String {
+    if ns >= 1e9 {
         format!("{:.3} s", ns / 1e9)
     } else if ns >= 1e6 {
         format!("{:.3} ms", ns / 1e6)
@@ -94,35 +198,112 @@ fn report(name: &str, ns: f64) {
         format!("{:.3} µs", ns / 1e3)
     } else {
         format!("{ns:.1} ns")
-    };
-    println!("bench {name:<50} {human}/iter");
+    }
 }
 
-/// Entry point handed to every benchmark function.
-#[derive(Default)]
-pub struct Criterion {}
+fn report(r: &BenchResult) {
+    println!(
+        "bench {:<50} {:>12}/iter  (p95 {})",
+        r.name,
+        human(r.median_ns),
+        human(r.p95_ns)
+    );
+}
+
+/// Escapes a bench name for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders all results as a JSON document.
+fn to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("{\n  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}}}{}\n",
+            json_escape(&r.name),
+            r.median_ns,
+            r.p95_ns,
+            r.samples,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Entry point handed to every benchmark function. Collects results and,
+/// when `TURBO_BENCH_OUT` is set, writes them to that path as JSON when
+/// dropped (i.e. when the bench binary finishes).
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    smoke: bool,
+    out_path: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke = std::env::var("TURBO_BENCH_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0");
+        let out_path = std::env::var("TURBO_BENCH_OUT")
+            .ok()
+            .filter(|p| !p.is_empty());
+        Self {
+            results: Vec::new(),
+            smoke,
+            out_path,
+        }
+    }
+}
 
 impl Criterion {
     /// Runs one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = Bencher::new(self.smoke);
         f(&mut b);
-        report(name, b.ns_per_iter);
+        let r = summarize(name, &b.samples);
+        report(&r);
+        self.results.push(r);
         self
     }
 
     /// Opens a named group; member benchmarks are prefixed with its name.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup {
-            _c: self,
+            c: self,
             prefix: name.into(),
+        }
+    }
+
+    /// Results collected so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+impl Drop for Criterion {
+    fn drop(&mut self) {
+        if let Some(path) = &self.out_path {
+            if let Err(e) = std::fs::write(path, to_json(&self.results)) {
+                eprintln!("warning: failed to write bench results to {path}: {e}");
+            } else {
+                println!("wrote {} bench results to {path}", self.results.len());
+            }
         }
     }
 }
 
 /// A named group of related benchmarks.
 pub struct BenchmarkGroup<'a> {
-    _c: &'a mut Criterion,
+    c: &'a mut Criterion,
     prefix: String,
 }
 
@@ -131,11 +312,10 @@ impl BenchmarkGroup<'_> {
     pub fn bench_function<F: FnMut(&mut Bencher)>(
         &mut self,
         name: impl AsRef<str>,
-        mut f: F,
+        f: F,
     ) -> &mut Self {
-        let mut b = Bencher { ns_per_iter: 0.0 };
-        f(&mut b);
-        report(&format!("{}/{}", self.prefix, name.as_ref()), b.ns_per_iter);
+        let full = format!("{}/{}", self.prefix, name.as_ref());
+        self.c.bench_function(&full, f);
         self
     }
 
@@ -168,17 +348,105 @@ macro_rules! criterion_main {
 mod tests {
     use super::*;
 
+    fn smoke_bencher() -> Bencher {
+        Bencher::new(true)
+    }
+
     #[test]
     fn bencher_measures_something() {
-        let mut b = Bencher { ns_per_iter: 0.0 };
+        let mut b = smoke_bencher();
         b.iter(|| std::hint::black_box(1 + 1));
-        assert!(b.ns_per_iter > 0.0);
+        assert_eq!(b.samples.len(), 1);
+        assert!(b.samples[0] >= 0.0);
     }
 
     #[test]
     fn iter_batched_excludes_setup() {
-        let mut b = Bencher { ns_per_iter: 0.0 };
-        b.iter_batched(|| vec![1u8; 16], |v| v.len(), BatchSize::SmallInput);
-        assert!(b.ns_per_iter > 0.0);
+        // A setup far more expensive than the routine: the measured time
+        // must reflect the routine, not the setup.
+        let mut b = Bencher::new(false);
+        b.iter_batched(
+            || {
+                std::thread::sleep(Duration::from_micros(50));
+                vec![1u8; 16]
+            },
+            |v| v.len(),
+            BatchSize::PerIteration,
+        );
+        assert_eq!(b.samples.len(), SAMPLES);
+        let r = summarize("setup_exclusion", &b.samples);
+        assert!(
+            r.median_ns < 25_000.0,
+            "setup leaked into measurement: {} ns/iter",
+            r.median_ns
+        );
+    }
+
+    #[test]
+    fn batch_size_controls_inputs_per_batch() {
+        assert_eq!(BatchSize::SmallInput.inputs_per_batch(), 64);
+        assert_eq!(BatchSize::LargeInput.inputs_per_batch(), 8);
+        assert_eq!(BatchSize::PerIteration.inputs_per_batch(), 1);
+
+        // Count setup calls in smoke mode: exactly one per measurement.
+        let mut calls = 0usize;
+        let mut b = smoke_bencher();
+        b.iter_batched(
+            || {
+                calls += 1;
+            },
+            |()| 0u8,
+            BatchSize::SmallInput,
+        );
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn summary_orders_median_below_p95() {
+        let samples = vec![10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0];
+        let r = summarize("x", &samples);
+        assert!(r.median_ns <= r.p95_ns);
+        assert_eq!(r.samples, 8);
+    }
+
+    #[test]
+    fn json_output_is_well_formed() {
+        let results = vec![
+            BenchResult {
+                name: "group/one".into(),
+                median_ns: 1234.5,
+                p95_ns: 2000.0,
+                samples: 16,
+            },
+            BenchResult {
+                name: "group/two".into(),
+                median_ns: 10.0,
+                p95_ns: 11.0,
+                samples: 16,
+            },
+        ];
+        let json = to_json(&results);
+        assert!(json.contains("\"benches\""));
+        assert!(json.contains("\"group/one\""));
+        assert!(json.contains("\"median_ns\": 1234.5"));
+        // Balanced braces/brackets as a cheap structural check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "unbalanced braces"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_backslashes() {
+        let r = vec![BenchResult {
+            name: "we\"ird\\name".into(),
+            median_ns: 1.0,
+            p95_ns: 1.0,
+            samples: 1,
+        }];
+        let json = to_json(&r);
+        assert!(json.contains("we\\\"ird\\\\name"));
     }
 }

@@ -41,7 +41,8 @@ pub use kernels::{decode_latency, prefill_latency, KernelBreakdown};
 pub use memory::{fits_in_memory, memory_usage};
 pub use method::AttnMethod;
 pub use serving::{
-    simulate_serving, simulate_serving_robust, uniform_workload, RequestSpec,
-    RobustServingStats, ServingPolicy, ServingStats,
+    simulate_serving, simulate_serving_batched, simulate_serving_batched_on,
+    simulate_serving_robust, uniform_workload, RequestSpec, RobustServingStats, ServingPolicy,
+    ServingStats,
 };
 pub use throughput::{max_throughput, throughput};

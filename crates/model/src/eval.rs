@@ -40,42 +40,39 @@ pub struct EvalResult {
 /// extracting the final answer from 256 generated tokens).
 ///
 /// Episodes are independent and derive their randomness purely from
-/// `(seed, suite, index)`, so they are evaluated on a scoped thread pool;
-/// results are identical to a serial sweep.
+/// `(seed, suite, index)`, so they are evaluated as chunked tasks on the
+/// shared [`turbo_runtime`] pool; the chunk size is fixed (worker-count
+/// independent) and per-chunk counts sum in index order, so results are
+/// identical to a serial sweep.
 pub fn evaluate(
     backend: &dyn Backend,
     profile: &ModelProfile,
     suite: &TaskSuite,
     cfg: &EvalConfig,
 ) -> EvalResult {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(cfg.episodes.max(1));
-    let correct: usize = if threads <= 1 || cfg.episodes < 8 {
-        (0..cfg.episodes)
-            .filter(|&i| run_episode(backend, profile, suite, cfg.seed, i as u64))
-            .count()
-    } else {
-        std::thread::scope(|scope| {
-            let chunk = cfg.episodes.div_ceil(threads);
-            let handles: Vec<_> = (0..cfg.episodes)
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(cfg.episodes);
-                    scope.spawn(move || {
-                        (start..end)
-                            .filter(|&i| run_episode(backend, profile, suite, cfg.seed, i as u64))
-                            .count()
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("episode worker panicked"))
-                .sum()
+    evaluate_on(turbo_runtime::global(), backend, profile, suite, cfg)
+}
+
+/// As [`evaluate`], but on an explicit runtime (worker-count equivalence
+/// tests).
+pub fn evaluate_on(
+    rt: &turbo_runtime::Runtime,
+    backend: &dyn Backend,
+    profile: &ModelProfile,
+    suite: &TaskSuite,
+    cfg: &EvalConfig,
+) -> EvalResult {
+    // Fixed chunk size: the task partition depends only on the episode
+    // count, never on how many workers happen to exist.
+    const EPISODE_CHUNK: usize = 8;
+    let correct: usize = rt
+        .par_tiles(cfg.episodes, EPISODE_CHUNK, |range| {
+            range
+                .filter(|&i| run_episode(backend, profile, suite, cfg.seed, i as u64))
+                .count()
         })
-    };
+        .into_iter()
+        .sum();
     EvalResult {
         accuracy: correct as f64 / cfg.episodes.max(1) as f64,
         correct,
@@ -195,6 +192,19 @@ mod tests {
         let gear8 = evaluate(&GearBackend::new(BitWidth::Int8), &p, &suite, &quick());
         // INT8 GEAR is near-exact, so results should match FP16 closely.
         assert!((fp16.accuracy - gear8.accuracy).abs() <= 0.1);
+    }
+
+    #[test]
+    fn identical_across_worker_counts() {
+        let p = ModelProfile::phi3_like();
+        let suite = TaskSuite::gsm8k_proxy();
+        let b = TurboBackend::int4();
+        let baseline = evaluate(&b, &p, &suite, &quick());
+        for workers in [1usize, 2, 8] {
+            let rt = turbo_runtime::Runtime::with_workers(workers);
+            let r = evaluate_on(&rt, &b, &p, &suite, &quick());
+            assert_eq!(baseline, r, "{workers} workers diverged");
+        }
     }
 
     #[test]

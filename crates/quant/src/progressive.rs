@@ -537,6 +537,123 @@ mod tests {
         assert_eq!(pq, ProgressiveBlock::quantize(&m, BitWidth::Int4, 16));
     }
 
+    /// Tiny deterministic generator for the property tests below (keeps
+    /// the crate dependency-free; splitmix64 core).
+    struct CaseRng(u64);
+
+    impl CaseRng {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in `[lo, hi]` inclusive.
+        fn in_range(&mut self, lo: i64, hi: i64) -> i64 {
+            lo + (self.next_u64() % (hi - lo + 1) as u64) as i64
+        }
+    }
+
+    /// Randomized round-trip property: for arbitrary INT8 tiles, the
+    /// stage-2 re-quantize → dequantize pipeline (a) never panics in
+    /// debug builds — i.e. the integer scale/zero always fit their `i8`
+    /// storage — and (b) reconstructs every code to within `s/2` of the
+    /// original, `s` being that group's integer scale (`2·|v − v̂| ≤ s`).
+    /// 576 seeded cases spanning INT2/INT3/INT4, ragged shapes, ragged
+    /// groups, and adversarial value patterns (full-range extremes,
+    /// near-constant, alternating ±127).
+    #[test]
+    fn randomized_int8_round_trip_never_overflows_and_stays_within_half_scale() {
+        const CASES: usize = 576;
+        for case in 0..CASES {
+            let mut rng = CaseRng(0xC0FFEE ^ (case as u64).wrapping_mul(0x5851_F42D_4C95_7F2D));
+            let rows = rng.in_range(1, 40) as usize;
+            let cols = rng.in_range(1, 9) as usize;
+            let group_size = rng.in_range(1, rows as i64 + 4) as usize;
+            let bits = match case % 3 {
+                0 => BitWidth::Int2,
+                1 => BitWidth::Int3,
+                _ => BitWidth::Int4,
+            };
+
+            let codes: Vec<i8> = match case % 4 {
+                // Uniform over the full symmetric INT8 range.
+                0 => (0..rows * cols)
+                    .map(|_| rng.in_range(-127, 127) as i8)
+                    .collect(),
+                // Narrow band around a random center.
+                1 => {
+                    let center = rng.in_range(-100, 100);
+                    let spread = rng.in_range(0, 12);
+                    (0..rows * cols)
+                        .map(|_| {
+                            rng.in_range(center - spread, center + spread).clamp(-127, 127) as i8
+                        })
+                        .collect()
+                }
+                // Alternating extremes: the widest possible gap (254), the
+                // worst case for the ceiling-division scale.
+                2 => (0..rows * cols)
+                    .map(|i| if i % 2 == 0 { -127i8 } else { 127 })
+                    .collect(),
+                // Constant tile at a random value (gap 0, scale floor 1).
+                _ => {
+                    let v = rng.in_range(-127, 127) as i8;
+                    vec![v; rows * cols]
+                }
+            };
+
+            let q1 = SymQuantized::from_parts(codes.clone(), 0.01, rows, cols);
+            // (a) Must not panic: in debug builds an i8 overflow in the
+            // `s as i8` / `z as i8` stores would abort here.
+            let pq = ProgressiveBlock::quantize_from_int8(&q1, bits, group_size);
+            let back = pq.dequantize_to_int8();
+
+            let groups = rows.div_ceil(group_size);
+            for (gi, p) in pq.group_params().iter().enumerate() {
+                assert!(
+                    p.scale >= 1,
+                    "case {case}: group {gi} scale {} not positive",
+                    p.scale
+                );
+            }
+            // (b) Per-code reconstruction error ≤ s/2 (integer check).
+            for r in 0..rows {
+                for c in 0..cols {
+                    let g = r / group_size;
+                    let s = pq.group_params()[c * groups + g].scale as i32;
+                    let v = codes[r * cols + c] as i32;
+                    let v_hat = back.codes()[r * cols + c] as i32;
+                    assert!(
+                        2 * (v - v_hat).abs() <= s,
+                        "case {case} ({bits:?}, {rows}x{cols}, group {group_size}): \
+                         code at ({r},{c}) was {v}, came back {v_hat}, scale {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn full_range_extremes_saturate_scale_within_i8() {
+        // gap = 254: the largest integer scale each width can produce.
+        // ceil(254/3) = 85 (INT2), ceil(254/7) = 37 (INT3),
+        // ceil(254/15) = 17 (INT4) — all comfortably inside i8.
+        for (bits, expect) in [
+            (BitWidth::Int2, 85i8),
+            (BitWidth::Int3, 37),
+            (BitWidth::Int4, 17),
+        ] {
+            let codes: Vec<i8> = (0..32).map(|i| if i % 2 == 0 { -127 } else { 127 }).collect();
+            let q1 = SymQuantized::from_parts(codes, 1.0, 32, 1);
+            let pq = ProgressiveBlock::quantize_from_int8(&q1, bits, 32);
+            assert_eq!(pq.group_params().len(), 1);
+            assert_eq!(pq.group_params()[0].scale, expect, "{bits:?}");
+        }
+    }
+
     #[test]
     fn packed_mut_round_trips_through_bit_flip() {
         let mut rng = TensorRng::new(29);

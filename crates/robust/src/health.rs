@@ -45,10 +45,19 @@ pub enum HealthEvent {
     /// A persisted cache was recovered partially (valid prefix kept,
     /// corrupt suffix dropped).
     PartialRecovery,
+    /// The execution runtime spawned a persistent pool worker. The total
+    /// count is bounded by the configured pool size for the life of the
+    /// process — the regression guard against per-call thread spawning.
+    RuntimeWorkerSpawned,
+    /// The execution runtime ran one pooled task to completion.
+    RuntimeTaskRun,
+    /// A pool worker (or helping submitter) stole a task from another
+    /// worker's queue.
+    RuntimeTaskStolen,
 }
 
 /// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 12;
+pub const EVENT_COUNT: usize = 15;
 
 /// All events, in discriminant order, for iteration/reporting.
 pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
@@ -64,6 +73,9 @@ pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
     HealthEvent::PressureDemotion,
     HealthEvent::RequestRejected,
     HealthEvent::PartialRecovery,
+    HealthEvent::RuntimeWorkerSpawned,
+    HealthEvent::RuntimeTaskRun,
+    HealthEvent::RuntimeTaskStolen,
 ];
 
 impl HealthEvent {
@@ -82,6 +94,9 @@ impl HealthEvent {
             HealthEvent::PressureDemotion => "pressure_demotion",
             HealthEvent::RequestRejected => "request_rejected",
             HealthEvent::PartialRecovery => "partial_recovery",
+            HealthEvent::RuntimeWorkerSpawned => "runtime_worker_spawned",
+            HealthEvent::RuntimeTaskRun => "runtime_task_run",
+            HealthEvent::RuntimeTaskStolen => "runtime_task_stolen",
         }
     }
 }

@@ -1,0 +1,699 @@
+//! The work-stealing thread pool and its deterministic batch APIs.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use turbo_robust::{HealthEvent, HealthStats};
+
+/// Environment variable overriding the global pool's worker count.
+pub const ENV_WORKERS: &str = "TURBO_RUNTIME_THREADS";
+
+/// How long an idle worker sleeps before re-scanning the queues. Purely a
+/// liveness backstop — submission always notifies under the sleep lock,
+/// so no wakeup can be lost.
+const IDLE_RESCAN: Duration = Duration::from_millis(20);
+
+/// How long a helping submitter waits on its batch latch between attempts
+/// to drain queued work.
+const HELP_POLL: Duration = Duration::from_micros(200);
+
+/// One schedulable task: a pointer to its batch plus the item index it
+/// covers. The raw pointer is what lets persistent `'static` workers run
+/// borrowed closures; see the safety argument on [`BatchCore`].
+#[derive(Clone, Copy)]
+struct Unit {
+    batch: *const BatchCore,
+    index: usize,
+}
+
+// SAFETY: a `Unit` is only ever dereferenced while its batch's submitter
+// blocks inside `run_batch`, which keeps the `BatchCore` (and everything
+// the erased closure borrows) alive until the completion latch drops.
+unsafe impl Send for Unit {}
+
+/// Shared state of one in-flight batch. Lives on the submitting thread's
+/// stack for the whole execution:
+///
+/// * `run_batch` does not return until `remaining` has reached zero *and*
+///   the `done` flag has been flipped under its mutex, so every queued
+///   [`Unit`] pointing here is executed (and forgotten) strictly before
+///   the core is dropped;
+/// * the erased `run` closure therefore never outlives the borrows it
+///   captures, even though the pointer type says `'static`-ish.
+struct BatchCore {
+    /// Lifetime-erased task body: invoked once per index in
+    /// `0..task_count`. Erasure is sound because `run_batch` keeps the
+    /// real closure alive until the latch drops.
+    run: &'static (dyn Fn(usize) + Sync),
+    /// Tasks not yet completed.
+    remaining: AtomicUsize,
+    /// Completion flag, flipped under the mutex so the submitter cannot
+    /// miss the final notification.
+    done: Mutex<bool>,
+    /// Signalled when the last task completes.
+    done_cv: Condvar,
+    /// First panic payload observed in this batch, re-thrown by the
+    /// submitter once the batch has fully drained.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+}
+
+impl BatchCore {
+    /// Marks one task complete; the last completion flips `done` under
+    /// the mutex and wakes the submitter.
+    fn complete_one(&self) {
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            let mut done = self.done.lock().expect("batch latch poisoned");
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+}
+
+/// State shared between the pool's workers and every submitting thread.
+struct Shared {
+    /// One FIFO task queue per worker; submissions round-robin across
+    /// them and idle workers steal from their siblings.
+    queues: Vec<Mutex<VecDeque<Unit>>>,
+    /// Sleep coordination: workers check all queues while holding this
+    /// lock before sleeping; submitters notify while holding it.
+    sleep: Mutex<()>,
+    wake: Condvar,
+    shutdown: AtomicBool,
+    /// Round-robin cursor for spreading submissions across queues.
+    next_queue: AtomicUsize,
+    /// Event tallies mirrored into the robustness registry.
+    health: Arc<HealthStats>,
+    // Instrumentation gauges.
+    tasks_run: AtomicU64,
+    tasks_stolen: AtomicU64,
+    helper_tasks: AtomicU64,
+    total_task_ns: AtomicU64,
+    max_queue_depth: AtomicUsize,
+    active_workers: AtomicUsize,
+    max_active_workers: AtomicUsize,
+}
+
+impl Shared {
+    fn new(workers: usize, health: Arc<HealthStats>) -> Self {
+        Self {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            sleep: Mutex::new(()),
+            wake: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            next_queue: AtomicUsize::new(0),
+            health,
+            tasks_run: AtomicU64::new(0),
+            tasks_stolen: AtomicU64::new(0),
+            helper_tasks: AtomicU64::new(0),
+            total_task_ns: AtomicU64::new(0),
+            max_queue_depth: AtomicUsize::new(0),
+            active_workers: AtomicUsize::new(0),
+            max_active_workers: AtomicUsize::new(0),
+        }
+    }
+
+    /// Pops a task for `home` (its own queue first, then stealing).
+    /// Returns the unit and whether it was stolen. `home` may be
+    /// `queues.len()` for helping submitters, who always "steal".
+    fn grab(&self, home: usize) -> Option<(Unit, bool)> {
+        if home < self.queues.len() {
+            if let Some(u) = self.queues[home]
+                .lock()
+                .expect("queue poisoned")
+                .pop_front()
+            {
+                return Some((u, false));
+            }
+        }
+        let n = self.queues.len();
+        for off in 0..n {
+            let q = (home.wrapping_add(1).wrapping_add(off)) % n;
+            if q == home {
+                continue;
+            }
+            if let Some(u) = self.queues[q].lock().expect("queue poisoned").pop_front() {
+                return Some((u, true));
+            }
+        }
+        None
+    }
+
+    fn any_queued(&self) -> bool {
+        self.queues
+            .iter()
+            .any(|q| !q.lock().expect("queue poisoned").is_empty())
+    }
+
+    fn bump_max(cell: &AtomicUsize, value: usize) {
+        let mut cur = cell.load(Ordering::Relaxed);
+        while value > cur {
+            match cell.compare_exchange_weak(cur, value, Ordering::Relaxed, Ordering::Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Runs one unit, recording wall time and health events. `stolen`
+    /// counts a steal; `helper` marks execution by a submitting thread
+    /// rather than a pool worker.
+    fn execute(&self, unit: Unit, stolen: bool, helper: bool) {
+        // SAFETY: the unit was queued by `run_batch`, whose submitter is
+        // still blocked on the batch latch, so the core and everything
+        // its closure borrows are alive.
+        let core = unsafe { &*unit.batch };
+        let t = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| (core.run)(unit.index)));
+        let ns = t.elapsed().as_nanos() as u64;
+        self.total_task_ns.fetch_add(ns, Ordering::Relaxed);
+        self.tasks_run.fetch_add(1, Ordering::Relaxed);
+        self.health.record(HealthEvent::RuntimeTaskRun);
+        if stolen {
+            self.tasks_stolen.fetch_add(1, Ordering::Relaxed);
+            self.health.record(HealthEvent::RuntimeTaskStolen);
+        }
+        if helper {
+            self.helper_tasks.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Err(payload) = result {
+            let mut slot = core.panic.lock().expect("panic slot poisoned");
+            slot.get_or_insert(payload);
+        }
+        core.complete_one();
+    }
+
+    /// Persistent worker loop.
+    fn worker_loop(&self, id: usize) {
+        loop {
+            if self.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some((unit, stolen)) = self.grab(id) {
+                let active = self.active_workers.fetch_add(1, Ordering::Relaxed) + 1;
+                Self::bump_max(&self.max_active_workers, active);
+                self.execute(unit, stolen, false);
+                self.active_workers.fetch_sub(1, Ordering::Relaxed);
+                continue;
+            }
+            // Nothing anywhere: sleep until a submitter notifies. The
+            // queue re-check under the sleep lock closes the race with a
+            // submitter that pushed between our scan and this lock.
+            let guard = self.sleep.lock().expect("sleep lock poisoned");
+            if self.shutdown.load(Ordering::Acquire) || self.any_queued() {
+                continue;
+            }
+            let _ = self
+                .wake
+                .wait_timeout(guard, IDLE_RESCAN)
+                .expect("sleep lock poisoned");
+        }
+    }
+}
+
+/// A persistent work-stealing thread pool with deterministic batch APIs.
+///
+/// Most code should use the process-wide [`global`] pool; tests construct
+/// private pools via [`Runtime::with_workers`] to pin behavior at fixed
+/// worker counts.
+pub struct Runtime {
+    shared: Arc<Shared>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl Runtime {
+    /// Builds a pool with exactly `workers` persistent threads (clamped
+    /// to at least 1). Workers are spawned eagerly and recorded in the
+    /// health registry.
+    pub fn with_workers(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let health = Arc::new(HealthStats::new());
+        let shared = Arc::new(Shared::new(workers, health));
+        let handles = (0..workers)
+            .map(|id| {
+                let s = Arc::clone(&shared);
+                s.health.record(HealthEvent::RuntimeWorkerSpawned);
+                std::thread::Builder::new()
+                    .name(format!("turbo-runtime-{id}"))
+                    .spawn(move || s.worker_loop(id))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        Self {
+            shared,
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of persistent pool workers.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The health registry the pool records
+    /// spawn/task/steal events into.
+    pub fn health(&self) -> &HealthStats {
+        &self.shared.health
+    }
+
+    /// Point-in-time instrumentation snapshot.
+    pub fn snapshot(&self) -> RuntimeSnapshot {
+        let s = &self.shared;
+        RuntimeSnapshot {
+            workers: self.workers,
+            tasks_run: s.tasks_run.load(Ordering::Relaxed),
+            tasks_stolen: s.tasks_stolen.load(Ordering::Relaxed),
+            helper_tasks: s.helper_tasks.load(Ordering::Relaxed),
+            total_task_ns: s.total_task_ns.load(Ordering::Relaxed),
+            max_queue_depth: s.max_queue_depth.load(Ordering::Relaxed),
+            max_active_workers: s.max_active_workers.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Core erased executor: queues `tasks` indexed units running `run`,
+    /// helps drain queues while waiting, and re-throws the first task
+    /// panic once the batch has fully completed.
+    fn run_batch(&self, tasks: usize, run: &(dyn Fn(usize) + Sync)) {
+        if tasks == 0 {
+            return;
+        }
+        // SAFETY: lifetime erasure only. This frame blocks on the batch
+        // latch below until every queued unit has executed, so the erased
+        // reference never outlives the closure (or anything it borrows).
+        let run_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(run)
+        };
+        let core = BatchCore {
+            run: run_static,
+            remaining: AtomicUsize::new(tasks),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+
+        // Distribute units round-robin across worker queues. The mapping
+        // of index -> queue affects only scheduling, never results.
+        let n_queues = self.shared.queues.len();
+        let start = self.shared.next_queue.fetch_add(1, Ordering::Relaxed);
+        for index in 0..tasks {
+            let unit = Unit {
+                batch: &core as *const _,
+                index,
+            };
+            let q = (start + index) % n_queues;
+            let depth = {
+                let mut queue = self.shared.queues[q].lock().expect("queue poisoned");
+                queue.push_back(unit);
+                queue.len()
+            };
+            Shared::bump_max(&self.shared.max_queue_depth, depth);
+        }
+        {
+            // Empty critical section orders the pushes before any worker's
+            // sleep decision, so the notification cannot be lost.
+            let _guard = self.shared.sleep.lock().expect("sleep lock poisoned");
+            self.shared.wake.notify_all();
+        }
+
+        // Help until the latch drops: drain any queued unit (ours or a
+        // nested batch's), otherwise wait briefly on the latch.
+        loop {
+            if let Some((unit, _stolen)) = self.shared.grab(n_queues) {
+                self.shared.execute(unit, false, true);
+                continue;
+            }
+            let guard = core.done.lock().expect("batch latch poisoned");
+            if *guard {
+                break;
+            }
+            let (guard, _) = core
+                .done_cv
+                .wait_timeout(guard, HELP_POLL)
+                .expect("batch latch poisoned");
+            if *guard {
+                break;
+            }
+        }
+
+        let payload = core.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Deterministic indexed map: computes `f(0..n)` on the pool and
+    /// returns results in index order. Output is bit-identical to the
+    /// serial `(0..n).map(f).collect()` for any worker count, because
+    /// each index is computed independently by the same pure function and
+    /// merged in index order.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the first panic raised by any task, after the whole
+    /// batch has drained.
+    pub fn par_map_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if n == 0 {
+            return Vec::new();
+        }
+        if n == 1 {
+            // A one-task batch gains nothing from the pool; inline
+            // execution is bit-identical by construction.
+            return vec![f(0)];
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let run = |i: usize| {
+            let r = f(i);
+            *slots[i].lock().expect("result slot poisoned") = Some(r);
+        };
+        self.run_batch(n, &run);
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("result slot poisoned")
+                    .expect("task completed without writing its result")
+            })
+            .collect()
+    }
+
+    /// Deterministic map over a slice; results are in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_map_indexed(items.len(), |i| f(&items[i]))
+    }
+
+    /// Deterministic map with exclusive mutable access to each item;
+    /// results are in item order.
+    pub fn par_map_mut<T, R, F>(&self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        let base = SendPtr(items.as_mut_ptr());
+        let n = items.len();
+        self.par_map_indexed(n, move |i| {
+            // SAFETY: `par_map_indexed` invokes each index exactly once
+            // and `i < n = items.len()`, so every task gets exclusive
+            // access to a distinct element while the slice borrow is held
+            // by this frame.
+            let item = unsafe { &mut *base.at(i) };
+            f(item)
+        })
+    }
+
+    /// Deterministic chunked map: partitions `0..n` into tiles of
+    /// `tile_size` (the last may be ragged), computes `f` per tile on the
+    /// pool, and returns per-tile results in tile order. The partition
+    /// depends only on `(n, tile_size)` — never on the worker count — so
+    /// any cross-tile merge the caller performs sees tiles in the same
+    /// order a serial sweep would produce.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tile_size == 0`.
+    pub fn par_tiles<R, F>(&self, n: usize, tile_size: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        assert!(tile_size > 0, "tile size must be positive");
+        let tiles = n.div_ceil(tile_size);
+        self.par_map_indexed(tiles, |t| {
+            let lo = t * tile_size;
+            let hi = (lo + tile_size).min(n);
+            f(lo..hi)
+        })
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        {
+            let _guard = self.shared.sleep.lock().expect("sleep lock poisoned");
+            self.shared.wake.notify_all();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Runtime")
+            .field("workers", &self.workers)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Raw-pointer wrapper that is `Send`/`Sync` so disjoint-index tasks can
+/// reach their slice element.
+struct SendPtr<T>(*mut T);
+
+impl<T> SendPtr<T> {
+    /// Pointer to element `i`. A method (rather than field access) so
+    /// closures capture the whole `Sync` wrapper under edition-2021
+    /// precise-capture rules.
+    fn at(self, i: usize) -> *mut T {
+        self.0.wrapping_add(i)
+    }
+}
+
+// SAFETY: access discipline (one index per task) is enforced by
+// `par_map_mut`; the pointer itself carries no aliasing.
+unsafe impl<T: Send> Send for SendPtr<T> {}
+unsafe impl<T: Send> Sync for SendPtr<T> {}
+
+impl<T> Clone for SendPtr<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SendPtr<T> {}
+
+/// Instrumentation snapshot of a [`Runtime`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RuntimeSnapshot {
+    /// Configured persistent worker count.
+    pub workers: usize,
+    /// Tasks executed to completion (by workers and helpers).
+    pub tasks_run: u64,
+    /// Tasks a worker took from a sibling's queue.
+    pub tasks_stolen: u64,
+    /// Tasks executed by submitting threads while waiting on a latch.
+    pub helper_tasks: u64,
+    /// Total wall time spent inside task bodies, in nanoseconds.
+    pub total_task_ns: u64,
+    /// Deepest any single queue has been.
+    pub max_queue_depth: usize,
+    /// Most pool workers ever simultaneously inside a task body — the
+    /// oversubscription regression gauge (helpers excluded).
+    pub max_active_workers: usize,
+}
+
+/// Parses a worker-count override; falls back to `fallback` when the
+/// value is missing, unparsable, or zero. Split out of [`global`] so the
+/// policy is unit-testable without touching process environment.
+pub fn worker_count_from(env_value: Option<&str>, fallback: usize) -> usize {
+    env_value
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(fallback)
+        .max(1)
+}
+
+static GLOBAL: OnceLock<Runtime> = OnceLock::new();
+
+/// The process-wide execution runtime, initialized on first use with
+/// `available_parallelism` workers (or the `TURBO_RUNTIME_THREADS`
+/// override).
+pub fn global() -> &'static Runtime {
+    GLOBAL.get_or_init(|| {
+        let fallback = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        let workers = worker_count_from(
+            std::env::var(ENV_WORKERS).ok().as_deref(),
+            fallback,
+        );
+        Runtime::with_workers(workers)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_serial_at_every_worker_count() {
+        let items: Vec<f32> = (0..257).map(|i| i as f32 * 0.37 - 40.0).collect();
+        let serial: Vec<f32> = items.iter().map(|x| (x * 1.7).sin() + x).collect();
+        for workers in [1usize, 2, 3, 8] {
+            let rt = Runtime::with_workers(workers);
+            let pooled = rt.par_map(&items, |x| (x * 1.7).sin() + x);
+            assert_eq!(pooled, serial, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_preserves_order() {
+        let rt = Runtime::with_workers(4);
+        let out = rt.par_map_indexed(100, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_mut_gives_each_task_its_own_element() {
+        let rt = Runtime::with_workers(4);
+        let mut items: Vec<u64> = (0..64).collect();
+        let prior = rt.par_map_mut(&mut items, |x| {
+            let before = *x;
+            *x += 1000;
+            before
+        });
+        assert_eq!(prior, (0..64).collect::<Vec<u64>>());
+        assert_eq!(items, (1000..1064).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn par_tiles_partition_is_independent_of_workers() {
+        let expected = vec![0..30, 30..60, 60..90, 90..100];
+        for workers in [1usize, 2, 5] {
+            let rt = Runtime::with_workers(workers);
+            let ranges = rt.par_tiles(100, 30, |r| r);
+            assert_eq!(ranges, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn nested_batches_do_not_deadlock_on_one_worker() {
+        let rt = Runtime::with_workers(1);
+        let out = rt.par_map_indexed(4, |outer| {
+            let inner = rt.par_map_indexed(4, move |i| outer * 10 + i);
+            inner.iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..4)
+            .map(|o| (0..4).map(|i| o * 10 + i).sum())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn pool_never_exceeds_configured_worker_count() {
+        let cap = 2;
+        let rt = Runtime::with_workers(cap);
+        // Many more tasks than workers, several times over: the old
+        // thread-per-head code would have spawned 64 threads per call.
+        for _ in 0..4 {
+            let out = rt.par_map_indexed(64, |i| {
+                std::thread::sleep(Duration::from_micros(200));
+                i
+            });
+            assert_eq!(out.len(), 64);
+        }
+        let snap = rt.snapshot();
+        assert_eq!(
+            rt.health().count(HealthEvent::RuntimeWorkerSpawned),
+            cap as u64,
+            "workers are spawned once, not per call"
+        );
+        assert!(
+            snap.max_active_workers <= cap,
+            "{} pool workers ran concurrently under a cap of {cap}",
+            snap.max_active_workers
+        );
+        assert_eq!(snap.tasks_run, 4 * 64);
+        assert_eq!(
+            rt.health().count(HealthEvent::RuntimeTaskRun),
+            snap.tasks_run
+        );
+    }
+
+    #[test]
+    fn instrumentation_records_time_and_depth() {
+        let rt = Runtime::with_workers(2);
+        rt.par_map_indexed(32, |_| std::thread::sleep(Duration::from_micros(100)));
+        let snap = rt.snapshot();
+        assert!(snap.total_task_ns > 0);
+        assert!(snap.max_queue_depth > 0);
+        assert_eq!(snap.tasks_run, 32);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let rt = Runtime::with_workers(2);
+        let none: Vec<u32> = rt.par_map_indexed(0, |_| unreachable!());
+        assert!(none.is_empty());
+        assert_eq!(rt.par_map_indexed(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "task 3 exploded")]
+    fn task_panic_propagates_to_submitter() {
+        let rt = Runtime::with_workers(2);
+        rt.par_map_indexed(8, |i| {
+            if i == 3 {
+                panic!("task 3 exploded");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicked_batch() {
+        let rt = Runtime::with_workers(2);
+        let poisoned = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.par_map_indexed(8, |i| {
+                if i == 0 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(poisoned.is_err());
+        // The pool still works afterwards.
+        assert_eq!(rt.par_map_indexed(4, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn worker_count_policy() {
+        assert_eq!(worker_count_from(None, 8), 8);
+        assert_eq!(worker_count_from(Some("3"), 8), 3);
+        assert_eq!(worker_count_from(Some(" 5 "), 8), 5);
+        assert_eq!(worker_count_from(Some("0"), 8), 8);
+        assert_eq!(worker_count_from(Some("lots"), 8), 8);
+        assert_eq!(worker_count_from(None, 0), 1);
+    }
+
+    #[test]
+    fn global_pool_is_a_singleton() {
+        let a = global() as *const Runtime;
+        let b = global() as *const Runtime;
+        assert_eq!(a, b);
+        assert!(global().workers() >= 1);
+        assert_eq!(global().par_map(&[1, 2, 3], |x| x * x), vec![1, 4, 9]);
+    }
+
+    #[test]
+    fn dropping_a_runtime_joins_its_workers() {
+        let rt = Runtime::with_workers(3);
+        rt.par_map_indexed(16, |i| i);
+        drop(rt); // must not hang
+    }
+}

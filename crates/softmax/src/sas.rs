@@ -414,6 +414,89 @@ mod tests {
         Sas::paper_default().softmax(&Matrix::filled(1, 4, f32::NEG_INFINITY));
     }
 
+    /// Next f32 toward −∞ (larger magnitude for negative inputs).
+    fn next_below(x: f32) -> f32 {
+        assert!(x < 0.0 && x.is_finite());
+        f32::from_bits(x.to_bits() + 1)
+    }
+
+    /// Next f32 toward 0 (smaller magnitude for negative inputs).
+    fn next_above(x: f32) -> f32 {
+        assert!(x < 0.0 && x.is_finite());
+        f32::from_bits(x.to_bits() - 1)
+    }
+
+    #[test]
+    fn threshold_boundary_is_kept_exactly_at_n_r() {
+        // A score exactly at the sparsity threshold n_r must be *kept*
+        // (the LUT holds |n_r|+1 entries precisely so e^{n_r} exists);
+        // one ULP below must sparsify to exactly 0. Pin this for several
+        // thresholds so an off-by-one in either the comparison or the
+        // LUT sizing cannot creep back in.
+        for thr in [-1i32, -3, -6, -9] {
+            let sas = Sas::new(thr, PAPER_POLY);
+            let at = thr as f32;
+            let expect = at.exp() * PAPER_POLY.eval(0.0);
+            assert!(
+                (sas.exp(at) - expect).abs() < 1e-6,
+                "x = n_r = {thr} must hit lut[{}]*poly(0)",
+                -thr
+            );
+            assert!(sas.exp(at) > 0.0, "x = n_r = {thr} must not sparsify");
+            assert_eq!(
+                sas.exp(next_below(at)),
+                0.0,
+                "one ULP below n_r = {thr} must sparsify"
+            );
+            assert!(
+                sas.exp(next_above(at)) > 0.0,
+                "one ULP above n_r = {thr} must be kept"
+            );
+        }
+    }
+
+    #[test]
+    fn exp_matrix_sparsifies_identically_to_exp_at_the_boundary() {
+        let sas = Sas::paper_default();
+        let thr = sas.threshold() as f32;
+        let probes = [
+            0.0,
+            thr,
+            next_below(thr),
+            next_above(thr),
+            thr + 0.5,
+            thr - 0.5,
+            f32::NEG_INFINITY,
+        ];
+        let m = Matrix::from_rows(&[&probes]);
+        let out = sas.exp_matrix(&m);
+        for (j, &x) in probes.iter().enumerate() {
+            assert_eq!(
+                out.get(0, j),
+                sas.exp(x),
+                "exp_matrix diverged from exp at x = {x}"
+            );
+        }
+        // And the boundary semantics themselves: kept at n_r, zero below.
+        assert!(out.get(0, 1) > 0.0);
+        assert_eq!(out.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn softmax_and_sparsity_agree_with_exp_at_the_boundary() {
+        let sas = Sas::paper_default();
+        let thr = sas.threshold() as f32;
+        // Max-subtracted scores: max 0, one entry exactly at n_r, one a
+        // single ULP below.
+        let scores = Matrix::from_rows(&[&[0.0, thr, next_below(thr)]]);
+        let p = sas.softmax(&scores);
+        assert!(p.get(0, 1) > 0.0, "entry exactly at n_r keeps weight");
+        assert_eq!(p.get(0, 2), 0.0, "entry one ULP below n_r is zeroed");
+        // sparsity() counts with the same strict `<`: exactly 1 of 3.
+        let frac = sas.sparsity(&scores);
+        assert!((frac - 1.0 / 3.0).abs() < 1e-12);
+    }
+
     #[test]
     fn partially_poisoned_row_still_normalizes() {
         let sas = Sas::paper_default();

@@ -59,7 +59,7 @@ fn main() {
         let step_q: Vec<Matrix> = (0..heads).map(|_| rng.normal(1, d, 0.0, 1.0)).collect();
         let step_k: Vec<Matrix> = (0..heads).map(|_| rng.normal(1, d, 0.0, 1.0)).collect();
         let step_v: Vec<Matrix> = (0..heads).map(|_| rng.normal(1, d, 0.0, 1.0)).collect();
-        let outs = engine.decode_layer(
+        let outs = engine.decode_layer_parallel(
             &step_q.iter().map(|m| m.row(0)).collect::<Vec<_>>(),
             &step_k.iter().map(|m| m.row(0)).collect::<Vec<_>>(),
             &step_v.iter().map(|m| m.row(0)).collect::<Vec<_>>(),
@@ -78,5 +78,17 @@ fn main() {
     println!(
         "note: INT2 heads carry most of that deviation — rerun with all heads at {} to tighten it",
         BitWidth::Int4
+    );
+
+    // Decode ran head-parallel on the shared work-stealing runtime
+    // (TURBO_RUNTIME_THREADS caps the pool); identical output to the
+    // serial decode_layer path by construction.
+    // Only the worker and task counts are deterministic; the
+    // stolen/helper split depends on scheduling and would break the
+    // identical-stdout contract of these examples.
+    let snap = turbo_runtime::global().snapshot();
+    println!(
+        "runtime: {} workers ran {} decode tasks ({} heads x 16 steps)",
+        snap.workers, snap.tasks_run, heads
     );
 }

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Attention benchmark entry point: runs the attention bench suite and
+# writes BENCH_attention.json (median/p95 ns per iteration, per bench
+# name) to the repo root.
+#
+# Usage:
+#   scripts/bench.sh            # full measurement run
+#   TURBO_BENCH_SMOKE=1 scripts/bench.sh   # 1-iteration smoke (CI)
+#
+# The output path can be overridden with TURBO_BENCH_OUT.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${TURBO_BENCH_OUT:-BENCH_attention.json}"
+# Cargo runs bench binaries with the package dir as cwd, so anchor
+# relative paths at the repo root.
+case "${OUT}" in
+  /*) ;;
+  *) OUT="$(pwd)/${OUT}" ;;
+esac
+
+echo "==> cargo bench --bench attention (results -> ${OUT})"
+TURBO_BENCH_OUT="${OUT}" cargo bench -q -p turbo-bench --bench attention
+
+test -s "${OUT}" || { echo "error: ${OUT} was not produced" >&2; exit 1; }
+echo "==> ${OUT}:"
+cat "${OUT}"

@@ -13,4 +13,23 @@ cargo test -q
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> runtime tests under a 2-worker cap (contention path)"
+TURBO_RUNTIME_THREADS=2 cargo test -q -p turbo-runtime
+
+echo "==> bench smoke (1 iteration, asserts BENCH_attention.json)"
+SMOKE_OUT="$(mktemp -t bench_smoke.XXXXXX.json)"
+trap 'rm -f "${SMOKE_OUT}"' EXIT
+TURBO_BENCH_SMOKE=1 TURBO_BENCH_OUT="${SMOKE_OUT}" scripts/bench.sh >/dev/null
+test -s "${SMOKE_OUT}" || { echo "bench smoke produced no output" >&2; exit 1; }
+python3 - "${SMOKE_OUT}" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+benches = data["benches"]
+assert benches, "no bench results recorded"
+for b in benches:
+    assert b["name"] and b["median_ns"] >= 0 and b["p95_ns"] >= b["median_ns"] * 0, b
+print(f"bench smoke OK: {len(benches)} results parse")
+EOF
+
 echo "==> CI green"
