@@ -79,6 +79,27 @@ impl TurboAttention {
         vs: &[Matrix],
         n_two_bit: usize,
     ) -> (Vec<Matrix>, LayerKvCache) {
+        self.prefill_layer_gqa_on(turbo_runtime::global(), layout, qs, ks, vs, n_two_bit)
+    }
+
+    /// As [`TurboAttention::prefill_layer_gqa`], but on an explicit
+    /// runtime. Every query head is one pooled task; group leaders build
+    /// the shared per-KV-head cache, the rest attend through scratch
+    /// caches. The index-ordered merge keeps outputs and cache contents
+    /// bit-identical at any worker count.
+    ///
+    /// # Panics
+    ///
+    /// As [`TurboAttention::prefill_layer_gqa`].
+    pub fn prefill_layer_gqa_on(
+        &self,
+        rt: &turbo_runtime::Runtime,
+        layout: GqaLayout,
+        qs: &[Matrix],
+        ks: &[Matrix],
+        vs: &[Matrix],
+        n_two_bit: usize,
+    ) -> (Vec<Matrix>, LayerKvCache) {
         assert_eq!(qs.len(), layout.q_heads, "one Q per query head");
         assert_eq!(ks.len(), layout.kv_heads, "one K per KV head");
         assert_eq!(vs.len(), layout.kv_heads, "one V per KV head");
@@ -86,37 +107,15 @@ impl TurboAttention {
         let stats: Vec<HeadStats> = ks.iter().map(HeadStats::from_activations).collect();
         let bits: Vec<BitWidth> =
             select_two_bit_heads(&stats, n_two_bit, SelectionMethod::Priority);
-        let mut layer = LayerKvCache::new(
-            d,
-            &bits,
-            self.config().group_size,
-            self.config().buffer_capacity,
-        );
 
-        let mut outs = Vec::with_capacity(layout.q_heads);
-        for (q_head, q) in qs.iter().enumerate() {
-            let kv = layout.kv_head_of(q_head);
-            // The first query of each group populates the shared cache;
-            // the rest attend against already-populated K/V (same math —
-            // prefill recomputes scores per query head regardless).
-            if q_head % layout.group_size() == 0 {
-                let out = turbo_prefill_head(
-                    q,
-                    &ks[kv],
-                    &vs[kv],
-                    self.config().masking,
-                    self.sas(),
-                    self.config().block_r,
-                    self.config().block_c,
-                    layer.head_mut(kv),
-                );
-                outs.push(out.output);
-            } else {
-                // Reuse the quantized path without re-writing the cache:
-                // run the same tiled quantized attention against the
-                // original K/V tiles via a scratch cache, keeping the
-                // shared cache untouched.
-                let mut scratch = turbo_kvcache::HeadKvCache::new(
+        // One pooled task per query head. The group leader (first query
+        // of each group) keeps its cache — it becomes the group's shared
+        // cache; the rest run the same quantized math through a scratch
+        // cache that is dropped, so the shared cache is written once.
+        let results: Vec<(Matrix, Option<turbo_kvcache::HeadKvCache>)> =
+            rt.par_map_indexed(layout.q_heads, |q_head| {
+                let kv = layout.kv_head_of(q_head);
+                let mut cache = turbo_kvcache::HeadKvCache::new(
                     d,
                     turbo_kvcache::KvCacheConfig {
                         bits: bits[kv],
@@ -125,19 +124,28 @@ impl TurboAttention {
                     },
                 );
                 let out = turbo_prefill_head(
-                    q,
+                    &qs[q_head],
                     &ks[kv],
                     &vs[kv],
                     self.config().masking,
                     self.sas(),
                     self.config().block_r,
                     self.config().block_c,
-                    &mut scratch,
+                    &mut cache,
                 );
-                outs.push(out.output);
+                let leader = q_head % layout.group_size() == 0;
+                (out.output, leader.then_some(cache))
+            });
+
+        let mut outs = Vec::with_capacity(layout.q_heads);
+        let mut heads = Vec::with_capacity(layout.kv_heads);
+        for (out, cache) in results {
+            outs.push(out);
+            if let Some(c) = cache {
+                heads.push(c);
             }
         }
-        (outs, layer)
+        (outs, LayerKvCache::from_heads(heads))
     }
 
     /// GQA decode: appends one `(k, v)` row per KV head, then attends one
@@ -154,6 +162,27 @@ impl TurboAttention {
         vs: &[&[f32]],
         layer: &mut LayerKvCache,
     ) -> Vec<Vec<f32>> {
+        self.decode_layer_gqa_on(turbo_runtime::global(), layout, qs, ks, vs, layer)
+    }
+
+    /// As [`TurboAttention::decode_layer_gqa`], but on an explicit
+    /// runtime: the per-KV-head appends stay serial (they mutate the
+    /// shared cache), then the per-query-head attends fan out as pooled
+    /// read-only tasks. Index-ordered results are bit-identical at any
+    /// worker count.
+    ///
+    /// # Panics
+    ///
+    /// As [`TurboAttention::decode_layer_gqa`].
+    pub fn decode_layer_gqa_on(
+        &self,
+        rt: &turbo_runtime::Runtime,
+        layout: GqaLayout,
+        qs: &[&[f32]],
+        ks: &[&[f32]],
+        vs: &[&[f32]],
+        layer: &mut LayerKvCache,
+    ) -> Vec<Vec<f32>> {
         assert_eq!(qs.len(), layout.q_heads, "one query row per query head");
         assert_eq!(ks.len(), layout.kv_heads, "one key row per KV head");
         assert_eq!(vs.len(), layout.kv_heads, "one value row per KV head");
@@ -161,10 +190,10 @@ impl TurboAttention {
         for kv in 0..layout.kv_heads {
             layer.head_mut(kv).append(ks[kv], vs[kv]);
         }
-        qs.iter()
-            .enumerate()
-            .map(|(q, row)| turbo_attend_cache(row, layer.head(layout.kv_head_of(q)), self.sas()))
-            .collect()
+        let layer: &LayerKvCache = layer;
+        rt.par_map_indexed(layout.q_heads, |q| {
+            turbo_attend_cache(qs[q], layer.head(layout.kv_head_of(q)), self.sas())
+        })
     }
 }
 
@@ -230,6 +259,53 @@ mod tests {
                                     // Query heads sharing a KV head but with different queries should
                                     // produce different outputs.
         assert_ne!(outs[0], outs[1]);
+    }
+
+    #[test]
+    fn pooled_gqa_is_bit_identical_at_any_worker_count() {
+        let layout = GqaLayout::new(8, 2);
+        let mut rng = TensorRng::new(4);
+        let (n, d) = (48usize, 16usize);
+        let qs: Vec<Matrix> = (0..8).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let ks: Vec<Matrix> = (0..2).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let vs: Vec<Matrix> = (0..2).map(|_| rng.normal(n, d, 0.0, 1.0)).collect();
+        let engine = TurboAttention::default();
+        let serial_rt = turbo_runtime::Runtime::with_workers(1);
+        let (outs_base, mut cache_base) =
+            engine.prefill_layer_gqa_on(&serial_rt, layout, &qs, &ks, &vs, 1);
+        let q_rows: Vec<&[f32]> = qs.iter().map(|m| m.row(0)).collect();
+        let kv_rows: Vec<&[f32]> = ks.iter().map(|m| m.row(0)).collect();
+        let dec_base = engine.decode_layer_gqa_on(
+            &serial_rt,
+            layout,
+            &q_rows,
+            &kv_rows,
+            &kv_rows,
+            &mut cache_base,
+        );
+        for workers in [2usize, 8] {
+            let rt = turbo_runtime::Runtime::with_workers(workers);
+            let (outs, mut cache) = engine.prefill_layer_gqa_on(&rt, layout, &qs, &ks, &vs, 1);
+            assert_eq!(outs_base, outs, "prefill diverged at {workers} workers");
+            for kv in 0..layout.kv_heads {
+                // Compare before decode mutates the caches.
+                assert_eq!(
+                    cache_base.head(kv).config(),
+                    cache.head(kv).config(),
+                    "head {kv} config diverged"
+                );
+            }
+            let dec =
+                engine.decode_layer_gqa_on(&rt, layout, &q_rows, &kv_rows, &kv_rows, &mut cache);
+            assert_eq!(dec_base, dec, "decode diverged at {workers} workers");
+            for kv in 0..layout.kv_heads {
+                assert_eq!(
+                    cache_base.head(kv).dequantize_all(),
+                    cache.head(kv).dequantize_all(),
+                    "head {kv} cache contents diverged"
+                );
+            }
+        }
     }
 
     #[test]

@@ -75,18 +75,34 @@ pub fn ring_prefill_exact(
     shards: usize,
     block: usize,
 ) -> Matrix {
+    ring_prefill_exact_on(turbo_runtime::global(), q, k, v, shards, block)
+}
+
+/// As [`ring_prefill_exact`], but on an explicit runtime. Each shard is
+/// one pooled task (one per simulated "device"); the index-ordered merge
+/// makes the result bit-identical at any worker count.
+///
+/// # Panics
+///
+/// As [`ring_prefill_exact`].
+pub fn ring_prefill_exact_on(
+    rt: &turbo_runtime::Runtime,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    shards: usize,
+    block: usize,
+) -> Matrix {
     assert!(shards > 0, "need at least one shard");
     assert!(shards <= k.rows(), "more shards than keys");
     let shard_len = k.rows().div_ceil(shards);
-    let parts: Vec<(Matrix, Vec<f32>)> = (0..shards)
-        .map(|s| {
-            let start = s * shard_len;
-            let len = shard_len.min(k.rows() - start);
-            let ks = k.row_block(start, len);
-            let vs = v.row_block(start, len);
-            flash_attention_with_lse(q, &ks, &vs, Masking::Full, block, block)
-        })
-        .collect();
+    let parts: Vec<(Matrix, Vec<f32>)> = rt.par_map_indexed(shards, |s| {
+        let start = s * shard_len;
+        let len = shard_len.min(k.rows() - start);
+        let ks = k.row_block(start, len);
+        let vs = v.row_block(start, len);
+        flash_attention_with_lse(q, &ks, &vs, Masking::Full, block, block)
+    });
     merge_shards(&parts)
 }
 
@@ -108,12 +124,41 @@ pub fn ring_prefill_turbo(
     block: usize,
     cache_config: KvCacheConfig,
 ) -> (Matrix, Vec<HeadKvCache>) {
+    ring_prefill_turbo_on(
+        turbo_runtime::global(),
+        q,
+        k,
+        v,
+        shards,
+        sas,
+        block,
+        cache_config,
+    )
+}
+
+/// As [`ring_prefill_turbo`], but on an explicit runtime. Each shard
+/// (Algorithm 1 + its own cache write) is one pooled task; the
+/// index-ordered merge keeps the output and cache order bit-identical
+/// at any worker count.
+///
+/// # Panics
+///
+/// As [`ring_prefill_turbo`].
+#[allow(clippy::too_many_arguments)]
+pub fn ring_prefill_turbo_on(
+    rt: &turbo_runtime::Runtime,
+    q: &Matrix,
+    k: &Matrix,
+    v: &Matrix,
+    shards: usize,
+    sas: &Sas,
+    block: usize,
+    cache_config: KvCacheConfig,
+) -> (Matrix, Vec<HeadKvCache>) {
     assert!(shards > 0, "need at least one shard");
     assert!(shards <= k.rows(), "more shards than keys");
     let shard_len = k.rows().div_ceil(shards);
-    let mut parts = Vec::with_capacity(shards);
-    let mut caches = Vec::with_capacity(shards);
-    for s in 0..shards {
+    let results: Vec<((Matrix, Vec<f32>), HeadKvCache)> = rt.par_map_indexed(shards, |s| {
         let start = s * shard_len;
         let len = shard_len.min(k.rows() - start);
         let ks = k.row_block(start, len);
@@ -121,9 +166,10 @@ pub fn ring_prefill_turbo(
         let mut cache = HeadKvCache::new(q.cols(), cache_config);
         let PrefillOutput { output, lse } =
             turbo_prefill_head(q, &ks, &vs, Masking::Full, sas, block, block, &mut cache);
-        parts.push((output, lse));
-        caches.push(cache);
-    }
+        ((output, lse), cache)
+    });
+    let (parts, caches): (Vec<(Matrix, Vec<f32>)>, Vec<HeadKvCache>) =
+        results.into_iter().unzip();
     (merge_shards(&parts), caches)
 }
 
@@ -228,5 +274,33 @@ mod tests {
     fn too_many_shards_panics() {
         let (q, k, v) = qkv(6, 4, 4);
         ring_prefill_exact(&q, &k, &v, 5, 4);
+    }
+
+    #[test]
+    fn pooled_shards_are_bit_identical_at_any_worker_count() {
+        let (q, k, v) = qkv(7, 72, 16);
+        let sas = Sas::paper_default();
+        let cfg = KvCacheConfig {
+            bits: BitWidth::Int4,
+            group_size: 16,
+            buffer_capacity: 16,
+        };
+        let serial_rt = turbo_runtime::Runtime::with_workers(1);
+        let exact_base = ring_prefill_exact_on(&serial_rt, &q, &k, &v, 5, 16);
+        let (turbo_base, caches_base) = ring_prefill_turbo_on(&serial_rt, &q, &k, &v, 5, &sas, 16, cfg);
+        for workers in [2usize, 8] {
+            let rt = turbo_runtime::Runtime::with_workers(workers);
+            let exact = ring_prefill_exact_on(&rt, &q, &k, &v, 5, 16);
+            assert_eq!(exact_base, exact, "exact ring diverged at {workers} workers");
+            let (turbo, caches) = ring_prefill_turbo_on(&rt, &q, &k, &v, 5, &sas, 16, cfg);
+            assert_eq!(turbo_base, turbo, "turbo ring diverged at {workers} workers");
+            assert_eq!(caches.len(), caches_base.len());
+            for (a, b) in caches_base.iter().zip(&caches) {
+                assert_eq!(a.len(), b.len());
+                assert_eq!(a.dequantize_all(), b.dequantize_all());
+            }
+        }
+        // And the default entry point (global runtime) agrees too.
+        assert_eq!(exact_base, ring_prefill_exact(&q, &k, &v, 5, 16));
     }
 }

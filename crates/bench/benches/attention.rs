@@ -91,6 +91,34 @@ fn bench_decode(c: &mut Criterion) {
     g.bench_function("turbo_attend_splitk", |b| {
         b.iter(|| turbo_attend_cache_splitk(black_box(q.row(0)), &turbo, &sas))
     });
+    // One full decode step — append the new token's K/V, then attend —
+    // with and without the write-ahead log on the append path. The delta
+    // is the durability tax of crash-consistent serving.
+    let durable = {
+        let mut d = turbo_kvcache::DurableHeadCache::from_cache(turbo.clone());
+        d.checkpoint();
+        d
+    };
+    g.bench_function("turbo_decode_step", |b| {
+        b.iter_batched(
+            || turbo.clone(),
+            |mut cache| {
+                cache.append(k.row(0), v.row(0));
+                turbo_attend_cache(black_box(q.row(0)), &cache, &sas)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("turbo_decode_step_with_wal", |b| {
+        b.iter_batched(
+            || durable.clone(),
+            |mut d| {
+                d.try_append(k.row(0), v.row(0)).expect("decode append");
+                turbo_attend_cache(black_box(q.row(0)), d.cache(), &sas)
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.bench_function("kivi_dequant_then_f16", |b| {
         b.iter(|| decode_attention_fp16(black_box(q.row(0)), &kivi))
     });

@@ -31,6 +31,7 @@ pub mod hw;
 pub mod kernels;
 pub mod memory;
 pub mod method;
+pub mod replica;
 pub mod serving;
 pub mod throughput;
 
@@ -40,9 +41,13 @@ pub use hw::GpuSpec;
 pub use kernels::{decode_latency, prefill_latency, KernelBreakdown};
 pub use memory::{fits_in_memory, memory_usage};
 pub use method::AttnMethod;
+pub use replica::{
+    run_replica_set, run_replica_set_on, BreakerConfig, BreakerState, CircuitBreaker,
+    ReplicaSetConfig, ReplicaSetStats,
+};
 pub use serving::{
     simulate_serving, simulate_serving_batched, simulate_serving_batched_on,
     simulate_serving_robust, uniform_workload, RequestSpec, RobustServingStats, ServingPolicy,
-    ServingStats,
+    ServingStats, WorkloadSpec,
 };
 pub use throughput::{max_throughput, throughput};

@@ -599,9 +599,56 @@ pub fn simulate_serving_robust(
     }
 }
 
+/// A fully seed-deterministic open-loop workload description.
+///
+/// The spec is plain `Copy` data with **no interior state**: calling
+/// [`WorkloadSpec::requests`] any number of times, from any thread or
+/// harness, yields the identical request vector — which is what lets the
+/// chaos soak harness and the replica set share one workload per seed.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of requests.
+    pub n: usize,
+    /// Mean arrival rate in requests per second.
+    pub rate: f64,
+    /// Prompt length in tokens (fixed across requests).
+    pub prompt: usize,
+    /// Tokens to generate per request (fixed across requests).
+    pub gen: usize,
+    /// RNG seed for the inter-arrival gaps.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// Materializes the request vector: `n` requests with inverse-CDF
+    /// exponential inter-arrival gaps around `1/rate` seconds, sorted by
+    /// arrival. Pure function of the spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `rate <= 0`.
+    pub fn requests(&self) -> Vec<RequestSpec> {
+        assert!(self.n > 0 && self.rate > 0.0, "need a positive workload");
+        let mut rng = turbo_tensor::TensorRng::new(self.seed);
+        let mut t = 0.0f64;
+        (0..self.n)
+            .map(|_| {
+                // Inverse-CDF exponential gap from a uniform draw.
+                let u: f64 = rng.uniform_value(1e-6, 1.0) as f64;
+                t += -u.ln() / self.rate;
+                RequestSpec {
+                    arrival: t,
+                    prompt: self.prompt,
+                    gen: self.gen,
+                }
+            })
+            .collect()
+    }
+}
+
 /// Generates a deterministic open-loop workload: `n` requests with
 /// exponential-ish inter-arrival gaps around `1/rate` seconds and fixed
-/// prompt/gen sizes.
+/// prompt/gen sizes. Thin wrapper over [`WorkloadSpec::requests`].
 pub fn uniform_workload(
     n: usize,
     rate: f64,
@@ -609,21 +656,14 @@ pub fn uniform_workload(
     gen: usize,
     seed: u64,
 ) -> Vec<RequestSpec> {
-    assert!(n > 0 && rate > 0.0, "need a positive workload");
-    let mut rng = turbo_tensor::TensorRng::new(seed);
-    let mut t = 0.0f64;
-    (0..n)
-        .map(|_| {
-            // Inverse-CDF exponential gap from a uniform draw.
-            let u: f64 = rng.uniform_value(1e-6, 1.0) as f64;
-            t += -u.ln() / rate;
-            RequestSpec {
-                arrival: t,
-                prompt,
-                gen,
-            }
-        })
-        .collect()
+    WorkloadSpec {
+        n,
+        rate,
+        prompt,
+        gen,
+        seed,
+    }
+    .requests()
 }
 
 #[cfg(test)]

@@ -49,5 +49,8 @@ pub use error::CacheError;
 pub use head::{HeadKvCache, KvCacheConfig};
 pub use layer::LayerKvCache;
 pub use paged::{PagedKvPool, SeqId};
-pub use persist::{recover_head_cache, serialize_head_cache_v1, PersistError};
+pub use persist::wal::{
+    replay_wal, DurableHeadCache, RecoverOutcome, WalReplayReport, WriteAheadLog,
+};
+pub use persist::{frame_boundaries, recover_head_cache, serialize_head_cache_v1, PersistError};
 pub use stats::{MemoryStats, RecoveryReport, ScrubReport};

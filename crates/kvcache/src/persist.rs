@@ -30,6 +30,8 @@ use turbo_quant::progressive::GroupParams;
 use turbo_quant::{BitWidth, PackedCodes, ProgressiveBlock};
 use turbo_robust::{crc32, HealthEvent, HealthStats};
 
+pub mod wal;
+
 const MAGIC: &[u8; 4] = b"TKVC";
 /// Current format: per-element CRC32 checksums.
 const VERSION: u16 = 2;
@@ -533,6 +535,35 @@ pub fn recover_head_cache(
         complete: !damaged,
     };
     Ok((cache, report))
+}
+
+/// Byte offsets at which a *well-formed* payload sits on a framing
+/// boundary: after the header, after each checked block, and after each
+/// checked buffer (the final offset is the payload length).
+///
+/// Property tests enumerate these to corrupt or truncate a payload at
+/// every structural seam and assert [`recover_head_cache`] still returns
+/// a valid prefix.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] if `payload` is not itself fully valid —
+/// boundaries of a damaged payload are not well-defined.
+pub fn frame_boundaries(payload: &[u8]) -> Result<Vec<usize>, PersistError> {
+    let mut r = Reader::new(payload);
+    let h = read_header(&mut r)?;
+    let mut out = vec![r.pos];
+    for _ in 0..h.n_blocks {
+        read_block_checked(&mut r, h.checksums)?;
+        out.push(r.pos);
+        read_block_checked(&mut r, h.checksums)?;
+        out.push(r.pos);
+    }
+    read_buffer_checked(&mut r, h.d, h.checksums)?;
+    out.push(r.pos);
+    read_buffer_checked(&mut r, h.d, h.checksums)?;
+    out.push(r.pos);
+    Ok(out)
 }
 
 impl HeadKvCache {

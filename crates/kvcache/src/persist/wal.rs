@@ -1,0 +1,774 @@
+//! Write-ahead log + snapshot durability for [`HeadKvCache`].
+//!
+//! The format-v2 snapshot ([`super::serialize_head_cache`]) makes a cache
+//! *reloadable*; this module makes it *crash-consistent*. A
+//! [`DurableHeadCache`] pairs the live cache with a [`WriteAheadLog`]
+//! that records every mutation — `try_append` (one K/V token row) and
+//! `try_flush` (progressive compression of the INT8 buffer) — as
+//! CRC32-framed records. A [`DurableHeadCache::checkpoint`] serializes a
+//! fresh snapshot and truncates the log, so the durable state is always
+//! `snapshot + WAL tail`.
+//!
+//! ## WAL format
+//!
+//! ```text
+//! header: magic "TWAL" | version u16 | head_dim u32 | crc32(header)
+//! record: kind u8 | payload_len u32 | payload | crc32(kind..payload)
+//!   kind 1 = Append, payload = d×f32 K row ++ d×f32 V row (LE)
+//!   kind 2 = Flush,  payload empty
+//! ```
+//!
+//! ## Crash-point state machine
+//!
+//! A crash can strike at any byte. Recovery
+//! ([`DurableHeadCache::recover`]) walks these states:
+//!
+//! ```text
+//!        snapshot readable?          WAL record frames
+//!  ┌────────────┬──────────────┐   ┌────────────────────┐
+//!  │ COMPLETE   │ snapshot ok  │──▶│ replay valid prefix │──▶ RECOVERED
+//!  │ TORN       │ prefix saved │──▶│ WAL DROPPED (gap!)  │──▶ RECOVERED
+//!  │ UNUSABLE   │ header gone  │──▶│ error / start empty │
+//!  └────────────┴──────────────┘   └────────────────────┘
+//! ```
+//!
+//! * Snapshot **complete** → replay the longest valid prefix of WAL
+//!   records; a torn or corrupt record frame ends the replay (the tail
+//!   is dropped and counted, never half-applied).
+//! * Snapshot **torn** → the salvaged block prefix is kept but the WAL
+//!   is discarded entirely: its records continue from the *full*
+//!   snapshot state, so applying them after a shorter prefix would tear
+//!   a hole in the token stream. Dropping them keeps the invariant.
+//! * Either way the recovered cache is **bit-identical to some valid
+//!   prefix of the original token stream**, and K/V can never desync:
+//!   an `Append` record carries both rows and is applied atomically.
+//!
+//! Records are applied through the same `try_append`/`try_flush` APIs
+//! that produced them, so replay reproduces buffer scales, flush
+//! boundaries, and progressive-block contents exactly.
+
+use super::{recover_head_cache, serialize_head_cache, PersistError};
+use crate::error::CacheError;
+use crate::head::{HeadKvCache, KvCacheConfig};
+use crate::stats::RecoveryReport;
+use turbo_robust::{crc32, HealthEvent, HealthStats};
+
+const WAL_MAGIC: &[u8; 4] = b"TWAL";
+const WAL_VERSION: u16 = 1;
+/// magic(4) + version(2) + head_dim(4) + crc(4).
+const WAL_HEADER_LEN: usize = 14;
+/// kind(1) + payload_len(4) + crc(4), excluding the payload itself.
+const RECORD_OVERHEAD: usize = 9;
+
+const KIND_APPEND: u8 = 1;
+const KIND_FLUSH: u8 = 2;
+
+/// An append-only, CRC32-framed mutation log for one head cache.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WriteAheadLog {
+    d: usize,
+    bytes: Vec<u8>,
+    appends: usize,
+    flushes: usize,
+}
+
+impl WriteAheadLog {
+    /// Creates an empty log for `d`-channel token rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d == 0`.
+    pub fn new(d: usize) -> Self {
+        assert!(d > 0, "channel count must be positive");
+        let mut bytes = Vec::with_capacity(64);
+        bytes.extend_from_slice(WAL_MAGIC);
+        bytes.extend_from_slice(&WAL_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&(d as u32).to_le_bytes());
+        let crc = crc32(&bytes);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+        debug_assert_eq!(bytes.len(), WAL_HEADER_LEN);
+        Self {
+            d,
+            bytes,
+            appends: 0,
+            flushes: 0,
+        }
+    }
+
+    /// Channel count per logged token row.
+    pub fn head_dim(&self) -> usize {
+        self.d
+    }
+
+    /// The serialized log (header + records) as it would sit on disk.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Records logged since the last [`WriteAheadLog::clear`].
+    pub fn records(&self) -> usize {
+        self.appends + self.flushes
+    }
+
+    /// Append records logged.
+    pub fn appends(&self) -> usize {
+        self.appends
+    }
+
+    /// Flush records logged.
+    pub fn flushes(&self) -> usize {
+        self.flushes
+    }
+
+    /// Whether the log holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records() == 0
+    }
+
+    fn push_record(&mut self, kind: u8, payload: &[u8]) {
+        let start = self.bytes.len();
+        self.bytes.push(kind);
+        self.bytes
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.bytes.extend_from_slice(payload);
+        let crc = crc32(&self.bytes[start..]);
+        self.bytes.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Logs one K/V token-row append.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either row is not `head_dim` long.
+    pub fn log_append(&mut self, k: &[f32], v: &[f32]) {
+        assert_eq!(k.len(), self.d, "K row width mismatch");
+        assert_eq!(v.len(), self.d, "V row width mismatch");
+        let mut payload = Vec::with_capacity(8 * self.d);
+        for &x in k.iter().chain(v) {
+            payload.extend_from_slice(&x.to_le_bytes());
+        }
+        self.push_record(KIND_APPEND, &payload);
+        self.appends += 1;
+    }
+
+    /// Logs one explicit buffer flush.
+    pub fn log_flush(&mut self) {
+        self.push_record(KIND_FLUSH, &[]);
+        self.flushes += 1;
+    }
+
+    /// Truncates the log back to its header (after a checkpoint).
+    pub fn clear(&mut self) {
+        self.bytes.truncate(WAL_HEADER_LEN);
+        self.appends = 0;
+        self.flushes = 0;
+    }
+
+    /// Byte offsets at which a prefix of `bytes` ends on a clean frame
+    /// boundary: the header end, then the end of each structurally
+    /// complete record. Stops at the first frame that does not fit.
+    /// Returns an empty list if even the header is incomplete.
+    ///
+    /// Crash-point tests enumerate these (plus intra-record offsets) to
+    /// prove recovery is prefix-consistent at *every* cut.
+    pub fn record_boundaries(bytes: &[u8]) -> Vec<usize> {
+        let mut out = Vec::new();
+        if bytes.len() < WAL_HEADER_LEN {
+            return out;
+        }
+        out.push(WAL_HEADER_LEN);
+        let mut pos = WAL_HEADER_LEN;
+        while bytes.len() - pos >= RECORD_OVERHEAD {
+            let len = u32::from_le_bytes([
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+                bytes[pos + 4],
+            ]) as usize;
+            let end = match pos.checked_add(RECORD_OVERHEAD + len) {
+                Some(e) if e <= bytes.len() => e,
+                _ => break,
+            };
+            out.push(end);
+            pos = end;
+        }
+        out
+    }
+}
+
+/// What a WAL replay did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WalReplayReport {
+    /// Append records applied.
+    pub appends: usize,
+    /// Flush records applied.
+    pub flushes: usize,
+    /// Bytes dropped after the last valid record frame.
+    pub dropped_bytes: usize,
+    /// Whether every byte of the log was consumed by valid records.
+    pub complete: bool,
+}
+
+/// Replays the longest valid record prefix of `bytes` onto `cache`.
+///
+/// Stops at the first torn or corrupt frame (truncation, CRC mismatch,
+/// unknown kind, or a payload the cache rejects); everything before it
+/// is applied, everything after is dropped and counted. Records
+/// [`HealthEvent::WalReplay`] once and [`HealthEvent::WalRecordDropped`]
+/// when a tail was dropped.
+///
+/// # Errors
+///
+/// Returns a [`PersistError`] only when the log *header* is unusable or
+/// does not match the cache's head dimension — nothing is applied then.
+pub fn replay_wal(
+    bytes: &[u8],
+    cache: &mut HeadKvCache,
+    health: Option<&HealthStats>,
+) -> Result<WalReplayReport, PersistError> {
+    if bytes.len() < WAL_HEADER_LEN {
+        return Err(PersistError::Truncated);
+    }
+    if &bytes[..4] != WAL_MAGIC {
+        return Err(PersistError::BadMagic);
+    }
+    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if version != WAL_VERSION {
+        return Err(PersistError::UnsupportedVersion(version));
+    }
+    let stored_crc = u32::from_le_bytes([bytes[10], bytes[11], bytes[12], bytes[13]]);
+    if crc32(&bytes[..10]) != stored_crc {
+        return Err(PersistError::Corrupt("WAL header checksum mismatch"));
+    }
+    let d = u32::from_le_bytes([bytes[6], bytes[7], bytes[8], bytes[9]]) as usize;
+    if d == 0 {
+        return Err(PersistError::Corrupt("zero WAL head dimension"));
+    }
+    if d != cache.head_dim() {
+        return Err(PersistError::Corrupt("WAL head dimension mismatch"));
+    }
+
+    let mut report = WalReplayReport {
+        appends: 0,
+        flushes: 0,
+        dropped_bytes: 0,
+        complete: true,
+    };
+    let mut pos = WAL_HEADER_LEN;
+    'records: while pos < bytes.len() {
+        // Frame must fit structurally and pass its CRC.
+        let ok_frame = (|| -> Option<(u8, usize, usize)> {
+            if bytes.len() - pos < RECORD_OVERHEAD {
+                return None;
+            }
+            let kind = bytes[pos];
+            let len = u32::from_le_bytes([
+                bytes[pos + 1],
+                bytes[pos + 2],
+                bytes[pos + 3],
+                bytes[pos + 4],
+            ]) as usize;
+            let payload_end = pos.checked_add(5 + len)?;
+            let frame_end = payload_end.checked_add(4)?;
+            if frame_end > bytes.len() {
+                return None;
+            }
+            let stored = u32::from_le_bytes([
+                bytes[payload_end],
+                bytes[payload_end + 1],
+                bytes[payload_end + 2],
+                bytes[payload_end + 3],
+            ]);
+            if crc32(&bytes[pos..payload_end]) != stored {
+                return None;
+            }
+            Some((kind, len, frame_end))
+        })();
+        let Some((kind, len, frame_end)) = ok_frame else {
+            break 'records;
+        };
+        let payload = &bytes[pos + 5..pos + 5 + len];
+        match kind {
+            KIND_APPEND if len == 8 * d => {
+                let row = |half: usize| -> Vec<f32> {
+                    payload[half * 4 * d..(half + 1) * 4 * d]
+                        .chunks_exact(4)
+                        .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+                        .collect()
+                };
+                let (k, v) = (row(0), row(1));
+                match cache.try_append(&k, &v) {
+                    // ScaleOverflow means the token *was* buffered (the
+                    // capacity flush failed) — exactly what happened when
+                    // the record was written, so state stays identical.
+                    Ok(()) | Err(CacheError::ScaleOverflow) => report.appends += 1,
+                    // A CRC-colliding corruption decoded to a row the
+                    // cache rejects: treat the frame as corrupt.
+                    Err(_) => break 'records,
+                }
+            }
+            KIND_FLUSH if len == 0 => match cache.try_flush() {
+                Ok(()) => report.flushes += 1,
+                Err(_) => break 'records,
+            },
+            _ => break 'records,
+        }
+        pos = frame_end;
+    }
+    report.dropped_bytes = bytes.len() - pos;
+    report.complete = report.dropped_bytes == 0;
+    if let Some(h) = health {
+        h.record(HealthEvent::WalReplay);
+        if !report.complete {
+            h.record(HealthEvent::WalRecordDropped);
+        }
+    }
+    Ok(report)
+}
+
+/// Outcome of a [`DurableHeadCache::recover`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct RecoverOutcome {
+    /// What snapshot salvage found.
+    pub snapshot: RecoveryReport,
+    /// What WAL replay did, or `None` when the WAL was discarded (torn
+    /// snapshot) or unreadable.
+    pub wal: Option<WalReplayReport>,
+    /// Tokens in the recovered cache.
+    pub tokens: usize,
+    /// True when nothing was lost: snapshot complete and every WAL byte
+    /// replayed.
+    pub clean: bool,
+}
+
+/// A [`HeadKvCache`] whose mutations are mirrored into a write-ahead
+/// log, with periodic snapshot checkpoints.
+///
+/// The pair `(snapshot_bytes, wal_bytes)` is the durable state: after a
+/// crash that tears either at an arbitrary byte offset,
+/// [`DurableHeadCache::recover`] reconstructs a cache bit-identical to a
+/// valid prefix of the mutation stream.
+#[derive(Clone, Debug)]
+pub struct DurableHeadCache {
+    cache: HeadKvCache,
+    wal: WriteAheadLog,
+    snapshot: Vec<u8>,
+}
+
+impl DurableHeadCache {
+    /// Creates an empty durable cache; the initial checkpoint is the
+    /// serialized empty cache.
+    ///
+    /// # Panics
+    ///
+    /// As [`HeadKvCache::new`].
+    pub fn new(d: usize, config: KvCacheConfig) -> Self {
+        let cache = HeadKvCache::new(d, config);
+        let snapshot = serialize_head_cache(&cache);
+        Self {
+            wal: WriteAheadLog::new(d),
+            snapshot,
+            cache,
+        }
+    }
+
+    /// Wraps an existing cache, checkpointing it immediately.
+    pub fn from_cache(cache: HeadKvCache) -> Self {
+        let snapshot = serialize_head_cache(&cache);
+        Self {
+            wal: WriteAheadLog::new(cache.head_dim()),
+            snapshot,
+            cache,
+        }
+    }
+
+    /// The live cache (read-only: mutations must go through the durable
+    /// APIs so they are logged).
+    pub fn cache(&self) -> &HeadKvCache {
+        &self.cache
+    }
+
+    /// The mutation log since the last checkpoint.
+    pub fn wal(&self) -> &WriteAheadLog {
+        &self.wal
+    }
+
+    /// The last checkpoint's snapshot payload.
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.snapshot
+    }
+
+    /// Owned copies of the durable pair `(snapshot, wal)` — what a crash
+    /// leaves behind (possibly torn by the fault injector).
+    pub fn durable_state(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.snapshot.clone(), self.wal.as_bytes().to_vec())
+    }
+
+    /// Logged [`HeadKvCache::try_append`]. A token that entered the
+    /// cache is always logged — including the [`CacheError::ScaleOverflow`]
+    /// case, where the token was buffered but the capacity flush failed
+    /// (losing that record would tear a hole in the replayed stream).
+    ///
+    /// # Errors
+    ///
+    /// As [`HeadKvCache::try_append`].
+    pub fn try_append(&mut self, k: &[f32], v: &[f32]) -> Result<(), CacheError> {
+        match self.cache.try_append(k, v) {
+            Ok(()) => {
+                self.wal.log_append(k, v);
+                Ok(())
+            }
+            Err(e @ CacheError::ScaleOverflow) => {
+                self.wal.log_append(k, v);
+                Err(e)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Logged [`HeadKvCache::try_flush`]. Only a flush that actually
+    /// compressed something is logged (empty-buffer flushes are no-ops).
+    ///
+    /// # Errors
+    ///
+    /// As [`HeadKvCache::try_flush`] — on error nothing changed, so
+    /// nothing is logged.
+    pub fn try_flush(&mut self) -> Result<(), CacheError> {
+        let had_tokens = self.cache.buffer_len() > 0;
+        self.cache.try_flush()?;
+        if had_tokens {
+            self.wal.log_flush();
+        }
+        Ok(())
+    }
+
+    /// Takes a fresh snapshot and truncates the WAL. Returns the
+    /// snapshot size in bytes.
+    pub fn checkpoint(&mut self) -> usize {
+        self.snapshot = serialize_head_cache(&self.cache);
+        self.wal.clear();
+        self.snapshot.len()
+    }
+
+    /// Rebuilds a durable cache from a crash's leftovers. See the module
+    /// docs for the crash-point state machine; the result is always a
+    /// valid prefix of the original token stream.
+    ///
+    /// The recovered instance is immediately re-checkpointed (fresh
+    /// snapshot, empty WAL).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PersistError`] only when the snapshot *header* is
+    /// unusable — there is nothing to anchor recovery on. Use
+    /// [`DurableHeadCache::recover_or_empty`] to fall back to an empty
+    /// cache instead.
+    pub fn recover(
+        snapshot: &[u8],
+        wal_bytes: &[u8],
+        health: Option<&HealthStats>,
+    ) -> Result<(Self, RecoverOutcome), PersistError> {
+        let (mut cache, snap_report) = recover_head_cache(snapshot, health)?;
+        let wal_report = if snap_report.complete {
+            match replay_wal(wal_bytes, &mut cache, health) {
+                Ok(r) => Some(r),
+                // Unreadable WAL header: the snapshot alone is still a
+                // valid prefix.
+                Err(_) => {
+                    if let Some(h) = health {
+                        h.record(HealthEvent::WalRecordDropped);
+                    }
+                    None
+                }
+            }
+        } else {
+            // Torn snapshot: WAL records continue from the *complete*
+            // snapshot state; applying them after a salvaged prefix
+            // would skip tokens. Drop the log to keep prefix validity.
+            if let Some(h) = health {
+                if wal_bytes.len() > WAL_HEADER_LEN {
+                    h.record(HealthEvent::WalRecordDropped);
+                }
+            }
+            None
+        };
+        let clean = snap_report.complete && wal_report.is_some_and(|r| r.complete);
+        let outcome = RecoverOutcome {
+            snapshot: snap_report,
+            wal: wal_report,
+            tokens: cache.len(),
+            clean,
+        };
+        Ok((Self::from_cache(cache), outcome))
+    }
+
+    /// As [`DurableHeadCache::recover`], but an unusable snapshot header
+    /// degrades to a fresh empty cache (`d`, `config`) instead of an
+    /// error — the replica-rebuild path, where "lost everything,
+    /// re-prefill from scratch" is a valid outcome.
+    pub fn recover_or_empty(
+        d: usize,
+        config: KvCacheConfig,
+        snapshot: &[u8],
+        wal_bytes: &[u8],
+        health: Option<&HealthStats>,
+    ) -> (Self, RecoverOutcome) {
+        match Self::recover(snapshot, wal_bytes, health) {
+            Ok(pair) => pair,
+            Err(_) => {
+                if let Some(h) = health {
+                    h.record(HealthEvent::WalRecordDropped);
+                }
+                let durable = Self::new(d, config);
+                let outcome = RecoverOutcome {
+                    snapshot: RecoveryReport {
+                        valid_tokens: 0,
+                        dropped_blocks: 0,
+                        complete: false,
+                    },
+                    wal: None,
+                    tokens: 0,
+                    clean: false,
+                };
+                (durable, outcome)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turbo_quant::BitWidth;
+    use turbo_tensor::TensorRng;
+
+    fn cfg() -> KvCacheConfig {
+        KvCacheConfig {
+            bits: BitWidth::Int4,
+            group_size: 8,
+            buffer_capacity: 8,
+        }
+    }
+
+    /// Replays `ops(0..n_ops)` of the canonical stream onto a fresh
+    /// cache: append rows of `data`, with a manual flush after every
+    /// 13th append. The oracle for bit-identical prefix checks.
+    fn reference_cache(data: &turbo_tensor::Matrix, appends: usize, flush_every: usize) -> HeadKvCache {
+        let mut c = HeadKvCache::new(data.cols(), cfg());
+        for t in 0..appends {
+            c.try_append(data.row(t), data.row(t)).unwrap();
+            if flush_every > 0 && (t + 1) % flush_every == 0 {
+                c.try_flush().unwrap();
+            }
+        }
+        c
+    }
+
+    fn durable_with(data: &turbo_tensor::Matrix, appends: usize, flush_every: usize) -> DurableHeadCache {
+        let mut dc = DurableHeadCache::new(data.cols(), cfg());
+        for t in 0..appends {
+            dc.try_append(data.row(t), data.row(t)).unwrap();
+            if flush_every > 0 && (t + 1) % flush_every == 0 {
+                dc.try_flush().unwrap();
+            }
+        }
+        dc
+    }
+
+    fn assert_same_state(a: &HeadKvCache, b: &HeadKvCache) {
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.buffer_len(), b.buffer_len());
+        assert_eq!(a.resident_blocks().len(), b.resident_blocks().len());
+        assert_eq!(a.key_buffer(), b.key_buffer());
+        assert_eq!(a.value_buffer(), b.value_buffer());
+        assert_eq!(a.dequantize_all(), b.dequantize_all());
+    }
+
+    #[test]
+    fn clean_recovery_is_bit_identical() {
+        let data = TensorRng::new(1).normal(40, 6, 0.0, 1.0);
+        let dc = durable_with(&data, 40, 13);
+        let (snap, wal) = dc.durable_state();
+        let health = HealthStats::new();
+        let (back, outcome) = DurableHeadCache::recover(&snap, &wal, Some(&health)).unwrap();
+        assert!(outcome.clean);
+        assert_eq!(outcome.tokens, 40);
+        assert_same_state(back.cache(), dc.cache());
+        assert_eq!(health.count(HealthEvent::WalReplay), 1);
+        assert_eq!(health.count(HealthEvent::WalRecordDropped), 0);
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_survives() {
+        let data = TensorRng::new(2).normal(30, 4, 0.0, 1.0);
+        let mut dc = DurableHeadCache::new(4, cfg());
+        for t in 0..20 {
+            dc.try_append(data.row(t), data.row(t)).unwrap();
+        }
+        assert_eq!(dc.wal().appends(), 20);
+        dc.checkpoint();
+        assert!(dc.wal().is_empty());
+        for t in 20..30 {
+            dc.try_append(data.row(t), data.row(t)).unwrap();
+        }
+        assert_eq!(dc.wal().appends(), 10);
+        let (snap, wal) = dc.durable_state();
+        let (back, outcome) = DurableHeadCache::recover(&snap, &wal, None).unwrap();
+        assert!(outcome.clean);
+        assert_same_state(back.cache(), dc.cache());
+    }
+
+    #[test]
+    fn torn_wal_recovers_a_valid_prefix_at_every_cut() {
+        let data = TensorRng::new(3).normal(24, 4, 0.0, 1.0);
+        let dc = durable_with(&data, 24, 7);
+        let (snap, wal) = dc.durable_state();
+        let boundaries = WriteAheadLog::record_boundaries(&wal);
+        assert_eq!(boundaries.len(), 1 + dc.wal().records());
+        for cut in 0..=wal.len() {
+            let health = HealthStats::new();
+            let (back, outcome) =
+                DurableHeadCache::recover(&snap, &wal[..cut], Some(&health)).unwrap();
+            let applied = outcome.wal.map_or(0, |r| r.appends);
+            let flushes_applied = outcome.wal.map_or(0, |r| r.flushes);
+            // The recovered cache must equal the reference prefix built
+            // from the same op stream.
+            let mut reference = HeadKvCache::new(4, cfg());
+            let mut f = 0usize;
+            for t in 0..applied {
+                reference.try_append(data.row(t), data.row(t)).unwrap();
+                if (t + 1) % 7 == 0 && f < flushes_applied {
+                    reference.try_flush().unwrap();
+                    f += 1;
+                }
+            }
+            assert_same_state(back.cache(), &reference);
+            // K/V never desync.
+            assert_eq!(back.cache().key_buffer().len(), back.cache().value_buffer().len());
+            if boundaries.contains(&cut) || cut == wal.len() {
+                // On-boundary cuts lose nothing before the cut.
+                assert_eq!(outcome.wal.unwrap().dropped_bytes, 0);
+            }
+        }
+    }
+
+    #[test]
+    fn torn_snapshot_drops_wal_but_keeps_prefix() {
+        let data = TensorRng::new(4).normal(40, 4, 0.0, 1.0);
+        let mut dc = DurableHeadCache::new(4, cfg());
+        for t in 0..32 {
+            dc.try_append(data.row(t), data.row(t)).unwrap();
+        }
+        dc.checkpoint();
+        for t in 32..40 {
+            dc.try_append(data.row(t), data.row(t)).unwrap();
+        }
+        let (snap, wal) = dc.durable_state();
+        let torn = &snap[..snap.len() * 2 / 3];
+        let health = HealthStats::new();
+        let (back, outcome) = DurableHeadCache::recover(torn, &wal, Some(&health)).unwrap();
+        assert!(!outcome.clean);
+        assert!(outcome.wal.is_none(), "WAL after a torn snapshot is dropped");
+        assert!(outcome.tokens <= 32);
+        assert_eq!(outcome.tokens % 8, 0, "only whole sealed blocks survive");
+        // The prefix is bit-identical to the reference prefix.
+        let reference = reference_cache(&data, outcome.tokens, 0);
+        let (k_ref, _) = reference.dequantize_all();
+        let (k_got, _) = back.cache().dequantize_all();
+        for r in 0..outcome.tokens.min(k_got.rows()) {
+            for c in 0..4 {
+                assert_eq!(k_got.get(r, c), k_ref.get(r, c));
+            }
+        }
+        assert!(health.count(HealthEvent::WalRecordDropped) >= 1);
+    }
+
+    #[test]
+    fn corrupt_wal_record_ends_replay_cleanly() {
+        let data = TensorRng::new(5).normal(16, 4, 0.0, 1.0);
+        let dc = durable_with(&data, 16, 0);
+        let (snap, mut wal) = dc.durable_state();
+        let boundaries = WriteAheadLog::record_boundaries(&wal);
+        // Flip a byte inside the 5th record.
+        let mid = (boundaries[4] + boundaries[5]) / 2;
+        wal[mid] ^= 0x40;
+        let (back, outcome) = DurableHeadCache::recover(&snap, &wal, None).unwrap();
+        let r = outcome.wal.unwrap();
+        assert_eq!(r.appends, 4, "replay stops at the corrupt record");
+        assert!(!r.complete);
+        assert_eq!(back.cache().len(), 4);
+        assert_same_state(back.cache(), &reference_cache(&data, 4, 0));
+    }
+
+    #[test]
+    fn recover_or_empty_survives_total_loss() {
+        let (dc, outcome) =
+            DurableHeadCache::recover_or_empty(4, cfg(), b"garbage", b"also garbage", None);
+        assert_eq!(outcome.tokens, 0);
+        assert!(!outcome.clean);
+        assert!(dc.cache().is_empty());
+        // And it keeps working.
+        let mut dc = dc;
+        dc.try_append(&[1.0; 4], &[2.0; 4]).unwrap();
+        assert_eq!(dc.cache().len(), 1);
+    }
+
+    #[test]
+    fn wal_replay_rejects_mismatched_dimension() {
+        let wal = WriteAheadLog::new(8);
+        let mut cache = HeadKvCache::new(4, cfg());
+        assert_eq!(
+            replay_wal(wal.as_bytes(), &mut cache, None).unwrap_err(),
+            PersistError::Corrupt("WAL head dimension mismatch")
+        );
+    }
+
+    #[test]
+    fn wal_replay_never_panics_on_arbitrary_mutations() {
+        let data = TensorRng::new(6).normal(20, 4, 0.0, 1.0);
+        let dc = durable_with(&data, 20, 9);
+        let (snap, wal) = dc.durable_state();
+        let mut inj = turbo_robust::FaultInjector::new(0x5EED_u64);
+        for round in 0..256 {
+            let mut bytes = wal.clone();
+            match round % 3 {
+                0 => {
+                    let n = 1 + inj.pick(6);
+                    inj.corrupt_bytes(&mut bytes, n);
+                }
+                1 => {
+                    inj.truncate_bytes(&mut bytes);
+                }
+                _ => {
+                    inj.truncate_bytes(&mut bytes);
+                    if !bytes.is_empty() {
+                        let n = 1 + inj.pick(3);
+                        inj.corrupt_bytes(&mut bytes, n);
+                    }
+                }
+            }
+            // Must never panic; on success the result is coherent.
+            if let Ok((back, outcome)) = DurableHeadCache::recover(&snap, &bytes, None) {
+                assert_eq!(back.cache().len(), outcome.tokens);
+                assert_eq!(
+                    back.cache().key_buffer().len(),
+                    back.cache().value_buffer().len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn record_boundaries_follow_the_frames() {
+        let mut wal = WriteAheadLog::new(3);
+        wal.log_append(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]);
+        wal.log_flush();
+        wal.log_append(&[0.5; 3], &[0.25; 3]);
+        let b = WriteAheadLog::record_boundaries(wal.as_bytes());
+        assert_eq!(b.len(), 4); // header + 3 records
+        assert_eq!(*b.last().unwrap(), wal.as_bytes().len());
+        // A truncated log exposes only the complete frames.
+        let cut = WriteAheadLog::record_boundaries(&wal.as_bytes()[..b[2] + 3]);
+        assert_eq!(cut.len(), 3);
+    }
+}

@@ -1,0 +1,314 @@
+//! Seeded chaos plans for crash-consistency soak testing.
+//!
+//! A [`ChaosPlan`] is a deterministic, time-ordered script of adverse
+//! events — replica kills, WAL truncations, activation-fault injections,
+//! HBM pressure spikes — generated entirely from a seed. The plan is
+//! *pure data*: this crate only decides **what** goes wrong and **when**;
+//! the serving layer (`turbo-gpusim`'s replica set) and the soak harness
+//! decide how each action is applied. That split keeps the dependency
+//! graph clean (robust sits below kvcache/gpusim) and makes every chaos
+//! episode replayable byte-for-byte from its seed.
+
+use crate::fault::FaultInjector;
+
+/// One adverse action a chaos episode can take.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ChaosAction {
+    /// Hard-kill a replica mid-flight. The crash tears its write-ahead
+    /// log at `wal_cut` (a fraction in `[0, 1)` of the WAL body — an
+    /// arbitrary byte offset, not a record boundary).
+    KillReplica {
+        /// Which replica dies.
+        replica: usize,
+        /// Fractional byte offset into the WAL body where the torn write
+        /// stops.
+        wal_cut: f64,
+    },
+    /// Gracefully restart a replica: it checkpoints, goes down briefly,
+    /// and rejoins from a clean snapshot (no data loss).
+    RestartReplica {
+        /// Which replica restarts.
+        replica: usize,
+    },
+    /// Silently corrupt a replica's durable WAL bytes in place (storage
+    /// rot discovered only at the next recovery).
+    TruncateWal {
+        /// Which replica's durable log is damaged.
+        replica: usize,
+        /// Fractional byte offset the log is cut at.
+        wal_cut: f64,
+    },
+    /// Poison `elements` activation values with NaN/Inf mid-decode — the
+    /// PR-1 fault class, screened by the robust attention engine.
+    InjectFault {
+        /// How many activation elements to poison.
+        elements: usize,
+    },
+    /// Spike memory pressure: only `usable` of HBM remains available to
+    /// the serving layer from this point on.
+    MemoryPressure {
+        /// Usable fraction of HBM in `(0, 1]`.
+        usable: f64,
+    },
+}
+
+impl ChaosAction {
+    /// Whether the action targets a serving replica (as opposed to the
+    /// attention engine or the memory subsystem).
+    pub fn targets_replica(&self) -> bool {
+        matches!(
+            self,
+            ChaosAction::KillReplica { .. }
+                | ChaosAction::RestartReplica { .. }
+                | ChaosAction::TruncateWal { .. }
+        )
+    }
+}
+
+/// One timed action in a plan.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosEvent {
+    /// Simulated time (seconds) the action fires at.
+    pub time: f64,
+    /// What happens.
+    pub action: ChaosAction,
+}
+
+/// Shape of the chaos campaign a plan is drawn from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosConfig {
+    /// Number of replicas in the set under test (kill/restart targets).
+    pub replicas: usize,
+    /// Time horizon in seconds; every event lands in `(0, horizon)`.
+    pub horizon: f64,
+    /// Replica kills to schedule.
+    pub kills: usize,
+    /// Graceful restarts to schedule.
+    pub restarts: usize,
+    /// Silent WAL truncations to schedule.
+    pub wal_truncations: usize,
+    /// Activation-fault injections to schedule.
+    pub faults: usize,
+    /// Memory-pressure spikes to schedule.
+    pub pressure_spikes: usize,
+    /// Usable-HBM range pressure spikes draw from (`lo < hi`, both in
+    /// `(0, 1]`).
+    pub pressure_range: (f64, f64),
+}
+
+impl Default for ChaosConfig {
+    /// A small but adversarial episode: two kills, one restart, one
+    /// silent truncation, two fault injections, one pressure spike.
+    fn default() -> Self {
+        Self {
+            replicas: 2,
+            horizon: 60.0,
+            kills: 2,
+            restarts: 1,
+            wal_truncations: 1,
+            faults: 2,
+            pressure_spikes: 1,
+            pressure_range: (0.5, 0.95),
+        }
+    }
+}
+
+/// A deterministic, time-sorted chaos script.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChaosPlan {
+    /// The seed the plan was generated from (replays identically).
+    pub seed: u64,
+    /// Events sorted by time (ties broken by generation order).
+    pub events: Vec<ChaosEvent>,
+}
+
+impl ChaosPlan {
+    /// Generates a plan from `seed`. The same `(seed, config)` pair
+    /// always yields the same plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.replicas == 0`, `config.horizon <= 0`, or the
+    /// pressure range is invalid.
+    pub fn generate(seed: u64, config: &ChaosConfig) -> Self {
+        assert!(config.replicas > 0, "need at least one replica");
+        assert!(config.horizon > 0.0, "horizon must be positive");
+        let (lo, hi) = config.pressure_range;
+        assert!(
+            0.0 < lo && lo < hi && hi <= 1.0,
+            "pressure range must satisfy 0 < lo < hi <= 1"
+        );
+        let mut inj = FaultInjector::new(seed);
+        let draw_time = |inj: &mut FaultInjector| inj.hbm_pressure(0.01, 0.99) * config.horizon;
+        let mut events = Vec::new();
+        for _ in 0..config.kills {
+            let time = draw_time(&mut inj);
+            let replica = inj.pick(config.replicas);
+            let wal_cut = inj.hbm_pressure(0.01, 0.99);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::KillReplica { replica, wal_cut },
+            });
+        }
+        for _ in 0..config.restarts {
+            let time = draw_time(&mut inj);
+            let replica = inj.pick(config.replicas);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::RestartReplica { replica },
+            });
+        }
+        for _ in 0..config.wal_truncations {
+            let time = draw_time(&mut inj);
+            let replica = inj.pick(config.replicas);
+            let wal_cut = inj.hbm_pressure(0.01, 0.99);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::TruncateWal { replica, wal_cut },
+            });
+        }
+        for _ in 0..config.faults {
+            let time = draw_time(&mut inj);
+            let elements = 1 + inj.pick(4);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::InjectFault { elements },
+            });
+        }
+        for _ in 0..config.pressure_spikes {
+            let time = draw_time(&mut inj);
+            let usable = inj.hbm_pressure(lo, hi);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::MemoryPressure { usable },
+            });
+        }
+        // Stable sort keeps generation order for equal times, so the
+        // plan is a pure function of (seed, config).
+        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("chaos times are finite"));
+        Self { seed, events }
+    }
+
+    /// Events that target serving replicas, in time order.
+    pub fn replica_events(&self) -> Vec<ChaosEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| e.action.targets_replica())
+            .collect()
+    }
+
+    /// Events the serving layer does not handle (fault injections and
+    /// pressure spikes), in time order — the harness applies these.
+    pub fn engine_events(&self) -> Vec<ChaosEvent> {
+        self.events
+            .iter()
+            .copied()
+            .filter(|e| !e.action.targets_replica())
+            .collect()
+    }
+
+    /// The tightest memory-pressure spike in the plan, if any.
+    pub fn min_pressure(&self) -> Option<f64> {
+        self.events
+            .iter()
+            .filter_map(|e| match e.action {
+                ChaosAction::MemoryPressure { usable } => Some(usable),
+                _ => None,
+            })
+            .min_by(|a, b| a.partial_cmp(b).expect("pressure fractions are finite"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_plan() {
+        let cfg = ChaosConfig::default();
+        let a = ChaosPlan::generate(99, &cfg);
+        let b = ChaosPlan::generate(99, &cfg);
+        assert_eq!(a, b);
+        let c = ChaosPlan::generate(100, &cfg);
+        assert_ne!(a, c, "different seeds must diverge");
+    }
+
+    #[test]
+    fn plan_is_sorted_and_sized() {
+        let cfg = ChaosConfig {
+            replicas: 3,
+            kills: 4,
+            restarts: 2,
+            wal_truncations: 2,
+            faults: 3,
+            pressure_spikes: 2,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(7, &cfg);
+        assert_eq!(plan.events.len(), 4 + 2 + 2 + 3 + 2);
+        for w in plan.events.windows(2) {
+            assert!(w[0].time <= w[1].time, "events must be time-sorted");
+        }
+        for e in &plan.events {
+            assert!(e.time > 0.0 && e.time < cfg.horizon);
+            match e.action {
+                ChaosAction::KillReplica { replica, wal_cut }
+                | ChaosAction::TruncateWal { replica, wal_cut } => {
+                    assert!(replica < cfg.replicas);
+                    assert!((0.0..1.0).contains(&wal_cut));
+                }
+                ChaosAction::RestartReplica { replica } => assert!(replica < cfg.replicas),
+                ChaosAction::InjectFault { elements } => assert!(elements >= 1),
+                ChaosAction::MemoryPressure { usable } => {
+                    assert!((cfg.pressure_range.0..cfg.pressure_range.1).contains(&usable));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_covers_every_event_once() {
+        let plan = ChaosPlan::generate(3, &ChaosConfig::default());
+        let replica = plan.replica_events();
+        let engine = plan.engine_events();
+        assert_eq!(replica.len() + engine.len(), plan.events.len());
+        assert!(replica.iter().all(|e| e.action.targets_replica()));
+        assert!(engine.iter().all(|e| !e.action.targets_replica()));
+    }
+
+    #[test]
+    fn min_pressure_picks_tightest_spike() {
+        let cfg = ChaosConfig {
+            pressure_spikes: 5,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(5, &cfg);
+        let min = plan.min_pressure().unwrap();
+        for e in &plan.events {
+            if let ChaosAction::MemoryPressure { usable } = e.action {
+                assert!(min <= usable);
+            }
+        }
+        let none = ChaosPlan::generate(
+            5,
+            &ChaosConfig {
+                pressure_spikes: 0,
+                ..cfg
+            },
+        );
+        assert_eq!(none.min_pressure(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one replica")]
+    fn zero_replicas_rejected() {
+        ChaosPlan::generate(
+            1,
+            &ChaosConfig {
+                replicas: 0,
+                ..ChaosConfig::default()
+            },
+        );
+    }
+}

@@ -54,10 +54,27 @@ pub enum HealthEvent {
     /// A pool worker (or helping submitter) stole a task from another
     /// worker's queue.
     RuntimeTaskStolen,
+    /// A write-ahead log was replayed onto a recovered snapshot.
+    WalReplay,
+    /// A torn or corrupt WAL tail was dropped during recovery (one event
+    /// per salvage, not per byte).
+    WalRecordDropped,
+    /// A serving replica was killed by a fault (crash, chaos kill).
+    ReplicaKilled,
+    /// A killed replica finished rebuilding (snapshot + WAL replay +
+    /// re-prefill) and rejoined the set.
+    ReplicaRebuilt,
+    /// A replica's circuit breaker tripped from closed to open.
+    BreakerOpened,
+    /// A request was re-dispatched to another replica after its original
+    /// replica failed.
+    FailoverRetry,
+    /// A request was hedged onto a standby replica at dispatch time.
+    RequestHedged,
 }
 
 /// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 15;
+pub const EVENT_COUNT: usize = 22;
 
 /// All events, in discriminant order, for iteration/reporting.
 pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
@@ -76,6 +93,13 @@ pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
     HealthEvent::RuntimeWorkerSpawned,
     HealthEvent::RuntimeTaskRun,
     HealthEvent::RuntimeTaskStolen,
+    HealthEvent::WalReplay,
+    HealthEvent::WalRecordDropped,
+    HealthEvent::ReplicaKilled,
+    HealthEvent::ReplicaRebuilt,
+    HealthEvent::BreakerOpened,
+    HealthEvent::FailoverRetry,
+    HealthEvent::RequestHedged,
 ];
 
 impl HealthEvent {
@@ -97,6 +121,13 @@ impl HealthEvent {
             HealthEvent::RuntimeWorkerSpawned => "runtime_worker_spawned",
             HealthEvent::RuntimeTaskRun => "runtime_task_run",
             HealthEvent::RuntimeTaskStolen => "runtime_task_stolen",
+            HealthEvent::WalReplay => "wal_replay",
+            HealthEvent::WalRecordDropped => "wal_record_dropped",
+            HealthEvent::ReplicaKilled => "replica_killed",
+            HealthEvent::ReplicaRebuilt => "replica_rebuilt",
+            HealthEvent::BreakerOpened => "breaker_opened",
+            HealthEvent::FailoverRetry => "failover_retry",
+            HealthEvent::RequestHedged => "request_hedged",
         }
     }
 }

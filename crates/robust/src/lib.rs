@@ -12,8 +12,11 @@
 //!   registry every detection, repair, and fallback reports into, so
 //!   observed-fault counts can be checked against injected-fault counts.
 //! * [`crc32`] / [`Crc32`] — hand-rolled IEEE CRC32 (no external
-//!   crates) backing per-block checksums in the persisted-cache format
-//!   and page scrubbing in the paged pool.
+//!   crates) backing per-block checksums in the persisted-cache format,
+//!   page scrubbing in the paged pool, and WAL record framing.
+//! * [`ChaosPlan`] — seeded, time-ordered scripts of kills, WAL
+//!   truncations, fault injections, and pressure spikes for the chaos
+//!   soak harness; pure data consumed by the serving layer.
 //!
 //! The crate sits *below* `turbo-kvcache` and `turbo-attention` in the
 //! dependency graph (it only needs `turbo-tensor` and `turbo-quant`),
@@ -23,10 +26,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chaos;
 mod crc32;
 mod fault;
 mod health;
 
+pub use chaos::{ChaosAction, ChaosConfig, ChaosEvent, ChaosPlan};
 pub use crc32::{crc32, Crc32};
 pub use fault::{ActivationFault, ByteFault, FaultInjector};
 pub use health::{HealthEvent, HealthStats, ALL_EVENTS, EVENT_COUNT};

@@ -16,6 +16,9 @@ cargo clippy --all-targets -- -D warnings
 echo "==> runtime tests under a 2-worker cap (contention path)"
 TURBO_RUNTIME_THREADS=2 cargo test -q -p turbo-runtime
 
+echo "==> chaos smoke (64 seeded episodes, 2 replicas)"
+TURBO_CHAOS_EPISODES=64 cargo test -q -p turbo-integration-tests --test chaos_soak
+
 echo "==> bench smoke (1 iteration, asserts BENCH_attention.json)"
 SMOKE_OUT="$(mktemp -t bench_smoke.XXXXXX.json)"
 trap 'rm -f "${SMOKE_OUT}"' EXIT
