@@ -119,6 +119,59 @@ fn bench_decode(c: &mut Criterion) {
             BatchSize::SmallInput,
         )
     });
+    // Durability at model scale: 8 heads receive the token's K/V rows.
+    // The per-head baseline logs 8 WAL records per token (one flush per
+    // head); the layer-level group commit logs one record carrying all 8
+    // heads. Both rows append to all 8 caches and attend on head 0, so
+    // the delta between them is purely the logging path.
+    const HEADS: usize = 8;
+    let head_wals: Vec<turbo_kvcache::DurableHeadCache> = (0..HEADS)
+        .map(|_| {
+            let mut d = turbo_kvcache::DurableHeadCache::from_cache(turbo.clone());
+            d.checkpoint();
+            d
+        })
+        .collect();
+    let layer_set = {
+        let mut s = turbo_kvcache::DurableLayerSet::new(
+            1,
+            HEADS,
+            D,
+            KvCacheConfig::default(),
+            Box::new(turbo_kvcache::NeverCheckpoint),
+        );
+        for t in 0..N {
+            let kr: Vec<&[f32]> = vec![k.row(t); HEADS];
+            let vr: Vec<&[f32]> = vec![v.row(t); HEADS];
+            s.try_append_token(&kr, &vr, None).expect("prefill");
+        }
+        s.checkpoint(None);
+        s
+    };
+    g.bench_function("turbo_decode_step_8head_head_wals", |b| {
+        b.iter_batched(
+            || head_wals.clone(),
+            |mut ds| {
+                for d in ds.iter_mut() {
+                    d.try_append(k.row(0), v.row(0)).expect("decode append");
+                }
+                turbo_attend_cache(black_box(q.row(0)), ds[0].cache(), &sas)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let kr: Vec<&[f32]> = vec![k.row(0); HEADS];
+    let vr: Vec<&[f32]> = vec![v.row(0); HEADS];
+    g.bench_function("turbo_decode_step_with_layer_wal", |b| {
+        b.iter_batched(
+            || layer_set.clone(),
+            |mut s| {
+                s.try_append_token(&kr, &vr, None).expect("decode append");
+                turbo_attend_cache(black_box(q.row(0)), s.layer(0).head(0), &sas)
+            },
+            BatchSize::SmallInput,
+        )
+    });
     g.bench_function("kivi_dequant_then_f16", |b| {
         b.iter(|| decode_attention_fp16(black_box(q.row(0)), &kivi))
     });

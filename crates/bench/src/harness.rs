@@ -224,9 +224,30 @@ fn json_escape(s: &str) -> String {
     out
 }
 
+/// Machine context stamped into every results file, so numbers from a
+/// 1-core CI container are distinguishable from a multi-core dev box.
+fn machine_json() -> String {
+    let parallelism = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let threads = std::env::var("TURBO_RUNTIME_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .map_or_else(|| "null".to_string(), |n| n.to_string());
+    let timestamp = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    format!(
+        "{{\"available_parallelism\": {parallelism}, \
+         \"turbo_runtime_threads\": {threads}, \
+         \"timestamp_unix\": {timestamp}}}"
+    )
+}
+
 /// Renders all results as a JSON document.
 fn to_json(results: &[BenchResult]) -> String {
-    let mut out = String::from("{\n  \"benches\": [\n");
+    let mut out = format!("{{\n  \"machine\": {},\n  \"benches\": [\n", machine_json());
     for (i, r) in results.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"name\": \"{}\", \"median_ns\": {:.1}, \"p95_ns\": {:.1}, \"samples\": {}}}{}\n",
@@ -429,6 +450,11 @@ mod tests {
         assert!(json.contains("\"benches\""));
         assert!(json.contains("\"group/one\""));
         assert!(json.contains("\"median_ns\": 1234.5"));
+        // Machine metadata distinguishes 1-core CI runs from dev boxes.
+        assert!(json.contains("\"machine\""));
+        assert!(json.contains("\"available_parallelism\""));
+        assert!(json.contains("\"turbo_runtime_threads\""));
+        assert!(json.contains("\"timestamp_unix\""));
         // Balanced braces/brackets as a cheap structural check.
         assert_eq!(
             json.matches('{').count(),

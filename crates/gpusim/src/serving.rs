@@ -22,6 +22,7 @@ use crate::hw::GpuSpec;
 use crate::kernels::{decode_latency, prefill_latency};
 use crate::memory::fits_in_memory;
 use crate::method::AttnMethod;
+use turbo_kvcache::{PagedKvPool, SeqId};
 use turbo_robust::{HealthEvent, HealthStats};
 
 /// One inference request.
@@ -364,6 +365,53 @@ pub fn simulate_serving_robust(
     policy: &ServingPolicy,
     health: Option<&HealthStats>,
 ) -> RobustServingStats {
+    simulate_serving_robust_impl(gpu, geom, method, requests, policy, None, health)
+}
+
+/// As [`simulate_serving_robust`], but every admitted request carries a
+/// real [`PagedKvPool`] sequence forked off `prefix`, and all cache
+/// traffic goes through the pool's **non-panicking** `try_*` APIs:
+///
+/// * admission forks the shared prefix — a fork error (unknown or
+///   corrupt prefix, dangling page) *rejects* the request before any
+///   prefill cost is paid, it does not abort the engine;
+/// * every decode step appends that request's K/V row — an append error
+///   rejects the request mid-flight, releases its sequence, and zeroes
+///   its output, leaving the pool and the ledger consistent;
+/// * finish/truncation releases the fork, so a healthy run returns the
+///   pool holding exactly the prefix it started with.
+///
+/// With a healthy pool the simulated trajectory (and every stat) is
+/// identical to [`simulate_serving_robust`] — the pool only adds state,
+/// never time.
+///
+/// # Panics
+///
+/// As [`simulate_serving_robust`] — caller errors only. Cache faults
+/// never panic here; that is the point.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_serving_robust_paged(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    requests: &[RequestSpec],
+    policy: &ServingPolicy,
+    pool: &mut PagedKvPool,
+    prefix: SeqId,
+    health: Option<&HealthStats>,
+) -> RobustServingStats {
+    simulate_serving_robust_impl(gpu, geom, method, requests, policy, Some((pool, prefix)), health)
+}
+
+fn simulate_serving_robust_impl(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    requests: &[RequestSpec],
+    policy: &ServingPolicy,
+    mut paged: Option<(&mut PagedKvPool, SeqId)>,
+    health: Option<&HealthStats>,
+) -> RobustServingStats {
     assert!(!requests.is_empty(), "no requests to serve");
     for w in requests.windows(2) {
         assert!(
@@ -402,6 +450,8 @@ pub fn simulate_serving_robust(
     let mut finish_time = vec![f64::NAN; requests.len()];
     let mut generated = vec![0usize; requests.len()];
     let mut truncated_flag = vec![false; requests.len()];
+    // Paged mode: the live KV sequence backing each admitted request.
+    let mut kv_of_req: Vec<Option<SeqId>> = vec![None; requests.len()];
     let mut rejected = 0usize;
     let mut deadline_misses = 0usize;
     let mut admission_retries = 0u64;
@@ -468,6 +518,23 @@ pub fn simulate_serving_robust(
                 }
             }
             if fits_now {
+                // The KV pool is the serving hot path: forking the shared
+                // prefix goes through `try_fork`, so a corrupt or missing
+                // prefix degrades this admission to a rejection (the PR 1
+                // ladder) instead of panicking the replica.
+                let kv = match paged.as_mut() {
+                    Some((pool, prefix)) => match pool.try_fork(*prefix) {
+                        Ok(id) => Some(id),
+                        Err(_) => {
+                            waiting.remove(i);
+                            rejected += 1;
+                            record(health, HealthEvent::RequestRejected);
+                            continue;
+                        }
+                    },
+                    None => None,
+                };
+                kv_of_req[w.req] = kv;
                 waiting.remove(i);
                 admit_time[w.req] = now;
                 now += prefill_latency(&gpu, geom, method, 1, spec.prompt).total()
@@ -510,19 +577,50 @@ pub fn simulate_serving_robust(
                 + linear_time(&gpu, geom, batch, 1);
             let mut still_live = Vec::with_capacity(live.len());
             for mut s in live.into_iter() {
+                let req = s.req;
+                // Paged mode: the step's K/V row lands in the pool through
+                // `try_append`. A cache fault mid-flight rejects this one
+                // request — released sequence, zeroed output — and the
+                // batch keeps decoding.
+                if let Some((pool, _)) = paged.as_mut() {
+                    if let Some(id) = kv_of_req[s.req] {
+                        let d = pool.head_dim();
+                        let row: Vec<f32> = (0..d)
+                            .map(|c| ((s.req * 31 + s.generated * 7 + c) % 97) as f32 * 1e-2)
+                            .collect();
+                        if pool.try_append(id, &row, &row).is_err() {
+                            let _ = pool.try_release(id);
+                            kv_of_req[s.req] = None;
+                            generated[s.req] = 0;
+                            rejected += 1;
+                            record(health, HealthEvent::RequestRejected);
+                            continue;
+                        }
+                    }
+                }
                 s.generated += 1;
                 s.ctx += 1;
                 generated[s.req] = s.generated;
-                if s.generated >= requests[s.req].gen {
+                let done = if s.generated >= requests[s.req].gen {
                     finish_time[s.req] = now;
+                    true
                 } else if now - requests[s.req].arrival > policy.deadline {
                     // Out of time mid-generation: return what we have.
                     finish_time[s.req] = now;
                     truncated_flag[s.req] = true;
                     deadline_misses += 1;
                     record(health, HealthEvent::DeadlineMiss);
+                    true
                 } else {
                     still_live.push(s);
+                    false
+                };
+                if done {
+                    if let Some((pool, _)) = paged.as_mut() {
+                        if let Some(id) = kv_of_req[req].take() {
+                            let _ = pool.try_release(id);
+                        }
+                    }
                 }
             }
             live = still_live;
@@ -921,6 +1019,86 @@ mod tests {
         assert_eq!(stats.rejected, 1);
         assert_eq!(health.count(HealthEvent::RequestRejected), 1);
         assert_eq!(stats.throughput, 0.0);
+    }
+
+    fn prefix_pool(tokens: usize) -> (PagedKvPool, SeqId) {
+        let mut pool = PagedKvPool::new(
+            8,
+            turbo_kvcache::KvCacheConfig {
+                group_size: 16,
+                buffer_capacity: 16,
+                ..turbo_kvcache::KvCacheConfig::default()
+            },
+        );
+        let prefix = pool.create_sequence();
+        for t in 0..tokens {
+            let row: Vec<f32> = (0..8).map(|c| ((t * 13 + c) % 89) as f32 * 1e-2).collect();
+            pool.try_append(prefix, &row, &row).unwrap();
+        }
+        (pool, prefix)
+    }
+
+    #[test]
+    fn paged_healthy_run_matches_unpooled_and_leaks_nothing() {
+        let (gpu, geom) = setup();
+        let reqs = workload();
+        let unpooled = simulate_serving_robust(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &ServingPolicy::default(),
+            None,
+        );
+        let (mut pool, prefix) = prefix_pool(32);
+        let health = HealthStats::new();
+        let paged = simulate_serving_robust_paged(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &ServingPolicy::default(),
+            &mut pool,
+            prefix,
+            Some(&health),
+        );
+        // The pool only adds state, never time: identical stats.
+        assert_eq!(paged, unpooled);
+        assert!(health.is_clean(), "healthy pool records nothing");
+        // Every fork was released on finish — nothing leaked.
+        assert_eq!(pool.num_sequences(), 1, "only the prefix survives");
+        assert_eq!(pool.try_seq_len(prefix).unwrap(), 32);
+    }
+
+    #[test]
+    fn poisoned_prefix_cache_rejects_requests_instead_of_panicking() {
+        let (gpu, geom) = setup();
+        let reqs = workload();
+        // Poison the serving cache: the prefix sequence is gone (the same
+        // degradation covers any CacheError a fork can hit — unknown
+        // sequence, dangling page). The old panicking `fork` wrapper
+        // would have aborted the replica right here.
+        let (mut pool, prefix) = prefix_pool(32);
+        pool.try_release(prefix).unwrap();
+        let health = HealthStats::new();
+        let stats = simulate_serving_robust_paged(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &reqs,
+            &ServingPolicy::default(),
+            &mut pool,
+            prefix,
+            Some(&health),
+        );
+        assert_eq!(stats.rejected, reqs.len(), "every admission degrades");
+        assert_eq!(stats.completed, 0);
+        assert_eq!(stats.truncated, 0);
+        assert_eq!(stats.generated_tokens, 0);
+        assert_eq!(
+            health.count(HealthEvent::RequestRejected),
+            reqs.len() as u64
+        );
     }
 
     #[test]

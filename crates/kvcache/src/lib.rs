@@ -49,6 +49,12 @@ pub use error::CacheError;
 pub use head::{HeadKvCache, KvCacheConfig};
 pub use layer::LayerKvCache;
 pub use paged::{PagedKvPool, SeqId};
+pub use persist::layer_wal::{
+    policy_from_env, policy_from_spec, replay_layer_wal, ByteBudget, CheckpointCause,
+    CheckpointPolicy, DurableLayerSet, GroupCommitStats, LayerRecoverOutcome,
+    LayerWalReplayReport, LayerWriteAheadLog, NeverCheckpoint, RecordBudget, ReplayBudget,
+    ENV_CKPT_POLICY,
+};
 pub use persist::wal::{
     replay_wal, DurableHeadCache, RecoverOutcome, WalReplayReport, WriteAheadLog,
 };

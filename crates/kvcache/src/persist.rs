@@ -30,6 +30,7 @@ use turbo_quant::progressive::GroupParams;
 use turbo_quant::{BitWidth, PackedCodes, ProgressiveBlock};
 use turbo_robust::{crc32, HealthEvent, HealthStats};
 
+pub mod layer_wal;
 pub mod wal;
 
 const MAGIC: &[u8; 4] = b"TKVC";

@@ -71,10 +71,27 @@ pub enum HealthEvent {
     FailoverRetry,
     /// A request was hedged onto a standby replica at dispatch time.
     RequestHedged,
+    /// One group-commit record — every head of every layer's K/V rows for
+    /// one token — was appended to a layer-level write-ahead log.
+    LayerGroupCommit,
+    /// K/V row-pairs carried by group-commit records (recorded with
+    /// `record_n`; divided by [`HealthEvent::LayerGroupCommit`] this gives
+    /// the mean group-commit size).
+    LayerGroupRows,
+    /// The adaptive checkpoint scheduler fired on bytes-since-checkpoint.
+    CheckpointByBytes,
+    /// The adaptive checkpoint scheduler fired on records-since-checkpoint.
+    CheckpointByRecords,
+    /// The adaptive checkpoint scheduler fired because the estimated WAL
+    /// replay time exceeded its budget.
+    CheckpointByReplayBudget,
+    /// Records applied while replaying a layer-level WAL (recorded with
+    /// `record_n`; the replay length recovery actually paid).
+    LayerWalReplayedRecords,
 }
 
 /// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 22;
+pub const EVENT_COUNT: usize = 28;
 
 /// All events, in discriminant order, for iteration/reporting.
 pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
@@ -100,6 +117,12 @@ pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
     HealthEvent::BreakerOpened,
     HealthEvent::FailoverRetry,
     HealthEvent::RequestHedged,
+    HealthEvent::LayerGroupCommit,
+    HealthEvent::LayerGroupRows,
+    HealthEvent::CheckpointByBytes,
+    HealthEvent::CheckpointByRecords,
+    HealthEvent::CheckpointByReplayBudget,
+    HealthEvent::LayerWalReplayedRecords,
 ];
 
 impl HealthEvent {
@@ -128,6 +151,12 @@ impl HealthEvent {
             HealthEvent::BreakerOpened => "breaker_opened",
             HealthEvent::FailoverRetry => "failover_retry",
             HealthEvent::RequestHedged => "request_hedged",
+            HealthEvent::LayerGroupCommit => "layer_group_commit",
+            HealthEvent::LayerGroupRows => "layer_group_rows",
+            HealthEvent::CheckpointByBytes => "checkpoint_by_bytes",
+            HealthEvent::CheckpointByRecords => "checkpoint_by_records",
+            HealthEvent::CheckpointByReplayBudget => "checkpoint_by_replay_budget",
+            HealthEvent::LayerWalReplayedRecords => "layer_wal_replayed_records",
         }
     }
 }

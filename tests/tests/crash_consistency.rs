@@ -10,10 +10,12 @@
 //! at every framing boundary.
 
 use turbo_kvcache::{
-    frame_boundaries, recover_head_cache, serialize_head_cache_v1, DurableHeadCache, HeadKvCache,
-    KvCacheConfig, WriteAheadLog,
+    frame_boundaries, recover_head_cache, serialize_head_cache_v1, DurableHeadCache,
+    DurableLayerSet, HeadKvCache, KvCacheConfig, LayerWriteAheadLog, NeverCheckpoint,
+    WriteAheadLog,
 };
 use turbo_quant::BitWidth;
+use turbo_robust::FaultInjector;
 use turbo_tensor::{Matrix, TensorRng};
 
 fn cfg() -> KvCacheConfig {
@@ -220,6 +222,209 @@ fn snapshot_framing_boundaries_recover_cleanly_across_versions() {
     let (back, outcome) = DurableHeadCache::recover(&v2, &wal, None).unwrap();
     assert!(outcome.clean);
     assert_eq!(back.cache().len(), 48);
+}
+
+/// Crash-point exhaustiveness for the layer-level group-commit WAL: a
+/// multi-layer episode (2 layers × 3 heads, distinct K/V per cell) is
+/// cut at every record boundary and at eight intra-record offsets per
+/// record, and every cut must recover all heads of all layers to the
+/// *same* token-count prefix — no cell ever runs ahead of another, and
+/// each cell is bit-identical to an uninterrupted cache over that
+/// prefix.
+#[test]
+fn every_layer_wal_crash_point_recovers_a_common_prefix() {
+    const LAYERS: usize = 2;
+    const HEADS: usize = 3;
+    const CELLS: usize = LAYERS * HEADS;
+    const LW_TOKENS: usize = 64;
+    const LW_CHECKPOINT_AT: usize = 24;
+    let d = 4;
+    let mut rng = TensorRng::new(0x1A7E);
+    // One wide matrix per side; cell c (layer-major) reads columns
+    // [c*d, (c+1)*d), so every cell sees a distinct stream and any
+    // cross-cell mixup breaks bit-identity.
+    let kd = rng.normal(LW_TOKENS, d * CELLS, 0.0, 1.0);
+    let vd = rng.normal(LW_TOKENS, d * CELLS, 0.0, 1.0);
+    let rows_at = |m: &Matrix, t: usize| -> Vec<Vec<f32>> {
+        (0..CELLS).map(|c| m.row(t)[c * d..(c + 1) * d].to_vec()).collect()
+    };
+
+    let mut set = DurableLayerSet::new(LAYERS, HEADS, d, cfg(), Box::new(NeverCheckpoint));
+    let mut post_ops: Vec<Op> = Vec::new();
+    for t in 0..LW_TOKENS {
+        if t == LW_CHECKPOINT_AT {
+            set.checkpoint(None);
+        }
+        let kr = rows_at(&kd, t);
+        let vr = rows_at(&vd, t);
+        let ks: Vec<&[f32]> = kr.iter().map(Vec::as_slice).collect();
+        let vs: Vec<&[f32]> = vr.iter().map(Vec::as_slice).collect();
+        set.try_append_token(&ks, &vs, None).unwrap();
+        if t >= LW_CHECKPOINT_AT {
+            post_ops.push(Op::Append(t));
+        }
+        if (t + 1) % FLUSH_EVERY == 0 {
+            let logged = set.layer(0).head(0).buffer_len() > 0;
+            set.try_flush_all(None).unwrap();
+            if t >= LW_CHECKPOINT_AT && logged {
+                post_ops.push(Op::Flush);
+            }
+        }
+    }
+    let (snap, wal) = set.durable_state();
+    assert_eq!(set.wal().records(), post_ops.len());
+
+    let boundaries = LayerWriteAheadLog::record_boundaries(&wal);
+    assert_eq!(boundaries.len(), post_ops.len() + 1);
+    assert_eq!(*boundaries.last().unwrap(), wal.len());
+
+    // Reference: one independent head cache per cell, advanced in
+    // lockstep with the boundaries.
+    let mut reference: Vec<HeadKvCache> =
+        (0..CELLS).map(|_| HeadKvCache::new(d, cfg())).collect();
+    let apply = |reference: &mut Vec<HeadKvCache>, op: Op| match op {
+        Op::Append(t) => {
+            for (c, r) in reference.iter_mut().enumerate() {
+                r.try_append(&kd.row(t)[c * d..(c + 1) * d], &vd.row(t)[c * d..(c + 1) * d])
+                    .unwrap();
+            }
+        }
+        Op::Flush => reference.iter_mut().for_each(|r| r.try_flush().unwrap()),
+    };
+    for t in 0..LW_CHECKPOINT_AT {
+        apply(&mut reference, Op::Append(t));
+        if (t + 1) % FLUSH_EVERY == 0 {
+            apply(&mut reference, Op::Flush);
+        }
+    }
+
+    let check = |cut: usize, reference: &[HeadKvCache], expect_tokens: usize| {
+        let (back, outcome) = DurableLayerSet::recover(
+            LAYERS,
+            HEADS,
+            d,
+            cfg(),
+            Box::new(NeverCheckpoint),
+            &snap,
+            &wal[..cut],
+            None,
+        )
+        .expect("a clean checkpoint anchors recovery at any WAL cut");
+        assert_eq!(outcome.tokens, expect_tokens, "cut {cut}");
+        for l in 0..LAYERS {
+            for h in 0..HEADS {
+                let head = back.layer(l).head(h);
+                assert_eq!(
+                    head.len(),
+                    expect_tokens,
+                    "cell ({l},{h}) desynced from the group prefix at cut {cut}"
+                );
+                assert_eq!(
+                    head.to_bytes(),
+                    reference[l * HEADS + h].to_bytes(),
+                    "cell ({l},{h}) not bit-identical at cut {cut}"
+                );
+            }
+        }
+    };
+
+    // Cuts inside the WAL header drop the whole log; the checkpoint
+    // alone survives.
+    for cut in 0..boundaries[0] {
+        check(cut, &reference, LW_CHECKPOINT_AT);
+    }
+
+    let mut tokens = LW_CHECKPOINT_AT;
+    for (n, (op, &boundary)) in std::iter::once(None)
+        .chain(post_ops.iter().copied().map(Some))
+        .zip(boundaries.iter())
+        .enumerate()
+    {
+        if let Some(op) = op {
+            apply(&mut reference, op);
+            if let Op::Append(_) = op {
+                tokens += 1;
+            }
+        }
+        check(boundary, &reference, tokens);
+        if n + 1 < boundaries.len() {
+            let next = boundaries[n + 1];
+            for j in 1..=8usize {
+                let cut = boundary + j * (next - boundary) / 9;
+                if cut > boundary && cut < next {
+                    check(cut, &reference, tokens);
+                }
+            }
+        }
+    }
+    assert_eq!(tokens, LW_TOKENS, "the full episode must replay at the end");
+}
+
+/// Seeded chaos over the layer WAL's durable state: arbitrary
+/// truncations and byte corruptions of checkpoint and log must never
+/// panic, and whatever `recover_or_empty` salvages must keep every cell
+/// at one common token count.
+#[test]
+fn layer_wal_chaos_smoke() {
+    const LAYERS: usize = 2;
+    const HEADS: usize = 3;
+    const CELLS: usize = LAYERS * HEADS;
+    let d = 4;
+    let mut rng = TensorRng::new(0x50AC);
+    let data = rng.normal(40, d * CELLS, 0.0, 1.0);
+    let mut set = DurableLayerSet::new(LAYERS, HEADS, d, cfg(), Box::new(NeverCheckpoint));
+    for t in 0..40 {
+        if t == 16 {
+            set.checkpoint(None);
+        }
+        let rows: Vec<&[f32]> = (0..CELLS).map(|c| &data.row(t)[c * d..(c + 1) * d]).collect();
+        set.try_append_token(&rows, &rows, None).unwrap();
+    }
+    let (snap, wal) = set.durable_state();
+
+    let mut inj = FaultInjector::new(0xC4A05);
+    for round in 0..128 {
+        let mut s = snap.clone();
+        let mut w = wal.clone();
+        match round % 4 {
+            0 => {
+                inj.truncate_bytes(&mut w);
+            }
+            1 => {
+                inj.corrupt_bytes(&mut w, 1 + round % 3);
+            }
+            2 => {
+                inj.truncate_bytes(&mut s);
+            }
+            _ => {
+                inj.corrupt_bytes(&mut s, 1 + round % 3);
+                inj.truncate_bytes(&mut w);
+            }
+        }
+        let (back, outcome) = DurableLayerSet::recover_or_empty(
+            LAYERS,
+            HEADS,
+            d,
+            cfg(),
+            Box::new(NeverCheckpoint),
+            &s,
+            &w,
+            None,
+        );
+        assert!(outcome.tokens <= 40, "round {round}");
+        for l in 0..LAYERS {
+            for h in 0..HEADS {
+                let head = back.layer(l).head(h);
+                assert_eq!(
+                    head.len(),
+                    outcome.tokens,
+                    "round {round}: cell ({l},{h}) desynced"
+                );
+                let (k, v) = head.dequantize_all();
+                assert_eq!(k.rows(), v.rows(), "round {round}");
+            }
+        }
+    }
 }
 
 /// The recovered prefix is usable, not just structurally coherent: a
