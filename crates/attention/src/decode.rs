@@ -5,17 +5,31 @@
 //! 1. The new `k`/`v` vectors enter the INT8 buffer (universal scale,
 //!    flushing to INT4/2 every `n_b` steps).
 //! 2. `q` is symmetrically quantized to INT8.
-//! 3. Each resident block is dequantized *in integer arithmetic*
-//!    (INT4/2 → INT8, `q̂¹ = (q² + z)·s`) — never to floating point — and
-//!    scores come from the INT8 GEMM.
-//! 4. SAS replaces FP32 exponentiation; the probability row is INT8
-//!    re-quantized for the `P⁸·V⁸` product, exactly as in prefill.
+//! 3. Each resident block's INT8 expansion comes from the head's
+//!    [`DequantTile`] cache — the pure-integer INT4/2 → INT8
+//!    dequantization runs once per block per generation instead of once
+//!    per decode step — and scores come from the fused INT8 dot kernel.
+//! 4. SAS replaces FP32 exponentiation (evaluated over the whole score
+//!    tile with threshold-skip short-circuiting); the probability row is
+//!    INT8 re-quantized for the `P⁸·V⁸` product, exactly as in prefill.
+//!
+//! The hot path is **zero-allocation** in steady state: all intermediate
+//! buffers live in a caller-owned [`Scratch`] arena (the convenience
+//! entry points keep one per thread), value tiles arrive pre-transposed
+//! from the cache, and the only per-step allocation on the convenience
+//! path is the returned output vector itself. Every kernel here is
+//! bit-identical to the original unfused implementation: integer
+//! accumulation is associative, the scale epilogues multiply the same
+//! finished sums, and SAS short-circuiting zeroes exactly the entries
+//! `Sas::exp` would.
 
-use crate::prefill::online_update_quantized;
-use turbo_kvcache::HeadKvCache;
-use turbo_quant::symmetric::{quantize_slice_sym, SymQuantized};
+use std::cell::RefCell;
+
+use crate::scratch::Scratch;
+use turbo_kvcache::{DequantTile, HeadKvCache};
+use turbo_quant::symmetric::quantize_slice_sym_into;
 use turbo_softmax::Sas;
-use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+use turbo_tensor::{dot_i8, matmul_i8_transposed_b_into};
 
 /// Decodes one token for one head: appends `(k_new, v_new)` to the cache,
 /// then computes the attention output of `q_new` over the whole cache.
@@ -41,66 +55,231 @@ pub fn turbo_decode_head(
     turbo_attend_cache(q_new, cache, sas)
 }
 
+/// Allocation-free sibling of [`turbo_decode_head`]: intermediates live
+/// in `scratch` and the output row is written into `out` (cleared and
+/// refilled, keeping its capacity). In steady state — between buffer
+/// flush boundaries, with the tile cache warm — a step performs zero
+/// heap allocations.
+///
+/// # Panics
+///
+/// As [`turbo_decode_head`].
+pub fn turbo_decode_head_into(
+    q_new: &[f32],
+    k_new: &[f32],
+    v_new: &[f32],
+    cache: &mut HeadKvCache,
+    sas: &Sas,
+    scratch: &mut Scratch,
+    out: &mut Vec<f32>,
+) {
+    let d = cache.head_dim();
+    assert_eq!(q_new.len(), d, "query width mismatch");
+    assert_eq!(k_new.len(), d, "key width mismatch");
+    assert_eq!(v_new.len(), d, "value width mismatch");
+
+    cache.append(k_new, v_new);
+    turbo_attend_cache_into(q_new, cache, sas, scratch, out);
+}
+
 /// Attends a single query over an existing quantized cache *without*
 /// appending anything — the read-only half of Algorithm 2. Useful when the
 /// same cache serves several queries (e.g. multi-hop retrieval probes).
+///
+/// Uses a thread-local [`Scratch`] arena, so repeated calls only allocate
+/// the returned vector. For a strictly allocation-free loop use
+/// [`turbo_attend_cache_into`].
 ///
 /// # Panics
 ///
 /// Panics if `q.len()` differs from the cache head dimension or the cache
 /// is empty.
 pub fn turbo_attend_cache(q: &[f32], cache: &HeadKvCache, sas: &Sas) -> Vec<f32> {
+    thread_local! {
+        static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+    }
+    SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let mut out = Vec::new();
+        turbo_attend_cache_into(q, cache, sas, &mut scratch, &mut out);
+        out
+    })
+}
+
+/// As [`turbo_attend_cache`], with caller-owned buffers: all
+/// intermediates live in `scratch` and the output is written into `out`.
+/// Zero heap allocations once `scratch`/`out` have warmed to the cache's
+/// shape and the tile cache holds the resident blocks.
+///
+/// # Panics
+///
+/// As [`turbo_attend_cache`].
+pub fn turbo_attend_cache_into(
+    q: &[f32],
+    cache: &HeadKvCache,
+    sas: &Sas,
+    scratch: &mut Scratch,
+    out: &mut Vec<f32>,
+) {
     let d = cache.head_dim();
     assert_eq!(q.len(), d, "query width mismatch");
     assert!(!cache.is_empty(), "cannot attend to an empty cache");
 
     let scale = 1.0 / (d as f32).sqrt();
-    let (q8, s_q) = quantize_slice_sym(q);
+    let Scratch {
+        q8,
+        s,
+        p,
+        p8,
+        pv,
+        vt,
+        o,
+    } = scratch;
+    let s_q = quantize_slice_sym_into(q, q8);
 
-    let mut o = Matrix::zeros(1, d);
-    let mut m = vec![f32::NEG_INFINITY; 1];
-    let mut l = vec![0.0f32; 1];
+    o.clear();
+    o.resize(d, 0.0);
+    let mut m = f32::NEG_INFINITY;
+    let mut l = 0.0f32;
 
-    // Resident progressive blocks: integer dequantization to INT8.
+    // Resident progressive blocks: memoized integer dequantization.
     let n_blocks = cache.resident_blocks().len();
     for b in 0..n_blocks {
-        let k8 = cache.resident_blocks()[b].dequantize_to_int8();
-        let v8 = cache.resident_value_blocks()[b].dequantize_to_int8();
-        attend_block(&q8, s_q, scale, &k8, &v8, &mut o, &mut m, &mut l, sas);
+        let tile: std::sync::Arc<DequantTile> = cache.resident_tile(b);
+        attend_tile(
+            q8,
+            s_q,
+            scale,
+            tile.k_codes(),
+            tile.k_scale(),
+            tile.vt_codes(),
+            tile.v_scale(),
+            tile.rows(),
+            d,
+            sas,
+            s,
+            p,
+            p8,
+            pv,
+            o,
+            &mut m,
+            &mut l,
+        );
     }
 
-    // Open INT8 buffer.
+    // Open INT8 buffer: codes are used in place (no snapshot clone); only
+    // the value transpose is materialized, into the reusable arena.
     if cache.buffer_len() > 0 {
-        let k8 = cache.key_buffer().as_sym_quantized();
-        let v8 = cache.value_buffer().as_sym_quantized();
-        attend_block(&q8, s_q, scale, &k8, &v8, &mut o, &mut m, &mut l, sas);
+        let kb = cache.key_buffer();
+        let vb = cache.value_buffer();
+        let rows = kb.len();
+        let v_codes = vb.codes();
+        vt.clear();
+        vt.resize(rows * d, 0);
+        for (r, v_row) in v_codes.chunks_exact(d).enumerate() {
+            for (c, &x) in v_row.iter().enumerate() {
+                vt[c * rows + r] = x;
+            }
+        }
+        attend_tile(
+            q8,
+            s_q,
+            scale,
+            kb.codes(),
+            kb.scale().expect("non-empty buffer has a scale"),
+            vt,
+            vb.scale().expect("non-empty buffer has a scale"),
+            rows,
+            d,
+            sas,
+            s,
+            p,
+            p8,
+            pv,
+            o,
+            &mut m,
+            &mut l,
+        );
     }
 
-    assert!(l[0] > 0.0, "decode token attended to nothing");
-    let inv = 1.0 / l[0];
-    (0..d).map(|c| o.get(0, c) * inv).collect()
+    assert!(l > 0.0, "decode token attended to nothing");
+    let inv = 1.0 / l;
+    out.clear();
+    out.extend(o.iter().map(|&x| x * inv));
 }
 
-/// Scores the single query row against one INT8 K/V block and folds it
-/// into the online-softmax state.
+/// Fused single-row attention over one INT8 K/V tile, folded into the
+/// online-softmax state `(o, m, l)`.
+///
+/// Bit-identical to the original `matmul → Matrix → online_update` chain:
+/// * scores are 4-wide-unrolled integer dots ([`dot_i8`], associative in
+///   `i32`) with the combined `s_q·s_k/√d` scale applied once per
+///   finished sum — the same single multiplication as before;
+/// * SAS runs over the whole row via `exp_row_into`, whose threshold
+///   short-circuit zeroes exactly the entries `Sas::exp` zeroes;
+/// * the probability row is re-quantized with the same `max|p|/119` fold
+///   and the integer `P⁸·V⁸` product consumes the pre-transposed value
+///   codes the old code rebuilt per call.
 #[allow(clippy::too_many_arguments)]
-fn attend_block(
+fn attend_tile(
     q8: &[i8],
     s_q: f32,
     scale: f32,
-    k8: &SymQuantized,
-    v8: &SymQuantized,
-    o: &mut Matrix,
-    m: &mut [f32],
-    l: &mut [f32],
+    k_codes: &[i8],
+    k_scale: f32,
+    vt_codes: &[i8],
+    v_scale: f32,
+    rows: usize,
+    d: usize,
     sas: &Sas,
+    s: &mut Vec<f32>,
+    p: &mut Vec<f32>,
+    p8: &mut Vec<i8>,
+    pv: &mut Vec<i32>,
+    o: &mut [f32],
+    m: &mut f32,
+    l: &mut f32,
 ) {
-    let d = q8.len();
-    let bc = k8.rows();
-    let s_int = matmul_i8_transposed_b(q8, k8.codes(), 1, d, bc);
-    let s_scale = s_q * k8.scale() * scale;
-    let s = Matrix::from_vec(1, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
-    online_update_quantized(o, m, l, &s, v8, sas);
+    debug_assert_eq!(k_codes.len(), rows * d, "K tile shape mismatch");
+    debug_assert_eq!(vt_codes.len(), rows * d, "V tile shape mismatch");
+
+    // Fused score kernel: i8×i8→i32 dot per key, scale epilogue applied
+    // once to each finished sum.
+    let s_scale = s_q * k_scale * scale;
+    s.clear();
+    s.extend(
+        k_codes
+            .chunks_exact(d)
+            .map(|k_row| dot_i8(q8, k_row) as f32 * s_scale),
+    );
+
+    let row_max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let m_new = m.max(row_max);
+    if m_new == f32::NEG_INFINITY {
+        // Tile contributed nothing (cannot happen with finite scores);
+        // the original code also left (o, l) unchanged here.
+        return;
+    }
+    let corr = if *m == f32::NEG_INFINITY {
+        0.0
+    } else {
+        sas.exp(*m - m_new)
+    };
+
+    p.clear();
+    p.resize(rows, 0.0);
+    let row_sum = sas.exp_row_into(s, m_new, p);
+    *l = *l * corr + row_sum;
+    *m = m_new;
+
+    // Quantize the probability row (Algorithm 1: s_P = max|P̃|/119) and
+    // run the integer P·V product against the pre-transposed values.
+    let s_p = quantize_slice_sym_into(p, p8);
+    matmul_i8_transposed_b_into(p8, vt_codes, 1, rows, d, pv);
+    let pv_scale = s_p * v_scale;
+    for (oc, &x) in o.iter_mut().zip(pv.iter()) {
+        *oc = *oc * corr + x as f32 * pv_scale;
+    }
 }
 
 #[cfg(test)]
@@ -230,6 +409,52 @@ mod tests {
         // Cross the n_b boundary and verify no jump in error.
         let e = decode_error(65, 17, 8, BitWidth::Int4, 16); // flush at t=15
         assert!(e < 0.2, "error across flush {e}");
+    }
+
+    #[test]
+    fn into_variant_matches_convenience_path_bitwise() {
+        let mut rng = TensorRng::new(66);
+        let d = 16;
+        let data = rng.normal(50, d, 0.0, 1.0);
+        let sas = Sas::paper_default();
+        let mut c = cache(d, BitWidth::Int4, 16);
+        let mut c2 = c.clone();
+        let mut scratch = Scratch::for_cache(&c);
+        let mut out = Vec::new();
+        for t in 0..50 {
+            let a = turbo_decode_head(data.row(t), data.row(t), data.row(t), &mut c, &sas);
+            turbo_decode_head_into(
+                data.row(t),
+                data.row(t),
+                data.row(t),
+                &mut c2,
+                &sas,
+                &mut scratch,
+                &mut out,
+            );
+            assert_eq!(a, out, "step {t} diverged");
+        }
+    }
+
+    #[test]
+    fn warm_tile_cache_is_bit_identical_to_cold() {
+        let mut rng = TensorRng::new(67);
+        let d = 8;
+        let data = rng.normal(40, d, 0.0, 1.0);
+        let sas = Sas::paper_default();
+        let warm = cache(d, BitWidth::Int4, 8);
+        let cold = warm.clone();
+        cold.set_tile_cache_budget(0); // every lookup misses: fresh dequant
+        let mut warm = warm;
+        let mut cold = cold;
+        for t in 0..40 {
+            let a = turbo_decode_head(data.row(t), data.row(t), data.row(t), &mut warm, &sas);
+            let b = turbo_decode_head(data.row(t), data.row(t), data.row(t), &mut cold, &sas);
+            assert_eq!(a, b, "step {t}: cached vs uncached diverged");
+        }
+        let s = warm.tile_cache_stats();
+        assert!(s.hits > 0, "warm cache never hit");
+        assert_eq!(cold.tile_cache_stats().hits, 0);
     }
 
     #[test]

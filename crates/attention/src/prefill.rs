@@ -15,10 +15,10 @@
 
 use crate::reference::Masking;
 use turbo_kvcache::HeadKvCache;
-use turbo_quant::symmetric::SymQuantized;
+use turbo_quant::symmetric::{quantize_slice_sym_into, SymQuantized};
 use turbo_runtime::Runtime;
 use turbo_softmax::Sas;
-use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+use turbo_tensor::{matmul_i8_transposed_b_into, Matrix};
 
 /// Result of a prefill pass over one head.
 #[derive(Clone, Debug)]
@@ -84,12 +84,40 @@ pub fn turbo_prefill_head_pooled(
     prefill_head_impl(q, k, v, masking, sas, block_r, block_c, cache, Some(rt))
 }
 
+/// A stage-1-quantized value tile with its codes stored channel-major
+/// (`d × rows`) — the transpose the integer `P⁸·V⁸` GEMM consumes. The
+/// transpose is paid once in the pre-pass instead of once per
+/// `(q-block, k-tile)` pair.
+struct VTile {
+    vt: Vec<i8>,
+    scale: f32,
+    rows: usize,
+}
+
+impl VTile {
+    fn new(v8: &SymQuantized) -> Self {
+        let (rows, d) = (v8.rows(), v8.cols());
+        let codes = v8.codes();
+        let mut vt = vec![0i8; rows * d];
+        for (r, v_row) in codes.chunks_exact(d).enumerate() {
+            for (c, &x) in v_row.iter().enumerate() {
+                vt[c * rows + r] = x;
+            }
+        }
+        Self {
+            vt,
+            scale: v8.scale(),
+            rows,
+        }
+    }
+}
+
 /// Per-head sweep state frozen after the K/V quantization pre-pass. Each
 /// query row block is processed by [`HeadSweep::q_block`], a pure
 /// function — the unit of (potential) parallelism.
 struct HeadSweep<'a> {
     k_tiles: &'a [(usize, SymQuantized)],
-    v_tiles: &'a [SymQuantized],
+    v_tiles: &'a [VTile],
     masking: Masking,
     sas: &'a Sas,
     offset: usize,
@@ -102,6 +130,11 @@ impl HeadSweep<'_> {
     /// Online-softmax sweep for the row block starting at absolute query
     /// row `qi`. Returns the normalized `br × d` output rows and their
     /// logsumexp values.
+    ///
+    /// All intermediates (score tile, probability tile, its INT8
+    /// re-quantization, the integer `P·V` accumulator, the correction
+    /// row) are allocated once per *row block* and reused across every
+    /// K tile of the sweep — the old code reallocated each per tile.
     fn q_block(&self, qi: usize, q_blk: &Matrix) -> (Matrix, Vec<f32>) {
         let (d, n_k, masking, offset) = (self.d, self.n_k, self.masking, self.offset);
         let br = q_blk.rows();
@@ -109,6 +142,14 @@ impl HeadSweep<'_> {
         let mut o = Matrix::zeros(br, d);
         let mut m = vec![f32::NEG_INFINITY; br];
         let mut l = vec![0.0f32; br];
+
+        // Per-row-block scratch, reused for every K tile below.
+        let mut s_int: Vec<i32> = Vec::new();
+        let mut s: Vec<f32> = Vec::new();
+        let mut p: Vec<f32> = Vec::new();
+        let mut p8: Vec<i8> = Vec::new();
+        let mut corr = vec![0.0f32; br];
+        let mut pv: Vec<i32> = Vec::new();
 
         let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
         let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
@@ -124,24 +165,35 @@ impl HeadSweep<'_> {
                 }
             }
             // Integer score GEMM with the scalar symmetric correction.
-            let s_int = matmul_i8_transposed_b(q8.codes(), k8.codes(), br, d, bc);
+            matmul_i8_transposed_b_into(q8.codes(), k8.codes(), br, d, bc, &mut s_int);
             let s_scale = q8.scale() * k8.scale() * self.scale;
-            let mut s =
-                Matrix::from_vec(br, bc, s_int.iter().map(|&x| x as f32 * s_scale).collect());
+            s.clear();
+            s.extend(s_int.iter().map(|&x| x as f32 * s_scale));
             if masking.is_causal_like() {
                 for i in 0..br {
                     let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
-                    for j in 0..bc {
+                    for (j, sv) in s[i * bc..(i + 1) * bc].iter_mut().enumerate() {
                         let key = kj + j;
                         if key < lo || key > hi {
-                            s.set(i, j, f32::NEG_INFINITY);
+                            *sv = f32::NEG_INFINITY;
                         }
                     }
                 }
             }
 
-            let v8 = &self.v_tiles[tile_idx];
-            online_update_quantized(&mut o, &mut m, &mut l, &s, v8, self.sas);
+            online_update_quantized(
+                &mut o,
+                &mut m,
+                &mut l,
+                &s,
+                bc,
+                &self.v_tiles[tile_idx],
+                self.sas,
+                &mut p,
+                &mut p8,
+                &mut corr,
+                &mut pv,
+            );
         }
 
         let mut blk_out = Matrix::zeros(br, d);
@@ -196,14 +248,14 @@ fn prefill_head_impl(
     // cache as Algorithm 1 does on the first row sweep. This pre-pass
     // mutates the cache, so it stays serial even on the pooled path.
     let mut k_tiles: Vec<(usize, SymQuantized)> = Vec::new();
-    let mut v_tiles: Vec<SymQuantized> = Vec::new();
+    let mut v_tiles: Vec<VTile> = Vec::new();
     for (kj, k_blk) in k.row_blocks(block_c) {
         let v_blk = v.row_block(kj, k_blk.rows());
         let k8 = SymQuantized::quantize(&k_blk);
         let v8 = SymQuantized::quantize(&v_blk);
         cache.append_prefill_block(&k_blk, &v_blk);
         k_tiles.push((kj, k8));
-        v_tiles.push(v8);
+        v_tiles.push(VTile::new(&v8));
     }
 
     let sweep = HeadSweep {
@@ -250,27 +302,37 @@ fn prefill_head_impl(
 }
 
 /// Shared quantized online-softmax update (steps 3–4 of Algorithm 1 and
-/// the body of Algorithm 2): SAS exponentiation, INT8 re-quantization of
-/// the probability tile, and the integer `P⁸·V⁸` accumulation.
-pub(crate) fn online_update_quantized(
+/// the body of Algorithm 2): SAS exponentiation over the flat `br × bc`
+/// score tile, INT8 re-quantization of the whole probability tile with a
+/// single scale (Algorithm 1: `s_P = max|P̃|/119`), and the integer
+/// `P⁸·V⁸` accumulation against the pre-transposed value codes. All
+/// buffers are caller-owned scratch; nothing is allocated here.
+#[allow(clippy::too_many_arguments)]
+fn online_update_quantized(
     o: &mut Matrix,
     m: &mut [f32],
     l: &mut [f32],
-    s: &Matrix,
-    v8: &SymQuantized,
+    s: &[f32],
+    bc: usize,
+    v8: &VTile,
     sas: &Sas,
+    p: &mut Vec<f32>,
+    p8: &mut Vec<i8>,
+    corr: &mut [f32],
+    pv: &mut Vec<i32>,
 ) {
-    let br = s.rows();
-    let bc = s.cols();
+    let br = m.len();
     let d = o.cols();
-    debug_assert_eq!(v8.rows(), bc, "V tile height mismatch");
-    debug_assert_eq!(v8.cols(), d, "V tile width mismatch");
+    debug_assert_eq!(s.len(), br * bc, "score tile shape mismatch");
+    debug_assert_eq!(v8.rows, bc, "V tile height mismatch");
+    debug_assert_eq!(v8.vt.len(), bc * d, "V tile width mismatch");
 
     // Compute the SAS probability tile row-by-row, then one integer GEMM.
-    let mut p = Matrix::zeros(br, bc);
-    let mut corr = vec![0.0f32; br];
+    p.clear();
+    p.resize(br * bc, 0.0);
     for i in 0..br {
-        let row_max = s.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let s_row = &s[i * bc..(i + 1) * bc];
+        let row_max = s_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let m_new = m[i].max(row_max);
         if m_new == f32::NEG_INFINITY {
             corr[i] = 1.0; // row untouched by this tile
@@ -281,43 +343,22 @@ pub(crate) fn online_update_quantized(
         } else {
             sas.exp(m[i] - m_new)
         };
-        let mut row_sum = 0.0f32;
-        for j in 0..bc {
-            let sv = s.get(i, j);
-            let pv = if sv == f32::NEG_INFINITY {
-                0.0
-            } else {
-                sas.exp(sv - m_new)
-            };
-            p.set(i, j, pv);
-            row_sum += pv;
-        }
+        let row_sum = sas.exp_row_into(s_row, m_new, &mut p[i * bc..(i + 1) * bc]);
         l[i] = l[i] * corr[i] + row_sum;
         m[i] = m_new;
     }
 
-    // Quantize the probability tile (Algorithm 1: s_P = max|P̃|/119).
-    let p8 = SymQuantized::quantize(&p);
-    let pv_int = matmul_i8_transposed_b(p8.codes(), &transpose_codes(v8.codes(), bc, d), br, bc, d);
-    let pv_scale = p8.scale() * v8.scale();
+    // One scale over the whole tile, as the paper's P quantization does.
+    let s_p = quantize_slice_sym_into(p, p8);
+    matmul_i8_transposed_b_into(p8, &v8.vt, br, bc, d, pv);
+    let pv_scale = s_p * v8.scale;
     for i in 0..br {
+        let ci = corr[i];
         for c in 0..d {
-            let acc = o.get(i, c) * corr[i] + pv_int[i * d + c] as f32 * pv_scale;
+            let acc = o.get(i, c) * ci + pv[i * d + c] as f32 * pv_scale;
             o.set(i, c, acc);
         }
     }
-}
-
-/// Transposes an `rows × cols` row-major i8 buffer (so `P⁸·V⁸` can reuse
-/// the transposed-B integer GEMM).
-fn transpose_codes(codes: &[i8], rows: usize, cols: usize) -> Vec<i8> {
-    let mut t = vec![0i8; rows * cols];
-    for r in 0..rows {
-        for c in 0..cols {
-            t[c * rows + r] = codes[r * cols + c];
-        }
-    }
-    t
 }
 
 #[cfg(test)]

@@ -160,9 +160,15 @@ fn flash_attention_impl(
 
     let mut out = Matrix::zeros(n_q, d);
     let mut lse = vec![0.0f32; n_q];
+    // Reusable tile buffers. Tiles are *views* into q/k/v via row slices —
+    // nothing is copied per (q-block, k-block) pair, which is what made
+    // this sweep slower than the naive kernel at prefill sizes.
+    let mut s: Vec<f32> = Vec::new();
+    let mut p: Vec<f32> = Vec::new();
 
-    for (qi, q_blk) in q.row_blocks(block_r) {
-        let br = q_blk.rows();
+    let mut qi = 0;
+    while qi < n_q {
+        let br = block_r.min(n_q - qi);
         let mut o = Matrix::zeros(br, d);
         let mut m = vec![f32::NEG_INFINITY; br];
         let mut l = vec![0.0f32; br];
@@ -170,36 +176,55 @@ fn flash_attention_impl(
         let (blk_lo, _) = masking.visible_range(qi + offset, n_k);
         let (_, blk_hi) = masking.visible_range(qi + br - 1 + offset, n_k);
 
-        for (kj, k_blk) in k.row_blocks(block_c) {
+        let mut kj = 0;
+        while kj < n_k {
+            let bc = block_c.min(n_k - kj);
             if masking.is_causal_like() {
                 // Early-exit: the whole block is in the masked future.
                 if kj > blk_hi {
                     break;
                 }
                 // Skip: the whole block is behind every row's window.
-                if kj + k_blk.rows() <= blk_lo {
+                if kj + bc <= blk_lo {
+                    kj += bc;
                     continue;
                 }
             }
-            let v_blk = v.row_block(kj, k_blk.rows());
-            let mut s = if f16_matmul {
-                turbo_tensor::matmul_f16(&q_blk, &k_blk.transpose())
-            } else {
-                matmul_transposed_b(&q_blk, &k_blk)
-            };
-            s.scale_in_place(scale);
+            // Score tile straight from the source rows, in the same
+            // accumulation order as the GEMM helpers (k-dim innermost,
+            // scale applied after the dot product finishes).
+            s.clear();
+            s.resize(br * bc, 0.0);
+            for i in 0..br {
+                let q_row = q.row(qi + i);
+                for (j, sv) in s[i * bc..(i + 1) * bc].iter_mut().enumerate() {
+                    let k_row = k.row(kj + j);
+                    let mut acc = 0.0f32;
+                    if f16_matmul {
+                        for (&a, &b) in q_row.iter().zip(k_row) {
+                            acc += turbo_tensor::round_f16(a) * turbo_tensor::round_f16(b);
+                        }
+                    } else {
+                        for (&a, &b) in q_row.iter().zip(k_row) {
+                            acc += a * b;
+                        }
+                    }
+                    *sv = acc * scale;
+                }
+            }
             if masking.is_causal_like() {
                 for i in 0..br {
                     let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
-                    for j in 0..k_blk.rows() {
+                    for (j, sv) in s[i * bc..(i + 1) * bc].iter_mut().enumerate() {
                         let key = kj + j;
                         if key < lo || key > hi {
-                            s.set(i, j, f32::NEG_INFINITY);
+                            *sv = f32::NEG_INFINITY;
                         }
                     }
                 }
             }
-            online_update(&mut o, &mut m, &mut l, &s, &v_blk, f16_matmul);
+            online_update(&mut o, &mut m, &mut l, &s, bc, v, kj, f16_matmul, &mut p);
+            kj += bc;
         }
 
         for (i, (&li, &mi)) in l.iter().zip(m.iter()).enumerate() {
@@ -214,6 +239,7 @@ fn flash_attention_impl(
         for i in 0..br {
             out.row_mut(qi + i).copy_from_slice(o.row(i));
         }
+        qi += br;
     }
     (out, lse)
 }
@@ -221,19 +247,27 @@ fn flash_attention_impl(
 /// One online-softmax accumulation step shared by the exact kernels:
 /// `m_new = max(m, rowmax(s))`, `p = exp(s − m_new)`,
 /// `o = o·exp(m − m_new) + p·v`, `l = l·exp(m − m_new) + rowsum(p)`.
+///
+/// `s` is the flat `br × bc` score tile for keys `[kj, kj + bc)`; value
+/// rows are read directly out of `v` and the probability row lives in the
+/// caller's reusable `p` buffer.
+#[allow(clippy::too_many_arguments)]
 fn online_update(
     o: &mut Matrix,
     m: &mut [f32],
     l: &mut [f32],
-    s: &Matrix,
-    v_blk: &Matrix,
+    s: &[f32],
+    bc: usize,
+    v: &Matrix,
+    kj: usize,
     f16_matmul: bool,
+    p: &mut Vec<f32>,
 ) {
-    let br = s.rows();
-    let bc = s.cols();
-    let d = o.cols();
+    let br = m.len();
+    debug_assert_eq!(s.len(), br * bc, "score tile shape mismatch");
     for i in 0..br {
-        let row_max = s.row(i).iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let s_row = &s[i * bc..(i + 1) * bc];
+        let row_max = s_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let m_new = m[i].max(row_max);
         if m_new == f32::NEG_INFINITY {
             continue; // fully masked so far
@@ -243,10 +277,10 @@ fn online_update(
         } else {
             (m[i] - m_new).exp()
         };
-        let mut p = vec![0.0f32; bc];
+        p.clear();
+        p.resize(bc, 0.0);
         let mut row_sum = 0.0f32;
-        for (j, pj) in p.iter_mut().enumerate() {
-            let sv = s.get(i, j);
+        for (pj, &sv) in p.iter_mut().zip(s_row) {
             *pj = if sv == f32::NEG_INFINITY {
                 0.0
             } else {
@@ -255,16 +289,25 @@ fn online_update(
             row_sum += *pj;
         }
         l[i] = l[i] * corr + row_sum;
-        for c in 0..d {
-            let mut acc = o.get(i, c) * corr;
-            for (j, &pj) in p.iter().enumerate() {
-                if f16_matmul {
-                    acc += turbo_tensor::round_f16(pj) * turbo_tensor::round_f16(v_blk.get(j, c));
-                } else {
-                    acc += pj * v_blk.get(j, c);
+        // `o[c] = o[c]·corr + Σⱼ p[j]·v[j][c]`: rescale first, then add the
+        // j-terms in order — each output lane sees the exact accumulation
+        // order of a j-innermost loop, but v is walked row-major.
+        let o_row = o.row_mut(i);
+        for oc in o_row.iter_mut() {
+            *oc *= corr;
+        }
+        for (j, &pj) in p.iter().enumerate() {
+            let v_row = v.row(kj + j);
+            if f16_matmul {
+                let pj16 = turbo_tensor::round_f16(pj);
+                for (oc, &vv) in o_row.iter_mut().zip(v_row) {
+                    *oc += pj16 * turbo_tensor::round_f16(vv);
+                }
+            } else {
+                for (oc, &vv) in o_row.iter_mut().zip(v_row) {
+                    *oc += pj * vv;
                 }
             }
-            o.set(i, c, acc);
         }
         m[i] = m_new;
     }

@@ -8,11 +8,14 @@
 //! that merge on top of the quantized cache, so TurboAttention composes
 //! with sequence-parallel decode the way the paper claims.
 
+use std::cell::RefCell;
+
+use crate::scratch::Scratch;
 use turbo_kvcache::HeadKvCache;
-use turbo_quant::symmetric::{quantize_slice_sym, SymQuantized};
+use turbo_quant::symmetric::{quantize_slice_sym, quantize_slice_sym_into};
 use turbo_runtime::Runtime;
 use turbo_softmax::Sas;
-use turbo_tensor::{matmul_i8_transposed_b, Matrix};
+use turbo_tensor::{dot_i8, matmul_i8_transposed_b_into};
 
 /// One partition's partial attention state: unnormalized output, running
 /// max, and running sum (the `(O, m, ℓ)` triple of Algorithm 2).
@@ -67,48 +70,55 @@ impl PartialAttention {
     }
 }
 
+thread_local! {
+    /// Per-worker scratch arena: split-K partials run as pooled tasks on
+    /// arbitrary workers, so each thread keeps its own buffers and a
+    /// steady-state partial allocates only its output row.
+    static SPLITK_SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::new());
+}
+
 /// Computes one partition's partial attention of `q8` (pre-quantized
-/// query with scale `s_q`) over an INT8 K/V block.
-fn partial_over_block(
+/// query with scale `s_q`) over an INT8 K/V tile whose value codes are
+/// already channel-major (`vt_codes`, `d × rows`).
+#[allow(clippy::too_many_arguments)]
+fn partial_over_tile(
     q8: &[i8],
     s_q: f32,
     scale: f32,
-    k8: &SymQuantized,
-    v8: &SymQuantized,
+    k_codes: &[i8],
+    k_scale: f32,
+    vt_codes: &[i8],
+    v_scale: f32,
+    rows: usize,
     sas: &Sas,
 ) -> PartialAttention {
     let d = q8.len();
-    let bc = k8.rows();
-    let s_int = matmul_i8_transposed_b(q8, k8.codes(), 1, d, bc);
-    let s_scale = s_q * k8.scale() * scale;
-
-    let mut m = f32::NEG_INFINITY;
-    for &x in &s_int {
-        m = m.max(x as f32 * s_scale);
-    }
-    let mut p = Matrix::zeros(1, bc);
-    let mut l = 0.0f32;
-    for (j, &x) in s_int.iter().enumerate() {
-        let pv = sas.exp(x as f32 * s_scale - m);
-        p.set(0, j, pv);
-        l += pv;
-    }
-    // Quantize the probability row and run the integer P·V product,
-    // exactly as the fused kernel does.
-    let (p8, s_p) = quantize_slice_sym(p.as_slice());
-    let mut vt = vec![0i8; bc * d];
-    for r in 0..bc {
-        for c in 0..d {
-            vt[c * bc + r] = v8.codes()[r * d + c];
+    debug_assert_eq!(k_codes.len(), rows * d, "K tile shape mismatch");
+    debug_assert_eq!(vt_codes.len(), rows * d, "V tile shape mismatch");
+    SPLITK_SCRATCH.with(|cell| {
+        let sc = &mut *cell.borrow_mut();
+        let s_scale = s_q * k_scale * scale;
+        sc.s.clear();
+        sc.s.extend(
+            k_codes
+                .chunks_exact(d)
+                .map(|k_row| dot_i8(q8, k_row) as f32 * s_scale),
+        );
+        let m = sc.s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        sc.p.clear();
+        sc.p.resize(rows, 0.0);
+        let l = sas.exp_row_into(&sc.s, m, &mut sc.p);
+        // Quantize the probability row and run the integer P·V product,
+        // exactly as the fused kernel does.
+        let s_p = quantize_slice_sym_into(&sc.p, &mut sc.p8);
+        matmul_i8_transposed_b_into(&sc.p8, vt_codes, 1, rows, d, &mut sc.pv);
+        let pv_scale = s_p * v_scale;
+        PartialAttention {
+            output: sc.pv.iter().map(|&x| x as f32 * pv_scale).collect(),
+            max: m,
+            sum: l,
         }
-    }
-    let pv = matmul_i8_transposed_b(&p8, &vt, 1, bc, d);
-    let pv_scale = s_p * v8.scale();
-    PartialAttention {
-        output: pv.iter().map(|&x| x as f32 * pv_scale).collect(),
-        max: m,
-        sum: l,
-    }
+    })
 }
 
 /// Split-K decode: attends `q` over the cache with each resident block
@@ -147,14 +157,41 @@ pub fn turbo_attend_cache_splitk_on(
 
     let nb = cache.resident_blocks().len();
     let mut parts: Vec<PartialAttention> = rt.par_map_indexed(nb, |b| {
-        let k8 = cache.resident_blocks()[b].dequantize_to_int8();
-        let v8 = cache.resident_value_blocks()[b].dequantize_to_int8();
-        partial_over_block(&q8, s_q, scale, &k8, &v8, sas)
+        let tile = cache.resident_tile(b);
+        partial_over_tile(
+            &q8,
+            s_q,
+            scale,
+            tile.k_codes(),
+            tile.k_scale(),
+            tile.vt_codes(),
+            tile.v_scale(),
+            tile.rows(),
+            sas,
+        )
     });
     if cache.buffer_len() > 0 {
-        let k8 = cache.key_buffer().as_sym_quantized();
-        let v8 = cache.value_buffer().as_sym_quantized();
-        parts.push(partial_over_block(&q8, s_q, scale, &k8, &v8, sas));
+        let kb = cache.key_buffer();
+        let vb = cache.value_buffer();
+        let rows = kb.len();
+        let v_codes = vb.codes();
+        let mut vt = vec![0i8; rows * d];
+        for (r, v_row) in v_codes.chunks_exact(d).enumerate() {
+            for (c, &x) in v_row.iter().enumerate() {
+                vt[c * rows + r] = x;
+            }
+        }
+        parts.push(partial_over_tile(
+            &q8,
+            s_q,
+            scale,
+            kb.codes(),
+            kb.scale().expect("non-empty buffer has a scale"),
+            &vt,
+            vb.scale().expect("non-empty buffer has a scale"),
+            rows,
+            sas,
+        ));
     }
     PartialAttention::merge(&parts, sas)
 }
@@ -225,12 +262,16 @@ mod tests {
         let (q8, s_q) = quantize_slice_sym(&q);
         let mut parts: Vec<PartialAttention> = (0..cache.resident_blocks().len())
             .map(|b| {
-                partial_over_block(
+                let tile = cache.resident_tile(b);
+                partial_over_tile(
                     &q8,
                     s_q,
                     scale,
-                    &cache.resident_blocks()[b].dequantize_to_int8(),
-                    &cache.resident_value_blocks()[b].dequantize_to_int8(),
+                    tile.k_codes(),
+                    tile.k_scale(),
+                    tile.vt_codes(),
+                    tile.v_scale(),
+                    tile.rows(),
                     &sas,
                 )
             })

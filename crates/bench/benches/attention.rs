@@ -5,8 +5,8 @@ use turbo_bench::harness::{BatchSize, Criterion};
 use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_attention::{
-    flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_splitk,
-    turbo_prefill_head, Masking, TurboAttention,
+    flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_into,
+    turbo_attend_cache_splitk, turbo_prefill_head, Masking, Scratch, TurboAttention,
 };
 use turbo_quant::BitWidth;
 use turbo_baselines::{
@@ -88,6 +88,16 @@ fn bench_decode(c: &mut Criterion) {
     g.bench_function("turbo_attend_cache", |b| {
         b.iter(|| turbo_attend_cache(black_box(q.row(0)), &turbo, &sas))
     });
+    // The strictly allocation-free variant: caller-owned scratch arena
+    // and output row, warm resident-tile cache.
+    let mut scratch = Scratch::for_cache(&turbo);
+    let mut out_row: Vec<f32> = Vec::with_capacity(D);
+    g.bench_function("turbo_attend_cache_into", |b| {
+        b.iter(|| {
+            turbo_attend_cache_into(black_box(q.row(0)), &turbo, &sas, &mut scratch, &mut out_row);
+            black_box(out_row[0])
+        })
+    });
     g.bench_function("turbo_attend_splitk", |b| {
         b.iter(|| turbo_attend_cache_splitk(black_box(q.row(0)), &turbo, &sas))
     });
@@ -165,6 +175,22 @@ fn bench_decode(c: &mut Criterion) {
     g.bench_function("turbo_decode_step_with_layer_wal", |b| {
         b.iter_batched(
             || layer_set.clone(),
+            |mut s| {
+                s.try_append_token(&kr, &vr, None).expect("decode append");
+                turbo_attend_cache(black_box(q.row(0)), s.layer(0).head(0), &sas)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    // Batched WAL flush (fsync every 8 tokens instead of every token):
+    // the delta vs the row above is the amortized durability tax.
+    g.bench_function("turbo_decode_step_with_layer_wal_flush8", |b| {
+        b.iter_batched(
+            || {
+                let mut s = layer_set.clone();
+                s.set_flush_every_n_tokens(8);
+                s
+            },
             |mut s| {
                 s.try_append_token(&kr, &vr, None).expect("decode append");
                 turbo_attend_cache(black_box(q.row(0)), s.layer(0).head(0), &sas)

@@ -183,11 +183,23 @@ impl Int8Buffer {
     }
 
     /// Empties the buffer; the next append establishes a fresh universal
-    /// scale.
+    /// scale. The code vector keeps its capacity, so steady-state
+    /// append/flush cycles stop allocating once the buffer has grown to
+    /// its working size.
     pub fn clear(&mut self) {
         self.codes.clear();
         self.rows = 0;
         self.scale = None;
+    }
+
+    /// Pre-allocates code storage for `rows` tokens so that appends up to
+    /// that many tokens never reallocate — the decode hot path reserves
+    /// the flush capacity once at cache construction.
+    pub fn reserve_rows(&mut self, rows: usize) {
+        let want = rows.saturating_mul(self.d);
+        if self.codes.capacity() < want {
+            self.codes.reserve(want - self.codes.len());
+        }
     }
 
     /// Storage footprint: codes plus the scale.
@@ -296,6 +308,22 @@ mod tests {
         assert_eq!(b.scale(), None);
         assert_eq!(b.try_append(&[1.0, 2.0, 3.0]), Ok(0));
         assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn reserve_rows_makes_appends_and_clear_allocation_stable() {
+        let mut b = Int8Buffer::new(4);
+        b.reserve_rows(8);
+        let cap = b.codes.capacity();
+        assert!(cap >= 32);
+        for cycle in 0..3 {
+            for t in 0..8 {
+                b.append(&[t as f32, 1.0, -1.0, 0.5 * cycle as f32]);
+            }
+            assert_eq!(b.codes.capacity(), cap, "append grew capacity");
+            b.clear();
+            assert_eq!(b.codes.capacity(), cap, "clear dropped capacity");
+        }
     }
 
     #[test]

@@ -1,9 +1,13 @@
 //! Per-head quantized KV cache.
 
+use std::sync::Arc;
+
 use crate::buffer::Int8Buffer;
+use crate::dequant_cache::{DequantCacheStats, DequantTile, TileCacheCell, DEFAULT_TILE_CACHE_BUDGET};
 use crate::error::CacheError;
 use crate::stats::MemoryStats;
 use turbo_quant::{BitWidth, ProgressiveBlock, SymQuantized};
+use turbo_robust::HealthStats;
 use turbo_tensor::Matrix;
 
 /// Configuration of one head's KV cache.
@@ -43,6 +47,21 @@ pub struct HeadKvCache {
     k_buf: Int8Buffer,
     v_buf: Int8Buffer,
     resident_tokens: usize,
+    /// Monotonic counter bumped whenever the resident-block list changes
+    /// (flush, prefill append, eviction). Part of the tile-cache key, so
+    /// a stale [`DequantTile`] can never be served.
+    generation: u64,
+    tile_cache: TileCacheCell,
+}
+
+/// Ceiling on the rows pre-reserved in the open buffers at construction.
+/// Real decode configs sit far below this; callers that use an enormous
+/// `buffer_capacity` as a "never flush" sentinel (e.g. an INT8-resident
+/// fallback rung) still get a bounded reservation and grow on demand.
+const MAX_EAGER_RESERVE_ROWS: usize = 4096;
+
+fn eager_reserve_rows(config: &KvCacheConfig) -> usize {
+    config.buffer_capacity.min(MAX_EAGER_RESERVE_ROWS)
 }
 
 impl HeadKvCache {
@@ -63,14 +82,24 @@ impl HeadKvCache {
             config.bits != BitWidth::Int8,
             "resident cache must be INT4 or INT2"
         );
+        let mut k_buf = Int8Buffer::new(d);
+        let mut v_buf = Int8Buffer::new(d);
+        // A flush fires the moment the buffer reaches capacity, so the
+        // buffers never hold more rows than that — reserving once here
+        // makes every steady-state decode append allocation-free. Capped
+        // so sentinel "never flush" capacities don't demand the universe.
+        k_buf.reserve_rows(eager_reserve_rows(&config));
+        v_buf.reserve_rows(eager_reserve_rows(&config));
         Self {
             d,
             config,
             k_blocks: Vec::new(),
             v_blocks: Vec::new(),
-            k_buf: Int8Buffer::new(d),
-            v_buf: Int8Buffer::new(d),
+            k_buf,
+            v_buf,
             resident_tokens: 0,
+            generation: 0,
+            tile_cache: TileCacheCell::new(DEFAULT_TILE_CACHE_BUDGET),
         }
     }
 
@@ -84,8 +113,8 @@ impl HeadKvCache {
         config: KvCacheConfig,
         k_blocks: Vec<ProgressiveBlock>,
         v_blocks: Vec<ProgressiveBlock>,
-        k_buf: Int8Buffer,
-        v_buf: Int8Buffer,
+        mut k_buf: Int8Buffer,
+        mut v_buf: Int8Buffer,
     ) -> Self {
         assert_eq!(k_blocks.len(), v_blocks.len(), "K/V block count mismatch");
         let mut resident_tokens = 0usize;
@@ -97,6 +126,11 @@ impl HeadKvCache {
         }
         assert_eq!(k_buf.len(), v_buf.len(), "K/V buffer length mismatch");
         assert_eq!(k_buf.channels(), d, "buffer channel mismatch");
+        k_buf.reserve_rows(eager_reserve_rows(&config));
+        v_buf.reserve_rows(eager_reserve_rows(&config));
+        // Recovery (WAL replay, deserialization) starts with a cold tile
+        // cache: the rebuilt blocks get a fresh generation-0 identity, so
+        // nothing from a previous life of the cache can be served.
         Self {
             d,
             config,
@@ -105,6 +139,8 @@ impl HeadKvCache {
             k_buf,
             v_buf,
             resident_tokens,
+            generation: 0,
+            tile_cache: TileCacheCell::new(DEFAULT_TILE_CACHE_BUDGET),
         }
     }
 
@@ -225,6 +261,7 @@ impl HeadKvCache {
             self.config.group_size,
         ));
         self.resident_tokens += k.rows();
+        self.bump_generation();
     }
 
     /// Forces the open buffer to compress into resident blocks even if it
@@ -263,6 +300,7 @@ impl HeadKvCache {
         self.resident_tokens += self.k_buf.len();
         self.k_buf.clear();
         self.v_buf.clear();
+        self.bump_generation();
         Ok(())
     }
 
@@ -312,7 +350,69 @@ impl HeadKvCache {
         self.k_blocks.drain(sink_blocks..keep_from);
         self.v_blocks.drain(sink_blocks..keep_from);
         self.resident_tokens -= evicted;
+        if evicted > 0 {
+            // Block indices shift after the drain, so every cached tile
+            // keyed by the old indices must die with the old generation.
+            self.bump_generation();
+        }
         evicted
+    }
+
+    /// Invalidates the tile cache after any resident-block mutation.
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+        let generation = self.generation;
+        self.tile_cache.with(|c| c.purge_generations_below(generation));
+    }
+
+    /// The current resident-block generation (bumped on every flush,
+    /// prefill append, or eviction).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The memoized INT8 expansion of resident block `b`, building and
+    /// caching it on a miss.
+    ///
+    /// Output is bit-identical to calling `dequantize_to_int8()` on the
+    /// K/V blocks directly (plus the V transpose): the tile is a pure
+    /// function of the block contents and the generation key guarantees
+    /// a cached tile was built from exactly the current blocks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b` is out of range.
+    pub fn resident_tile(&self, b: usize) -> Arc<DequantTile> {
+        let generation = self.generation;
+        if let Some(tile) = self.tile_cache.with(|c| c.get(b, generation)) {
+            return tile;
+        }
+        // Build outside the lock: expansion is the expensive part and a
+        // racing builder producing the same (bit-identical) tile is
+        // harmless — last insert wins.
+        let tile = Arc::new(DequantTile::from_blocks(
+            &self.k_blocks[b],
+            &self.v_blocks[b],
+        ));
+        let clone = Arc::clone(&tile);
+        self.tile_cache.with(move |c| c.insert(b, generation, clone));
+        tile
+    }
+
+    /// Sets the tile-cache byte budget (0 disables caching).
+    pub fn set_tile_cache_budget(&self, bytes: usize) {
+        self.tile_cache.with(|c| c.set_budget(bytes));
+    }
+
+    /// Wires a shared health registry into the tile cache so hit/miss/
+    /// evict events are observable live.
+    pub fn set_tile_cache_health(&self, health: Option<Arc<HealthStats>>) {
+        self.tile_cache.with(move |c| c.set_health(health));
+    }
+
+    /// Tile-cache counter snapshot.
+    pub fn tile_cache_stats(&self) -> DequantCacheStats {
+        self.tile_cache.with(|c| c.stats())
     }
 
     /// Reconstructs the full `(K, V)` tensors in f32 — test/debug path.
@@ -555,6 +655,67 @@ mod tests {
         assert_eq!(c.try_flush(), Ok(()));
         assert_eq!(c.resident_blocks().len(), 1);
         assert_eq!(c.buffer_len(), 0);
+    }
+
+    #[test]
+    fn resident_tile_matches_fresh_dequant_and_hits_on_reuse() {
+        let mut rng = TensorRng::new(41);
+        let mut c = HeadKvCache::new(8, cfg(BitWidth::Int4, 8));
+        let data = rng.normal(16, 8, 0.0, 1.0);
+        for t in 0..16 {
+            c.append(data.row(t), data.row(t));
+        }
+        assert_eq!(c.resident_blocks().len(), 2);
+        let tile = c.resident_tile(1);
+        let k8 = c.resident_blocks()[1].dequantize_to_int8();
+        assert_eq!(tile.k_codes(), k8.codes());
+        assert_eq!(tile.k_scale(), k8.scale());
+        let again = c.resident_tile(1);
+        assert!(std::sync::Arc::ptr_eq(&tile, &again), "second lookup must hit");
+        let s = c.tile_cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn mutations_bump_generation_and_invalidate_tiles() {
+        let mut rng = TensorRng::new(42);
+        let data = rng.normal(64, 4, 0.0, 1.0);
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 8));
+        let g0 = c.generation();
+        for t in 0..8 {
+            c.append(data.row(t), data.row(t));
+        }
+        assert!(c.generation() > g0, "flush must bump");
+        c.resident_tile(0);
+        assert_eq!(c.tile_cache_stats().entries, 1);
+        for t in 8..64 {
+            c.append(data.row(t), data.row(t));
+        }
+        // Each flush purged the prior generation's tiles.
+        assert_eq!(c.tile_cache_stats().entries, 0);
+        let g1 = c.generation();
+        c.resident_tile(0);
+        c.evict_middle(24, 1);
+        assert!(c.generation() > g1, "eviction must bump");
+        assert_eq!(c.tile_cache_stats().entries, 0);
+        // Tiles for the post-eviction layout still serve correctly.
+        let tile = c.resident_tile(0);
+        assert_eq!(tile.k_codes(), c.resident_blocks()[0].dequantize_to_int8().codes());
+    }
+
+    #[test]
+    fn zero_budget_tile_cache_still_serves_tiles() {
+        let mut c = HeadKvCache::new(4, cfg(BitWidth::Int4, 4));
+        c.set_tile_cache_budget(0);
+        for t in 0..4 {
+            let row = [t as f32; 4];
+            c.append(&row, &row);
+        }
+        let a = c.resident_tile(0);
+        let b = c.resident_tile(0);
+        assert_eq!(a.k_codes(), b.k_codes());
+        assert_eq!(c.tile_cache_stats().hits, 0);
+        assert_eq!(c.tile_cache_stats().misses, 2);
     }
 
     #[test]

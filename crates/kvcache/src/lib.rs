@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod buffer;
+pub mod dequant_cache;
 pub mod error;
 pub mod head;
 pub mod layer;
@@ -45,6 +46,9 @@ pub mod persist;
 pub mod stats;
 
 pub use buffer::Int8Buffer;
+pub use dequant_cache::{
+    DequantCacheStats, DequantTile, DequantTileCache, DEFAULT_TILE_CACHE_BUDGET,
+};
 pub use error::CacheError;
 pub use head::{HeadKvCache, KvCacheConfig};
 pub use layer::LayerKvCache;

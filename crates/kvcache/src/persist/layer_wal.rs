@@ -666,6 +666,9 @@ pub struct GroupCommitStats {
     pub checkpoints_by_replay_budget: usize,
     /// Explicit [`DurableLayerSet::checkpoint`] calls.
     pub manual_checkpoints: usize,
+    /// WAL sync barriers (the fsync-equivalents): interval-driven group
+    /// commits, explicit syncs, and flush-all barriers.
+    pub wal_syncs: usize,
 }
 
 impl GroupCommitStats {
@@ -722,6 +725,15 @@ pub struct DurableLayerSet {
     policy: Box<dyn CheckpointPolicy>,
     stats: GroupCommitStats,
     config: KvCacheConfig,
+    /// Sync (fsync-equivalent) the WAL every this many appended tokens.
+    /// 1 = every token is durable the moment its append returns (the
+    /// pre-batching behavior); n > 1 amortizes the sync tax over n tokens
+    /// at the cost of a crash losing at most the last `n − 1` tokens.
+    flush_every_n_tokens: usize,
+    /// Appends logged since the last sync barrier.
+    unsynced_appends: usize,
+    /// Byte length of the durable WAL prefix — what a crash preserves.
+    durable_watermark: usize,
 }
 
 impl DurableLayerSet {
@@ -752,8 +764,12 @@ impl DurableLayerSet {
             policy,
             stats: GroupCommitStats::default(),
             config,
+            flush_every_n_tokens: 1,
+            unsynced_appends: 0,
+            durable_watermark: 0,
         };
         set.checkpoint = set.serialize_checkpoint_on(turbo_runtime::global());
+        set.durable_watermark = set.wal.as_bytes().len();
         set
     }
 
@@ -814,8 +830,49 @@ impl DurableLayerSet {
 
     /// Owned copies of the durable pair `(checkpoint, wal)` — what a
     /// crash leaves behind (possibly torn by the fault injector).
+    ///
+    /// Only the **synced** WAL prefix is durable: with a flush interval
+    /// of `n`, records logged since the last sync barrier (at most the
+    /// last `n − 1` token appends) live only in memory and do not appear
+    /// here — exactly what an un-fsynced page-cache tail loses.
     pub fn durable_state(&self) -> (Vec<u8>, Vec<u8>) {
-        (self.checkpoint.clone(), self.wal.as_bytes().to_vec())
+        (
+            self.checkpoint.clone(),
+            self.wal.as_bytes()[..self.durable_watermark].to_vec(),
+        )
+    }
+
+    /// The WAL sync interval in tokens (see
+    /// [`DurableLayerSet::set_flush_every_n_tokens`]).
+    pub fn flush_every_n_tokens(&self) -> usize {
+        self.flush_every_n_tokens
+    }
+
+    /// Sets the group-commit staleness bound: the WAL is synced
+    /// (fsync-equivalent) every `n` appended tokens instead of after
+    /// every one. A crash between syncs loses at most the last `n − 1`
+    /// appended tokens; explicit [`DurableLayerSet::sync_wal`],
+    /// [`DurableLayerSet::try_flush_all`], and every checkpoint remain
+    /// hard durability barriers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn set_flush_every_n_tokens(&mut self, n: usize) {
+        assert!(n > 0, "flush interval must be at least one token");
+        self.flush_every_n_tokens = n;
+    }
+
+    /// Forces a WAL sync barrier: everything logged so far becomes
+    /// durable immediately, regardless of the flush interval. A no-op
+    /// (not counted in the stats) when nothing new was logged.
+    pub fn sync_wal(&mut self) {
+        let end = self.wal.as_bytes().len();
+        if end != self.durable_watermark {
+            self.stats.wal_syncs += 1;
+        }
+        self.durable_watermark = end;
+        self.unsynced_appends = 0;
     }
 
     /// Appends one token's K/V rows to every cell (layer-major order) and
@@ -872,6 +929,12 @@ impl DurableLayerSet {
         self.wal.log_group_append(ks, vs);
         self.stats.group_commits += 1;
         self.stats.rows_committed += cells;
+        // Group commit across tokens: the sync barrier (fsync-equivalent)
+        // fires every `flush_every_n_tokens` appends, not per token.
+        self.unsynced_appends += 1;
+        if self.unsynced_appends >= self.flush_every_n_tokens {
+            self.sync_wal();
+        }
         if let Some(hs) = health {
             hs.record(HealthEvent::LayerGroupCommit);
             hs.record_n(HealthEvent::LayerGroupRows, cells as u64);
@@ -899,6 +962,10 @@ impl DurableLayerSet {
             .iter()
             .any(|l| l.iter().any(|h| h.buffer_len() > 0));
         if !had_tokens {
+            // Still a durability barrier: pending un-synced appends (e.g.
+            // ones whose capacity flush already emptied the buffers)
+            // become durable even though no flush record is logged.
+            self.sync_wal();
             return Ok(());
         }
         let mut overflowed = false;
@@ -913,6 +980,8 @@ impl DurableLayerSet {
         }
         self.wal.log_group_flush();
         self.stats.group_commits += 1;
+        // An explicit whole-set flush is always a durability barrier.
+        self.sync_wal();
         if let Some(hs) = health {
             hs.record(HealthEvent::LayerGroupCommit);
         }
@@ -956,6 +1025,10 @@ impl DurableLayerSet {
     ) -> usize {
         self.checkpoint = self.serialize_checkpoint_on(rt);
         self.wal.clear();
+        // The snapshot subsumes every logged record; the (empty) WAL is
+        // durable in full.
+        self.durable_watermark = self.wal.as_bytes().len();
+        self.unsynced_appends = 0;
         match cause {
             Some(c) => {
                 self.stats.count_cause(c);
@@ -1143,6 +1216,7 @@ impl DurableLayerSet {
         }
         let tokens = caches[0].len();
         let clean = wal_report.is_some_and(|r| r.complete);
+        let durable_watermark = wal.as_bytes().len();
         let mut set = Self {
             layers: caches,
             checkpoint: checkpoint.to_vec(),
@@ -1150,6 +1224,10 @@ impl DurableLayerSet {
             policy,
             stats: GroupCommitStats::default(),
             config,
+            flush_every_n_tokens: 1,
+            unsynced_appends: 0,
+            // Everything that survived the crash is durable by definition.
+            durable_watermark,
         };
         let checkpointed = match set
             .policy
@@ -1645,5 +1723,103 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn batched_flush_loses_at_most_interval_minus_one_tokens() {
+        // The staleness bound of the fsync-style group commit: with a
+        // flush interval of n, a crash recovers the largest synced prefix
+        // — exactly ⌊t/n⌋·n tokens — so at most n − 1 are lost, and the
+        // recovered cells are bit-identical to that prefix of the stream.
+        let data = TensorRng::new(21).normal(30, D * CELLS, 0.0, 1.0);
+        for n in [1usize, 2, 4, 8] {
+            for t in [1usize, 3, 8, 17, 30] {
+                let mut set = DurableLayerSet::new(LAYERS, HEADS, D, cfg(), never());
+                set.set_flush_every_n_tokens(n);
+                for tok in 0..t {
+                    let rows = cell_rows(&data, tok);
+                    set.try_append_token(&rows, &rows, None).unwrap();
+                }
+                let (ckpt, wal) = set.durable_state();
+                let (back, outcome) =
+                    DurableLayerSet::recover(LAYERS, HEADS, D, cfg(), never(), &ckpt, &wal, None)
+                        .unwrap();
+                let durable_tokens = (t / n) * n;
+                assert_eq!(
+                    outcome.tokens, durable_tokens,
+                    "interval {n}, {t} appends: recovered wrong prefix"
+                );
+                assert!(t - outcome.tokens < n, "lost more than n − 1 tokens");
+                let reference = reference_cells(&data, durable_tokens, 0, 0);
+                assert_matches_reference(&back, &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn sync_barriers_override_the_flush_interval() {
+        // Explicit sync_wal, try_flush_all, and checkpoint are all hard
+        // durability barriers regardless of the interval.
+        let data = TensorRng::new(22).normal(12, D * CELLS, 0.0, 1.0);
+        let append = |set: &mut DurableLayerSet, t: usize| {
+            let rows = cell_rows(&data, t);
+            set.try_append_token(&rows, &rows, None).unwrap();
+        };
+        let recovered_tokens = |set: &DurableLayerSet| {
+            let (ckpt, wal) = set.durable_state();
+            DurableLayerSet::recover(LAYERS, HEADS, D, cfg(), never(), &ckpt, &wal, None)
+                .unwrap()
+                .1
+                .tokens
+        };
+
+        let mut set = DurableLayerSet::new(LAYERS, HEADS, D, cfg(), never());
+        set.set_flush_every_n_tokens(8);
+        for t in 0..5 {
+            append(&mut set, t);
+        }
+        assert_eq!(recovered_tokens(&set), 0, "5 un-synced appends pending");
+        set.sync_wal();
+        assert_eq!(recovered_tokens(&set), 5, "explicit sync is a barrier");
+
+        append(&mut set, 5);
+        set.try_flush_all(None).unwrap();
+        assert_eq!(recovered_tokens(&set), 6, "flush-all is a barrier");
+
+        append(&mut set, 6);
+        set.checkpoint(None);
+        assert_eq!(recovered_tokens(&set), 7, "checkpoint is a barrier");
+    }
+
+    #[test]
+    fn interval_one_keeps_per_token_durability_and_counts_syncs() {
+        let data = TensorRng::new(23).normal(10, D * CELLS, 0.0, 1.0);
+        let mut set = DurableLayerSet::new(LAYERS, HEADS, D, cfg(), never());
+        assert_eq!(set.flush_every_n_tokens(), 1, "per-token sync by default");
+        for t in 0..10 {
+            let rows = cell_rows(&data, t);
+            set.try_append_token(&rows, &rows, None).unwrap();
+            let (ckpt, wal) = set.durable_state();
+            let (_, outcome) =
+                DurableLayerSet::recover(LAYERS, HEADS, D, cfg(), never(), &ckpt, &wal, None)
+                    .unwrap();
+            assert_eq!(outcome.tokens, t + 1, "every append immediately durable");
+        }
+        assert_eq!(set.stats().wal_syncs, 10);
+
+        let mut batched = DurableLayerSet::new(LAYERS, HEADS, D, cfg(), never());
+        batched.set_flush_every_n_tokens(4);
+        for t in 0..10 {
+            let rows = cell_rows(&data, t);
+            batched.try_append_token(&rows, &rows, None).unwrap();
+        }
+        assert_eq!(batched.stats().wal_syncs, 2, "syncs at tokens 4 and 8 only");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_flush_interval_rejected() {
+        let mut set = DurableLayerSet::new(LAYERS, HEADS, D, cfg(), never());
+        set.set_flush_every_n_tokens(0);
     }
 }

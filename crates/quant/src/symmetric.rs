@@ -157,17 +157,29 @@ impl SymQuantized {
 /// `(codes, scale)` — the slice-level primitive used inside fused kernels
 /// where constructing a [`Matrix`] would be wasteful.
 pub fn quantize_slice_sym(x: &[f32]) -> (Vec<i8>, f32) {
+    let mut codes = Vec::new();
+    let scale = quantize_slice_sym_into(x, &mut codes);
+    (codes, scale)
+}
+
+/// Allocation-free sibling of [`quantize_slice_sym`]: writes the codes
+/// into `out` (cleared and resized — no reallocation once `out` has
+/// capacity) and returns the scale. Produces bit-identical codes and
+/// scale to [`quantize_slice_sym`] and to [`SymQuantized::quantize`] on a
+/// matrix with the same element order.
+pub fn quantize_slice_sym_into(x: &[f32], out: &mut Vec<i8>) -> f32 {
     let abs_max = x.iter().fold(0.0f32, |m, &v| m.max(v.abs()));
     let scale = if abs_max == 0.0 {
         1.0
     } else {
         abs_max / SYM_INT8_DIVISOR
     };
-    let codes = x
-        .iter()
-        .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-        .collect();
-    (codes, scale)
+    out.clear();
+    out.extend(
+        x.iter()
+            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
+    );
+    scale
 }
 
 #[cfg(test)]
@@ -235,6 +247,21 @@ mod tests {
         let q = SymQuantized::quantize(&m);
         assert_eq!(codes, q.codes());
         assert_eq!(scale, q.scale());
+    }
+
+    #[test]
+    fn into_variant_matches_and_reuses_capacity() {
+        let mut rng = TensorRng::new(12);
+        let m = rng.normal(8, 8, 0.0, 1.5);
+        let (codes, scale) = quantize_slice_sym(m.as_slice());
+        let mut buf = Vec::new();
+        let s2 = quantize_slice_sym_into(m.as_slice(), &mut buf);
+        assert_eq!(codes, buf);
+        assert_eq!(scale, s2);
+        // A second call into the same buffer must not grow capacity.
+        let cap = buf.capacity();
+        quantize_slice_sym_into(m.as_slice(), &mut buf);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

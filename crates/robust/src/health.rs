@@ -88,10 +88,19 @@ pub enum HealthEvent {
     /// Records applied while replaying a layer-level WAL (recorded with
     /// `record_n`; the replay length recovery actually paid).
     LayerWalReplayedRecords,
+    /// A resident block's INT8 expansion was served from the dequant tile
+    /// cache (decode hot path avoided re-running the integer dequant).
+    DequantCacheHit,
+    /// A resident block's INT8 expansion was not cached and had to be
+    /// recomputed (cold block, or invalidated by flush/eviction/recovery).
+    DequantCacheMiss,
+    /// A cached INT8 expansion was evicted to stay inside the tile cache's
+    /// byte budget (LRU order).
+    DequantCacheEvict,
 }
 
 /// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 28;
+pub const EVENT_COUNT: usize = 31;
 
 /// All events, in discriminant order, for iteration/reporting.
 pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
@@ -123,6 +132,9 @@ pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
     HealthEvent::CheckpointByRecords,
     HealthEvent::CheckpointByReplayBudget,
     HealthEvent::LayerWalReplayedRecords,
+    HealthEvent::DequantCacheHit,
+    HealthEvent::DequantCacheMiss,
+    HealthEvent::DequantCacheEvict,
 ];
 
 impl HealthEvent {
@@ -157,6 +169,9 @@ impl HealthEvent {
             HealthEvent::CheckpointByRecords => "checkpoint_by_records",
             HealthEvent::CheckpointByReplayBudget => "checkpoint_by_replay_budget",
             HealthEvent::LayerWalReplayedRecords => "layer_wal_replayed_records",
+            HealthEvent::DequantCacheHit => "dequant_cache_hit",
+            HealthEvent::DequantCacheMiss => "dequant_cache_miss",
+            HealthEvent::DequantCacheEvict => "dequant_cache_evict",
         }
     }
 }

@@ -157,6 +157,42 @@ impl Sas {
         m.map(|x| self.exp(x))
     }
 
+    /// Evaluates [`Sas::exp`] over a whole score row at once: writes
+    /// `exp(scores[j] - m_new)` into `out[j]` and returns the
+    /// left-to-right f32 sum of the probabilities.
+    ///
+    /// This is the fused-kernel form used by the decode hot path — one
+    /// pass over the tile with a threshold-skip short-circuit that
+    /// avoids the LUT/polynomial for sparsified entries. The output and
+    /// the sum are bit-identical to calling [`Sas::exp`] per element and
+    /// accumulating in order: `x < n_r` is false for NaN, so poisoned
+    /// scores still fall through to [`Sas::exp`] and get exactly 0, and
+    /// kept entries take the identical LUT×POLY path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scores` and `out` differ in length.
+    pub fn exp_row_into(&self, scores: &[f32], m_new: f32, out: &mut [f32]) -> f32 {
+        assert_eq!(scores.len(), out.len(), "score/probability length mismatch");
+        let mut sum = 0.0f32;
+        if self.exact {
+            for (o, &sv) in out.iter_mut().zip(scores) {
+                let p = self.exp(sv - m_new);
+                *o = p;
+                sum += p;
+            }
+            return sum;
+        }
+        let thr = self.threshold as f32;
+        for (o, &sv) in out.iter_mut().zip(scores) {
+            let x = sv - m_new;
+            let p = if x < thr { 0.0 } else { self.exp(x) };
+            *o = p;
+            sum += p;
+        }
+        sum
+    }
+
     /// Full Algorithm 3: row-max subtraction, sparsification, LUT×POLY
     /// exponentiation, and row-sum normalization.
     ///
@@ -495,6 +531,45 @@ mod tests {
         // sparsity() counts with the same strict `<`: exactly 1 of 3.
         let frac = sas.sparsity(&scores);
         assert!((frac - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exp_row_into_is_bit_identical_to_per_element_exp() {
+        let thr = PAPER_THRESHOLD as f32;
+        let probes = [
+            0.0,
+            -1.3,
+            thr,
+            next_below(thr),
+            next_above(thr),
+            -42.0,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            0.7, // positive jitter above the row max
+        ];
+        let mut rng = TensorRng::new(17);
+        for sas in [
+            Sas::paper_default(),
+            Sas::paper_default().with_f16_poly(true),
+            Sas::exact_reference(),
+        ] {
+            for m_new in [0.0f32, 2.5, -1.0] {
+                let mut scores: Vec<f32> = probes.to_vec();
+                scores.extend(rng.normal(1, 32, 0.0, 4.0).as_slice());
+                let mut out = vec![f32::NAN; scores.len()];
+                let sum = sas.exp_row_into(&scores, m_new, &mut out);
+                let mut expect_sum = 0.0f32;
+                for (j, &sv) in scores.iter().enumerate() {
+                    let p = sas.exp(sv - m_new);
+                    assert!(
+                        out[j] == p || (out[j].is_nan() && p.is_nan()),
+                        "exp_row_into diverged at score {sv} (m_new {m_new})"
+                    );
+                    expect_sum += p;
+                }
+                assert_eq!(sum.to_bits(), expect_sum.to_bits());
+            }
+        }
     }
 
     #[test]

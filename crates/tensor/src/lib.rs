@@ -44,7 +44,10 @@ pub mod rng;
 pub use error::{cosine_similarity, max_abs_error, mean_abs_error, mse, relative_error};
 pub use fp8::{round_e4m3, round_e5m2, Fp8Format};
 pub use half::{round_bf16, round_f16, round_f16_slice, Bf16, F16};
-pub use matmul::{matmul, matmul_f16, matmul_i8, matmul_i8_transposed_b, matmul_transposed_b};
+pub use matmul::{
+    dot_i8, matmul, matmul_f16, matmul_i8, matmul_i8_transposed_b, matmul_i8_transposed_b_into,
+    matmul_transposed_b,
+};
 pub use matrix::Matrix;
 pub use reduce::{col_max_min, row_abs_max, row_max, row_sum};
 pub use rng::TensorRng;

@@ -5,13 +5,41 @@
 #
 # Usage:
 #   scripts/bench.sh            # full measurement run
+#   scripts/bench.sh --check    # run fresh, compare vs committed
+#                               # BENCH_attention.json, fail if any
+#                               # decode row regressed >25%
 #   TURBO_BENCH_SMOKE=1 scripts/bench.sh   # 1-iteration smoke (CI)
+#
+# In --check mode nothing is overwritten: fresh results go to a temp
+# file and are compared against the committed baseline. Under
+# TURBO_BENCH_SMOKE the medians are single-iteration noise, so --check
+# degrades to schema + row-coverage validation (every baseline decode
+# row must still exist) without the median comparison. The regression
+# threshold can be overridden with TURBO_BENCH_CHECK_THRESHOLD
+# (default 1.25 = fail on >25% slowdown).
 #
 # The output path can be overridden with TURBO_BENCH_OUT.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${TURBO_BENCH_OUT:-BENCH_attention.json}"
+CHECK=0
+if [[ "${1:-}" == "--check" ]]; then
+  CHECK=1
+  shift
+fi
+if [[ $# -gt 0 ]]; then
+  echo "usage: scripts/bench.sh [--check]" >&2
+  exit 2
+fi
+
+BASELINE="$(pwd)/BENCH_attention.json"
+if [[ "${CHECK}" == "1" ]]; then
+  test -s "${BASELINE}" || { echo "error: no baseline at ${BASELINE}" >&2; exit 1; }
+  OUT="$(mktemp -t bench_check.XXXXXX.json)"
+  trap 'rm -f "${OUT}"' EXIT
+else
+  OUT="${TURBO_BENCH_OUT:-${BASELINE}}"
+fi
 # Cargo runs bench binaries with the package dir as cwd, so anchor
 # relative paths at the repo root.
 case "${OUT}" in
@@ -23,5 +51,63 @@ echo "==> cargo bench --bench attention (results -> ${OUT})"
 TURBO_BENCH_OUT="${OUT}" cargo bench -q -p turbo-bench --bench attention
 
 test -s "${OUT}" || { echo "error: ${OUT} was not produced" >&2; exit 1; }
-echo "==> ${OUT}:"
-cat "${OUT}"
+
+if [[ "${CHECK}" == "0" ]]; then
+  echo "==> ${OUT}:"
+  cat "${OUT}"
+  exit 0
+fi
+
+echo "==> comparing fresh medians against ${BASELINE}"
+TURBO_BENCH_CHECK_THRESHOLD="${TURBO_BENCH_CHECK_THRESHOLD:-1.25}" \
+TURBO_BENCH_SMOKE="${TURBO_BENCH_SMOKE:-}" \
+python3 - "${BASELINE}" "${OUT}" <<'EOF'
+import json, os, sys
+
+GATED_PREFIX = "attention/decode_over_256/"
+
+with open(sys.argv[1]) as f:
+    baseline = json.load(f)
+with open(sys.argv[2]) as f:
+    fresh = json.load(f)
+
+# Schema sanity on the fresh run (same invariants the CI smoke used to
+# assert inline).
+machine = fresh["machine"]
+assert isinstance(machine["available_parallelism"], int) and machine["available_parallelism"] >= 1, machine
+assert machine["turbo_runtime_threads"] is None or isinstance(machine["turbo_runtime_threads"], int), machine
+assert isinstance(machine["timestamp_unix"], int) and machine["timestamp_unix"] > 0, machine
+assert fresh["benches"], "no bench results recorded"
+for b in fresh["benches"]:
+    assert b["name"] and b["median_ns"] >= 0 and b["p95_ns"] >= 0, b
+
+base = {b["name"]: b["median_ns"] for b in baseline["benches"]}
+new = {b["name"]: b["median_ns"] for b in fresh["benches"]}
+
+gated = sorted(n for n in base if n.startswith(GATED_PREFIX))
+assert gated, f"baseline has no rows under {GATED_PREFIX}"
+missing = [n for n in gated if n not in new]
+if missing:
+    print(f"FAIL: decode rows missing from fresh run: {missing}", file=sys.stderr)
+    sys.exit(1)
+
+smoke = bool(os.environ.get("TURBO_BENCH_SMOKE", ""))
+if smoke:
+    print(f"bench check (smoke): schema OK, all {len(gated)} decode rows present; "
+          "median comparison skipped (1-iteration smoke medians are noise)")
+    sys.exit(0)
+
+threshold = float(os.environ["TURBO_BENCH_CHECK_THRESHOLD"])
+failed = []
+for name in gated:
+    ratio = new[name] / base[name] if base[name] > 0 else 1.0
+    verdict = "REGRESSED" if ratio > threshold else "ok"
+    print(f"  {verdict:>9}  {name}: {base[name]:.1f} -> {new[name]:.1f} ns ({ratio:.2f}x)")
+    if ratio > threshold:
+        failed.append(name)
+if failed:
+    print(f"FAIL: {len(failed)} decode row(s) regressed more than "
+          f"{(threshold - 1.0) * 100:.0f}% vs baseline: {failed}", file=sys.stderr)
+    sys.exit(1)
+print(f"bench check OK: {len(gated)} decode rows within {(threshold - 1.0) * 100:.0f}% of baseline")
+EOF

@@ -22,24 +22,10 @@ TURBO_CHAOS_EPISODES=64 cargo test -q -p turbo-integration-tests --test chaos_so
 echo "==> layer-WAL smoke (group-commit crash points + chaos)"
 cargo test -q -p turbo-integration-tests --test crash_consistency layer_wal
 
-echo "==> bench smoke (1 iteration, asserts BENCH_attention.json)"
-SMOKE_OUT="$(mktemp -t bench_smoke.XXXXXX.json)"
-trap 'rm -f "${SMOKE_OUT}"' EXIT
-TURBO_BENCH_SMOKE=1 TURBO_BENCH_OUT="${SMOKE_OUT}" scripts/bench.sh >/dev/null
-test -s "${SMOKE_OUT}" || { echo "bench smoke produced no output" >&2; exit 1; }
-python3 - "${SMOKE_OUT}" <<'EOF'
-import json, sys
-with open(sys.argv[1]) as f:
-    data = json.load(f)
-machine = data["machine"]
-assert isinstance(machine["available_parallelism"], int) and machine["available_parallelism"] >= 1, machine
-assert machine["turbo_runtime_threads"] is None or isinstance(machine["turbo_runtime_threads"], int), machine
-assert isinstance(machine["timestamp_unix"], int) and machine["timestamp_unix"] > 0, machine
-benches = data["benches"]
-assert benches, "no bench results recorded"
-for b in benches:
-    assert b["name"] and b["median_ns"] >= 0 and b["p95_ns"] >= b["median_ns"] * 0, b
-print(f"bench smoke OK: {len(benches)} results parse; machine metadata parses")
-EOF
+echo "==> bench regression check (smoke: schema + decode-row coverage vs BENCH_attention.json)"
+# Full-measurement median gating (>25% decode regression fails) runs via
+# `scripts/bench.sh --check` without TURBO_BENCH_SMOKE; under smoke the
+# check validates schema and that every baseline decode row still exists.
+TURBO_BENCH_SMOKE=1 scripts/bench.sh --check
 
 echo "==> CI green"

@@ -360,6 +360,99 @@ fn every_layer_wal_crash_point_recovers_a_common_prefix() {
     assert_eq!(tokens, LW_TOKENS, "the full episode must replay at the end");
 }
 
+/// The fsync-style batched WAL flush: with `flush_every_n_tokens = n`, a
+/// crash recovers exactly the last synced prefix — `⌊t/n⌋·n` tokens, so
+/// at most `n − 1` are lost — and tearing the durable bytes at any
+/// record boundary still lands every cell on one common, bit-identical
+/// prefix of the stream.
+#[test]
+fn batched_wal_flush_bounds_loss_and_survives_tears() {
+    const LAYERS: usize = 2;
+    const HEADS: usize = 2;
+    const CELLS: usize = LAYERS * HEADS;
+    let d = 4;
+    let interval = 4usize;
+    let tokens = 27usize; // deliberately not a multiple of the interval
+    let mut rng = TensorRng::new(0xBA7C);
+    let kd = rng.normal(tokens, d * CELLS, 0.0, 1.0);
+    let vd = rng.normal(tokens, d * CELLS, 0.0, 1.0);
+    let rows_at = |m: &Matrix, t: usize| -> Vec<Vec<f32>> {
+        (0..CELLS).map(|c| m.row(t)[c * d..(c + 1) * d].to_vec()).collect()
+    };
+
+    let mut set = DurableLayerSet::new(LAYERS, HEADS, d, cfg(), Box::new(NeverCheckpoint));
+    set.set_flush_every_n_tokens(interval);
+    for t in 0..tokens {
+        let kr = rows_at(&kd, t);
+        let vr = rows_at(&vd, t);
+        let ks: Vec<&[f32]> = kr.iter().map(Vec::as_slice).collect();
+        let vs: Vec<&[f32]> = vr.iter().map(Vec::as_slice).collect();
+        set.try_append_token(&ks, &vs, None).unwrap();
+    }
+    assert_eq!(set.tokens(), tokens, "in-memory set holds every token");
+
+    let (snap, wal) = set.durable_state();
+    let durable_tokens = (tokens / interval) * interval;
+
+    // The staleness bound, untorn: the durable WAL ends at the last sync.
+    let (_, outcome) = DurableLayerSet::recover(
+        LAYERS,
+        HEADS,
+        d,
+        cfg(),
+        Box::new(NeverCheckpoint),
+        &snap,
+        &wal,
+        None,
+    )
+    .unwrap();
+    assert_eq!(outcome.tokens, durable_tokens);
+    assert!(
+        tokens - outcome.tokens < interval,
+        "batched flush lost more than n − 1 tokens"
+    );
+
+    // Tears at record boundaries: boundary i holds exactly i appends (no
+    // flush records in this episode), and every recovered cell must be
+    // bit-identical to that prefix streamed into an independent cache.
+    let mut reference: Vec<HeadKvCache> = (0..CELLS).map(|_| HeadKvCache::new(d, cfg())).collect();
+    let mut applied = 0usize;
+    for (i, &cut) in LayerWriteAheadLog::record_boundaries(&wal).iter().enumerate() {
+        while applied < i {
+            for (c, r) in reference.iter_mut().enumerate() {
+                r.try_append(
+                    &kd.row(applied)[c * d..(c + 1) * d],
+                    &vd.row(applied)[c * d..(c + 1) * d],
+                )
+                .unwrap();
+            }
+            applied += 1;
+        }
+        let (back, outcome) = DurableLayerSet::recover(
+            LAYERS,
+            HEADS,
+            d,
+            cfg(),
+            Box::new(NeverCheckpoint),
+            &snap,
+            &wal[..cut],
+            None,
+        )
+        .unwrap();
+        assert_eq!(outcome.tokens, i, "boundary {i}");
+        for l in 0..LAYERS {
+            for h in 0..HEADS {
+                let head = back.layer(l).head(h);
+                let oracle = &reference[l * HEADS + h];
+                assert_eq!(head.len(), oracle.len(), "cell ({l},{h}) at cut {cut}");
+                assert_eq!(head.key_buffer(), oracle.key_buffer());
+                assert_eq!(head.value_buffer(), oracle.value_buffer());
+                assert_eq!(head.dequantize_all(), oracle.dequantize_all());
+            }
+        }
+    }
+}
+
 /// Seeded chaos over the layer WAL's durable state: arbitrary
 /// truncations and byte corruptions of checkpoint and log must never
 /// panic, and whatever `recover_or_empty` salvages must keep every cell
