@@ -254,11 +254,65 @@ fn bench_prefill_layer_32head(c: &mut Criterion) {
     g.finish();
 }
 
+/// Fleet control-plane throughput: one diurnal day (8 epochs × 12
+/// requests = 96 requests) served through the SLO-driven autoscaled
+/// fleet, with and without correlated chaos bursts. Each iteration runs
+/// the whole control loop, so requests/s = 96 / (median_ns × 1e-9); the
+/// delta between the rows is the cost of enduring bursts (kills, WAL
+/// rebuilds, scale-ups) versus steady diurnal serving.
+fn bench_fleet(c: &mut Criterion) {
+    use turbo_gpusim::{
+        fleet::FleetWorkloadSpec, run_fleet, AttnMethod, FleetConfig, GpuSpec, ModelGeometry,
+    };
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let chaos = FleetConfig {
+        epochs: 8,
+        burst_every: 4,
+        workload: FleetWorkloadSpec {
+            requests_per_epoch: 12,
+            ..FleetWorkloadSpec::default()
+        },
+        ..FleetConfig::default()
+    };
+    let quiet = FleetConfig {
+        burst_every: 0,
+        ..chaos.clone()
+    };
+    let mut g = c.benchmark_group("fleet/diurnal_8ep_96req");
+    g.bench_function("no_chaos", |b| {
+        b.iter(|| {
+            run_fleet(
+                black_box(&gpu),
+                &geom,
+                AttnMethod::FlashFp16,
+                &quiet,
+                2026,
+                None,
+            )
+        })
+    });
+    g.bench_function("chaos_bursts", |b| {
+        b.iter(|| {
+            run_fleet(
+                black_box(&gpu),
+                &geom,
+                AttnMethod::FlashFp16,
+                &chaos,
+                2026,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prefill,
     bench_decode,
     bench_block_sizes,
     bench_prefill_layer_32head,
+    bench_fleet,
 );
 criterion_main!(benches);

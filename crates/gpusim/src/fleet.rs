@@ -1,0 +1,894 @@
+//! Fleet control plane: SLO-driven autoscaling over replica sets.
+//!
+//! This module turns the replica-set harness into the system's control
+//! plane. A [`FleetWorkloadSpec`] models a population of millions of
+//! users whose aggregate request rate swings diurnally and spikes in
+//! bursty epochs; the fleet serves that stream epoch by epoch through
+//! [`crate::replica::run_replica_set_on`], and three controllers close
+//! the loop around it:
+//!
+//! * an [`SloTracker`] (from `turbo-robust`) folds every finished
+//!   request into windowed p50/p99 and violation-rate signals;
+//! * an [`OnlineTuner`] re-tunes admission backoff, hedging delay, and
+//!   breaker thresholds AIMD-style from those windows;
+//! * an [`Autoscaler`] decides the replica count — scale up on an SLO
+//!   breach, drain-then-retire on a sustained healthy run.
+//!
+//! **Drain-then-retire:** scaling decisions apply at epoch boundaries,
+//! and an epoch's replica set serves every admitted request to
+//! completion before the epoch closes, so a retired replica never
+//! strands an in-flight token (the per-epoch exactly-once ledger proves
+//! it). **WAL rebuild on spawn:** a replica added by scale-up joins
+//! cold — the fleet schedules a synthetic kill at t≈0 for each new
+//! index, so the newcomer pays snapshot recovery + WAL replay +
+//! re-prefill through the same machinery a crashed replica uses, and
+//! the zero-token-loss ledger covers its warm-up.
+//!
+//! Chaos epochs inject *correlated* failure bursts ([`ChaosBurst`]):
+//! simultaneous multi-replica kills, zone faults, pressure storms. The
+//! fleet records how many epochs each burst needs before the violation
+//! rate returns under the SLO budget; soak harnesses assert that
+//! recovery time stays within [`FleetConfig::recovery_bound_epochs`].
+//!
+//! Everything is a pure function of `(config, seed)` — same seed, same
+//! event trace, same ledger, bit for bit, on any worker count.
+
+use crate::geometry::ModelGeometry;
+use crate::hw::GpuSpec;
+use crate::method::AttnMethod;
+use crate::replica::{BreakerConfig, ReplicaSetConfig, ReplicaSetStats};
+use crate::serving::{RequestSpec, WorkloadSpec};
+use turbo_robust::{
+    BurstKind, ChaosAction, ChaosConfig, ChaosEvent, ChaosPlan, FaultInjector, HealthEvent,
+    HealthStats, OnlineTuner, SloConfig, SloTracker, TunedParams, TunerConfig,
+};
+
+/// A diurnal, bursty request population.
+///
+/// The spec is pure `Copy` data: the epoch-`e` workload is a function
+/// of `(spec, fleet seed, e)` only, so every fleet episode replays
+/// identically.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetWorkloadSpec {
+    /// Simulated user population. The aggregate arrival rate is
+    /// `users / 1e6 × rate_per_million_users`, before modulation.
+    pub users: usize,
+    /// Requests per second contributed by each million users at the
+    /// diurnal midline.
+    pub rate_per_million_users: f64,
+    /// Requests materialized per epoch (the sample of the population's
+    /// stream the fleet actually serves).
+    pub requests_per_epoch: usize,
+    /// Fractional swing of the diurnal sinusoid (0 = flat, 0.5 = ±50%).
+    pub diurnal_amplitude: f64,
+    /// Epochs per diurnal cycle.
+    pub epochs_per_day: usize,
+    /// Probability an epoch is a traffic burst.
+    pub burst_probability: f64,
+    /// Rate multiplier in a bursty epoch.
+    pub burst_multiplier: f64,
+    /// Prompt length in tokens.
+    pub prompt: usize,
+    /// Tokens generated per request.
+    pub gen: usize,
+}
+
+impl Default for FleetWorkloadSpec {
+    /// Two million users on an 8-epoch diurnal cycle with ±50% swing and
+    /// occasional 3× bursts.
+    fn default() -> Self {
+        Self {
+            users: 2_000_000,
+            rate_per_million_users: 1.0,
+            requests_per_epoch: 48,
+            diurnal_amplitude: 0.5,
+            epochs_per_day: 8,
+            burst_probability: 0.25,
+            burst_multiplier: 3.0,
+            prompt: 512,
+            gen: 16,
+        }
+    }
+}
+
+impl FleetWorkloadSpec {
+    /// The arrival rate for epoch `epoch` under fleet seed `seed`
+    /// (diurnal sinusoid × deterministic burst draw).
+    pub fn rate(&self, seed: u64, epoch: usize) -> f64 {
+        let base = self.users as f64 / 1e6 * self.rate_per_million_users;
+        let phase = 2.0 * std::f64::consts::PI * (epoch % self.epochs_per_day) as f64
+            / self.epochs_per_day as f64;
+        let diurnal = 1.0 + self.diurnal_amplitude * phase.sin();
+        let bursty = if self.burst_probability > 0.0 {
+            let mut inj = FaultInjector::new(mix(seed, epoch) ^ 0xB00);
+            inj.hbm_pressure(0.001, 0.999) < self.burst_probability
+        } else {
+            false
+        };
+        base * diurnal * if bursty { self.burst_multiplier } else { 1.0 }
+    }
+
+    /// Materializes epoch `epoch`'s request vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is degenerate (zero requests or a
+    /// non-positive rate).
+    pub fn requests(&self, seed: u64, epoch: usize) -> Vec<RequestSpec> {
+        let rate = self.rate(seed, epoch);
+        assert!(rate > 0.0, "fleet workload rate must be positive");
+        WorkloadSpec {
+            n: self.requests_per_epoch,
+            rate,
+            prompt: self.prompt,
+            gen: self.gen,
+            seed: mix(seed, epoch),
+        }
+        .requests()
+    }
+}
+
+/// Autoscaler tuning.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Floor on the replica count.
+    pub min_replicas: usize,
+    /// Ceiling on the replica count.
+    pub max_replicas: usize,
+    /// Replicas added per scale-up decision.
+    pub scale_up_step: usize,
+    /// Consecutive healthy epochs required before one replica is
+    /// drained and retired.
+    pub healthy_epochs_to_scale_down: usize,
+}
+
+impl Default for AutoscalerConfig {
+    /// 1–6 replicas, +2 on breach, retire after 3 healthy epochs.
+    fn default() -> Self {
+        Self {
+            min_replicas: 1,
+            max_replicas: 6,
+            scale_up_step: 2,
+            healthy_epochs_to_scale_down: 3,
+        }
+    }
+}
+
+/// One autoscaler verdict.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// Keep the current replica count.
+    Hold,
+    /// Add replicas (scale-up on SLO breach).
+    Up(usize),
+    /// Drain and retire one replica (sustained healthy run).
+    Down,
+}
+
+/// SLO-driven replica-count state machine.
+///
+/// States are implicit in `(current, healthy_streak)`: a breach always
+/// scales up and resets the streak; `healthy_epochs_to_scale_down`
+/// consecutive healthy epochs retire one replica at a time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Autoscaler {
+    cfg: AutoscalerConfig,
+    healthy_streak: usize,
+}
+
+impl Autoscaler {
+    /// Fresh autoscaler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bounds are inverted or zero.
+    pub fn new(cfg: AutoscalerConfig) -> Self {
+        assert!(
+            cfg.min_replicas >= 1 && cfg.min_replicas <= cfg.max_replicas,
+            "autoscaler bounds must satisfy 1 <= min <= max"
+        );
+        assert!(cfg.scale_up_step >= 1, "scale-up step must be positive");
+        assert!(
+            cfg.healthy_epochs_to_scale_down >= 1,
+            "scale-down streak must be positive"
+        );
+        Self {
+            cfg,
+            healthy_streak: 0,
+        }
+    }
+
+    /// Decides the next replica count from the epoch's violation rate.
+    /// Returns `(new_count, decision)`.
+    pub fn decide(
+        &mut self,
+        current: usize,
+        violation_rate: f64,
+        slo: &SloConfig,
+    ) -> (usize, ScaleDecision) {
+        if violation_rate > slo.max_violation_rate {
+            self.healthy_streak = 0;
+            let target = (current + self.cfg.scale_up_step).min(self.cfg.max_replicas);
+            if target > current {
+                return (target, ScaleDecision::Up(target - current));
+            }
+            return (current, ScaleDecision::Hold);
+        }
+        self.healthy_streak += 1;
+        if self.healthy_streak >= self.cfg.healthy_epochs_to_scale_down
+            && current > self.cfg.min_replicas
+        {
+            self.healthy_streak = 0;
+            return (current - 1, ScaleDecision::Down);
+        }
+        (current, ScaleDecision::Hold)
+    }
+}
+
+/// Full fleet configuration.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetConfig {
+    /// Control epochs to run.
+    pub epochs: usize,
+    /// The user population.
+    pub workload: FleetWorkloadSpec,
+    /// Latency SLO contract.
+    pub slo: SloConfig,
+    /// AIMD tuner ranges/steps.
+    pub tuner: TunerConfig,
+    /// Replica-count bounds and steps.
+    pub autoscaler: AutoscalerConfig,
+    /// Template replica-set config; `replicas`, admission backoff,
+    /// hedging, and breaker knobs are overridden per epoch by the
+    /// controllers.
+    pub replica_set: ReplicaSetConfig,
+    /// Chaos campaign template for burst epochs; `replicas` is
+    /// overridden to the fleet's current count. Configure its
+    /// correlated-burst fields (`bursts`, `zone_faults`,
+    /// `pressure_storms`) — independent events are welcome too.
+    pub chaos: ChaosConfig,
+    /// A chaos epoch fires every this many epochs (`0` disables chaos).
+    pub burst_every: usize,
+    /// Epochs the violation rate may stay over budget after a burst
+    /// before the soak calls the recovery unbounded.
+    pub recovery_bound_epochs: usize,
+}
+
+impl Default for FleetConfig {
+    /// 24 epochs (three diurnal days), a correlated burst every 6th
+    /// epoch, recovery required within 2 epochs.
+    fn default() -> Self {
+        Self {
+            epochs: 24,
+            workload: FleetWorkloadSpec::default(),
+            slo: SloConfig::default(),
+            tuner: TunerConfig::default(),
+            autoscaler: AutoscalerConfig::default(),
+            replica_set: ReplicaSetConfig {
+                prefix_tokens: 64,
+                prefix_dim: 4,
+                ..ReplicaSetConfig::default()
+            },
+            chaos: ChaosConfig {
+                horizon: 20.0,
+                kills: 0,
+                restarts: 0,
+                wal_truncations: 0,
+                faults: 1,
+                pressure_spikes: 0,
+                bursts: 1,
+                burst_kill_fraction: 0.5,
+                pressure_storms: 1,
+                ..ChaosConfig::default()
+            },
+            burst_every: 6,
+            recovery_bound_epochs: 2,
+        }
+    }
+}
+
+/// One epoch's record in the fleet report.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index.
+    pub epoch: usize,
+    /// Replicas serving this epoch.
+    pub replicas: usize,
+    /// Replicas spawned cold at the epoch start (scale-up warm-ups).
+    pub spawned: usize,
+    /// Tuned knobs in force this epoch.
+    pub params: TunedParams,
+    /// Arrival rate of the epoch's workload.
+    pub rate: f64,
+    /// Requests submitted.
+    pub total: usize,
+    /// Requests completed in full.
+    pub completed: usize,
+    /// Requests truncated by deadline.
+    pub truncated: usize,
+    /// Requests rejected.
+    pub rejected: usize,
+    /// Replica kills (chaos + spawn warm-ups).
+    pub kills: usize,
+    /// SLO violations among this epoch's requests.
+    pub violations: usize,
+    /// `violations / total`.
+    pub violation_rate: f64,
+    /// Median served latency (0 when nothing served).
+    pub p50: f64,
+    /// 99th-percentile served latency (0 when nothing served).
+    pub p99: f64,
+    /// Served requests per second of epoch makespan.
+    pub requests_per_sec: f64,
+    /// The correlated burst kinds that fired this epoch (empty when
+    /// chaos was quiet).
+    pub bursts: Vec<BurstKind>,
+    /// Autoscaler verdict made *at the end of* this epoch.
+    pub decision: ScaleDecision,
+}
+
+/// One burst's recovery record.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct BurstRecovery {
+    /// Epoch the burst fired in.
+    pub burst_epoch: usize,
+    /// Epochs after the burst until the violation rate returned under
+    /// budget (0 = the burst epoch itself stayed healthy).
+    pub recovery_epochs: usize,
+    /// Whether recovery landed within the configured bound.
+    pub within_bound: bool,
+}
+
+/// Final fleet report: per-epoch records plus lifetime ledgers.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FleetStats {
+    /// Per-epoch records, in order.
+    pub epochs: Vec<EpochReport>,
+    /// Requests submitted across all epochs.
+    pub total: usize,
+    /// Requests completed across all epochs.
+    pub completed: usize,
+    /// Requests truncated across all epochs.
+    pub truncated: usize,
+    /// Requests rejected across all epochs.
+    pub rejected: usize,
+    /// Replica kills across all epochs (chaos + spawn warm-ups).
+    pub kills: usize,
+    /// Prefix tokens recovered by snapshot + WAL replay.
+    pub recovered_tokens: usize,
+    /// Prefix tokens re-prefilled after unrecoverable WAL damage.
+    pub reprefilled_tokens: usize,
+    /// Prefix tokens lost — always zero.
+    pub lost_tokens: usize,
+    /// Scale-up decisions taken.
+    pub scale_ups: usize,
+    /// Drain-and-retire decisions taken.
+    pub scale_downs: usize,
+    /// Correlated bursts endured.
+    pub bursts: usize,
+    /// Per-burst recovery records.
+    pub recoveries: Vec<BurstRecovery>,
+    /// Closed SLO windows across the run.
+    pub slo_windows: usize,
+    /// Lifetime SLO violation fraction.
+    pub violation_rate: f64,
+    /// Final tuner aggressiveness position.
+    pub tuner_position: f64,
+    /// `(windows observed, backoff steps, relax steps)` of the tuner.
+    pub tuner_counters: (usize, usize, usize),
+    /// Structured event trace — the determinism suite asserts this is
+    /// bit-identical across same-seed reruns and worker counts.
+    pub trace: Vec<String>,
+}
+
+impl FleetStats {
+    /// `completed + truncated + rejected` — must equal
+    /// [`FleetStats::total`] (exactly-once accounting).
+    pub fn accounted(&self) -> usize {
+        self.completed + self.truncated + self.rejected
+    }
+}
+
+/// Splat a fleet seed and an epoch index into an independent stream.
+fn mix(seed: u64, epoch: usize) -> u64 {
+    (seed ^ (epoch as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)).wrapping_add(0xD1B5_4A32_D192_ED03)
+}
+
+/// Runs the fleet on the global runtime. See the module docs.
+///
+/// # Panics
+///
+/// Panics on degenerate configuration (zero epochs/requests, inverted
+/// autoscaler bounds, invalid chaos ranges).
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    config: &FleetConfig,
+    seed: u64,
+    health: Option<&HealthStats>,
+) -> FleetStats {
+    run_fleet_on(turbo_runtime::global(), gpu, geom, method, config, seed, health)
+}
+
+/// Runs the fleet control loop on an explicit runtime.
+///
+/// Each epoch: the autoscaler's replica count and the tuner's knobs are
+/// applied to a fresh replica set, the epoch's (diurnal, bursty)
+/// workload is served through it under that epoch's chaos plan, every
+/// finished request feeds the SLO tracker, and the closed windows drive
+/// the tuner and autoscaler for the next epoch.
+///
+/// # Panics
+///
+/// As [`run_fleet`].
+#[allow(clippy::too_many_arguments)]
+pub fn run_fleet_on(
+    rt: &turbo_runtime::Runtime,
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    config: &FleetConfig,
+    seed: u64,
+    health: Option<&HealthStats>,
+) -> FleetStats {
+    assert!(config.epochs > 0, "fleet needs at least one epoch");
+    assert!(
+        config.workload.requests_per_epoch > 0,
+        "fleet epochs need requests"
+    );
+    let mut autoscaler = Autoscaler::new(config.autoscaler);
+    let mut tuner = OnlineTuner::new(config.tuner);
+    let mut slo = SloTracker::new(config.slo);
+    let mut windows_consumed = 0usize;
+    let mut replicas = config
+        .replica_set
+        .replicas
+        .clamp(config.autoscaler.min_replicas, config.autoscaler.max_replicas);
+    let mut spawned = 0usize; // replicas joining cold this epoch
+
+    let mut epochs: Vec<EpochReport> = Vec::with_capacity(config.epochs);
+    let mut trace: Vec<String> = Vec::new();
+    let mut recoveries: Vec<BurstRecovery> = Vec::new();
+    let mut open_burst: Option<usize> = None; // epoch of unrecovered burst
+    let (mut total, mut completed, mut truncated, mut rejected) = (0, 0, 0, 0);
+    let (mut kills, mut recovered_tokens, mut reprefilled_tokens, mut lost_tokens) = (0, 0, 0, 0);
+    let (mut scale_ups, mut scale_downs, mut burst_count) = (0, 0, 0);
+
+    for epoch in 0..config.epochs {
+        let params = tuner.params();
+        let requests = config.workload.requests(seed, epoch);
+        let rate = config.workload.rate(seed, epoch);
+
+        // Chaos plan for this epoch: quiet unless it is a burst epoch.
+        let is_burst_epoch = config.burst_every > 0 && (epoch + 1) % config.burst_every == 0;
+        let plan = if is_burst_epoch {
+            let chaos_cfg = ChaosConfig {
+                replicas,
+                ..config.chaos
+            };
+            Some(ChaosPlan::generate(mix(seed, epoch) ^ 0xC0A5, &chaos_cfg))
+        } else {
+            None
+        };
+
+        // Spawn warm-ups: every replica added by the last scale-up joins
+        // cold and pays snapshot + WAL replay + re-prefill through the
+        // ordinary kill/rebuild path, scheduled at t ≈ 0 (before any
+        // arrival).
+        let spawned_this_epoch = spawned;
+        let mut events: Vec<ChaosEvent> = Vec::new();
+        for k in 0..spawned {
+            events.push(ChaosEvent {
+                time: 1e-9,
+                action: ChaosAction::KillReplica {
+                    replica: replicas - 1 - k,
+                    wal_cut: 0.95,
+                },
+            });
+        }
+        if let Some(p) = &plan {
+            events.extend(p.events.iter().copied());
+        }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+
+        let mut rs_cfg = ReplicaSetConfig {
+            replicas,
+            hedge_threshold: Some(params.hedge_threshold),
+            breaker: BreakerConfig {
+                failure_threshold: params.breaker_failure_threshold,
+                cooldown: params.breaker_cooldown,
+                ..config.replica_set.breaker
+            },
+            ..config.replica_set
+        };
+        rs_cfg.policy.admission_backoff = params.admission_backoff;
+
+        let stats: ReplicaSetStats = crate::replica::run_replica_set_on(
+            rt,
+            gpu,
+            geom,
+            method,
+            &requests,
+            &events,
+            &rs_cfg,
+            mix(seed, epoch) ^ 0x5E17,
+            health,
+        );
+
+        // Feed the SLO tracker: every served latency, then every
+        // rejected request as a deadline-class violation — exactly one
+        // observation per submitted request.
+        let mut epoch_latencies: Vec<f64> = Vec::new();
+        for r in stats.per_replica.iter().flatten() {
+            epoch_latencies.extend_from_slice(&r.latencies);
+        }
+        epoch_latencies.sort_by(f64::total_cmp);
+        let mut violations = 0usize;
+        for &lat in &epoch_latencies {
+            if lat > config.slo.latency_slo {
+                violations += 1;
+            }
+            slo.record(lat, false, health);
+        }
+        let epoch_rejected = stats.total - epoch_latencies.len();
+        for _ in 0..epoch_rejected {
+            violations += 1;
+            slo.record(config.slo.latency_slo, true, health);
+        }
+        let violation_rate = violations as f64 / stats.total.max(1) as f64;
+
+        // Drive the tuner on every window this epoch closed.
+        while windows_consumed < slo.windows().len() {
+            let w = slo.windows()[windows_consumed];
+            tuner.observe(&w, &config.slo, health);
+            windows_consumed += 1;
+        }
+
+        // Burst recovery bookkeeping.
+        let healthy = violation_rate <= config.slo.max_violation_rate;
+        if let Some(burst_epoch) = open_burst {
+            if healthy {
+                let lag = epoch - burst_epoch;
+                recoveries.push(BurstRecovery {
+                    burst_epoch,
+                    recovery_epochs: lag,
+                    within_bound: lag <= config.recovery_bound_epochs,
+                });
+                if let Some(hs) = health {
+                    hs.record(HealthEvent::FleetSloRecovered);
+                }
+                open_burst = None;
+            }
+        }
+        if is_burst_epoch {
+            let fired = plan.as_ref().map(|p| p.bursts.len()).unwrap_or(0);
+            burst_count += fired;
+            if let Some(hs) = health {
+                hs.record_n(HealthEvent::ChaosBurst, fired as u64);
+            }
+            if healthy {
+                // Absorbed outright: recovery lag zero.
+                recoveries.push(BurstRecovery {
+                    burst_epoch: epoch,
+                    recovery_epochs: 0,
+                    within_bound: true,
+                });
+                if let Some(hs) = health {
+                    hs.record(HealthEvent::FleetSloRecovered);
+                }
+            } else {
+                open_burst = Some(epoch);
+            }
+        }
+
+        // Ledger roll-up.
+        total += stats.total;
+        completed += stats.completed;
+        truncated += stats.truncated;
+        rejected += stats.rejected;
+        kills += stats.kills;
+        recovered_tokens += stats.recovered_tokens;
+        reprefilled_tokens += stats.reprefilled_tokens;
+        lost_tokens += stats.lost_tokens;
+
+        // Autoscaler verdict for the next epoch.
+        let before = replicas;
+        let (next, decision) = autoscaler.decide(replicas, violation_rate, &config.slo);
+        match decision {
+            ScaleDecision::Up(n) => {
+                scale_ups += 1;
+                spawned = n;
+                if let Some(hs) = health {
+                    hs.record_n(HealthEvent::FleetScaleUp, n as u64);
+                }
+            }
+            ScaleDecision::Down => {
+                scale_downs += 1;
+                spawned = 0;
+                if let Some(hs) = health {
+                    hs.record(HealthEvent::FleetScaleDown);
+                }
+            }
+            ScaleDecision::Hold => spawned = 0,
+        }
+        replicas = next;
+
+        let pct = |q: f64| -> f64 {
+            if epoch_latencies.is_empty() {
+                return 0.0;
+            }
+            let rank = ((q * epoch_latencies.len() as f64).ceil() as usize)
+                .clamp(1, epoch_latencies.len());
+            epoch_latencies[rank - 1]
+        };
+        let report = EpochReport {
+            epoch,
+            replicas: before,
+            spawned: spawned_this_epoch,
+            params,
+            rate,
+            total: stats.total,
+            completed: stats.completed,
+            truncated: stats.truncated,
+            rejected: stats.rejected,
+            kills: stats.kills,
+            violations,
+            violation_rate,
+            p50: pct(0.50),
+            p99: pct(0.99),
+            requests_per_sec: if stats.makespan > 0.0 {
+                (stats.completed + stats.truncated) as f64 / stats.makespan
+            } else {
+                0.0
+            },
+            bursts: plan
+                .as_ref()
+                .map(|p| p.bursts.iter().map(|b| b.kind).collect())
+                .unwrap_or_default(),
+            decision,
+        };
+        trace.push(format!(
+            "epoch {epoch}: replicas={before} spawned={} rate={rate:?} total={} c/t/r={}/{}/{} \
+             kills={} viol={violations} vr={violation_rate:?} p99={:?} bursts={:?} -> {decision:?}",
+            report.spawned,
+            stats.total,
+            stats.completed,
+            stats.truncated,
+            stats.rejected,
+            stats.kills,
+            report.p99,
+            report.bursts,
+        ));
+        epochs.push(report);
+    }
+
+    // A burst still unrecovered when the run ends: it violated the bound
+    // only if the recovery window actually expired before the run did.
+    if let Some(burst_epoch) = open_burst {
+        let lag = config.epochs - burst_epoch;
+        recoveries.push(BurstRecovery {
+            burst_epoch,
+            recovery_epochs: lag,
+            within_bound: lag <= config.recovery_bound_epochs,
+        });
+    }
+
+    FleetStats {
+        epochs,
+        total,
+        completed,
+        truncated,
+        rejected,
+        kills,
+        recovered_tokens,
+        reprefilled_tokens,
+        lost_tokens,
+        scale_ups,
+        scale_downs,
+        bursts: burst_count,
+        recoveries,
+        slo_windows: slo.windows().len(),
+        violation_rate: slo.violation_rate(),
+        tuner_position: tuner.position(),
+        tuner_counters: tuner.counters(),
+        trace,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (GpuSpec, ModelGeometry) {
+        (GpuSpec::a100_80gb(), ModelGeometry::phi3_medium())
+    }
+
+    fn small_config() -> FleetConfig {
+        FleetConfig {
+            epochs: 8,
+            workload: FleetWorkloadSpec {
+                requests_per_epoch: 8,
+                ..FleetWorkloadSpec::default()
+            },
+            burst_every: 4,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn fleet_ledger_is_exactly_once_and_lossless() {
+        let (gpu, geom) = setup();
+        let health = HealthStats::new();
+        let stats = run_fleet(
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &small_config(),
+            7,
+            Some(&health),
+        );
+        assert_eq!(stats.accounted(), stats.total);
+        assert_eq!(stats.lost_tokens, 0);
+        assert_eq!(
+            stats.recovered_tokens + stats.reprefilled_tokens,
+            stats.kills * small_config().replica_set.prefix_tokens
+        );
+        assert_eq!(stats.epochs.len(), 8);
+        for e in &stats.epochs {
+            assert_eq!(e.completed + e.truncated + e.rejected, e.total);
+        }
+        // Health counters mirror the ledger.
+        assert_eq!(
+            health.count(HealthEvent::ReplicaKilled),
+            stats.kills as u64
+        );
+        assert_eq!(
+            health.count(HealthEvent::SloRequestOk) + health.count(HealthEvent::SloViolation),
+            stats.total as u64
+        );
+    }
+
+    #[test]
+    fn same_seed_same_fleet() {
+        let (gpu, geom) = setup();
+        let cfg = small_config();
+        let a = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 11, None);
+        let b = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 11, None);
+        assert_eq!(a, b);
+        let c = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 12, None);
+        assert_ne!(a.trace, c.trace, "different seeds must diverge");
+    }
+
+    #[test]
+    fn burst_epochs_fire_and_are_traced() {
+        let (gpu, geom) = setup();
+        let cfg = small_config();
+        let stats = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 3, None);
+        let burst_epochs: Vec<usize> = stats
+            .epochs
+            .iter()
+            .filter(|e| !e.bursts.is_empty())
+            .map(|e| e.epoch)
+            .collect();
+        assert_eq!(burst_epochs, vec![3, 7], "every 4th epoch bursts");
+        assert!(stats.bursts >= 2);
+        assert_eq!(stats.recoveries.len(), stats.epochs.iter().filter(|e| !e.bursts.is_empty()).count());
+    }
+
+    #[test]
+    fn autoscaler_state_machine() {
+        let slo = SloConfig::default();
+        let mut a = Autoscaler::new(AutoscalerConfig {
+            min_replicas: 1,
+            max_replicas: 4,
+            scale_up_step: 2,
+            healthy_epochs_to_scale_down: 2,
+        });
+        // Breach: up by step.
+        assert_eq!(a.decide(1, 0.5, &slo), (3, ScaleDecision::Up(2)));
+        // Breach at the ceiling: clamped.
+        assert_eq!(a.decide(3, 0.5, &slo), (4, ScaleDecision::Up(1)));
+        assert_eq!(a.decide(4, 0.5, &slo), (4, ScaleDecision::Hold));
+        // Healthy run: retire one after the streak.
+        assert_eq!(a.decide(4, 0.0, &slo), (4, ScaleDecision::Hold));
+        assert_eq!(a.decide(4, 0.0, &slo), (3, ScaleDecision::Down));
+        // Streak resets after a retire.
+        assert_eq!(a.decide(3, 0.0, &slo), (3, ScaleDecision::Hold));
+        assert_eq!(a.decide(3, 0.0, &slo), (2, ScaleDecision::Down));
+        // Floor.
+        assert_eq!(a.decide(1, 0.0, &slo), (1, ScaleDecision::Hold));
+        assert_eq!(a.decide(1, 0.0, &slo), (1, ScaleDecision::Hold));
+    }
+
+    #[test]
+    fn diurnal_rate_swings_and_bursts_multiply() {
+        let spec = FleetWorkloadSpec {
+            burst_probability: 0.0,
+            ..FleetWorkloadSpec::default()
+        };
+        let base = spec.users as f64 / 1e6 * spec.rate_per_million_users;
+        // Epoch 2 of an 8-epoch day sits at the sinusoid peak.
+        assert!((spec.rate(0, 2) - base * 1.5).abs() < 1e-9);
+        // Epoch 6 sits at the trough.
+        assert!((spec.rate(0, 6) - base * 0.5).abs() < 1e-9);
+        let bursty = FleetWorkloadSpec {
+            burst_probability: 1.0,
+            ..spec
+        };
+        assert!((bursty.rate(0, 2) - base * 1.5 * bursty.burst_multiplier).abs() < 1e-9);
+    }
+
+    #[test]
+    fn scale_up_spawns_cold_replicas_that_rebuild() {
+        let (gpu, geom) = setup();
+        // An unattainable latency SLO breaches every epoch, forcing
+        // scale-up to the ceiling; each spawned replica must warm up
+        // through the kill/rebuild path without losing a token.
+        let cfg = FleetConfig {
+            epochs: 4,
+            slo: SloConfig {
+                latency_slo: 1e-6,
+                ..SloConfig::default()
+            },
+            burst_every: 0,
+            workload: FleetWorkloadSpec {
+                requests_per_epoch: 6,
+                ..FleetWorkloadSpec::default()
+            },
+            ..FleetConfig::default()
+        };
+        let stats = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 5, None);
+        assert!(stats.scale_ups > 0, "breaching SLO must scale up");
+        assert!(
+            stats.epochs.iter().any(|e| e.spawned > 0),
+            "scale-up must spawn cold replicas"
+        );
+        let peak = stats.epochs.iter().map(|e| e.replicas).max().unwrap_or(0);
+        assert!(peak > cfg.autoscaler.min_replicas);
+        assert!(peak <= cfg.autoscaler.max_replicas);
+        // Spawn warm-ups count as kills and rebuild losslessly.
+        assert!(stats.kills >= stats.epochs.iter().map(|e| e.spawned).sum::<usize>());
+        assert_eq!(stats.lost_tokens, 0);
+        assert_eq!(
+            stats.recovered_tokens + stats.reprefilled_tokens,
+            stats.kills * cfg.replica_set.prefix_tokens
+        );
+    }
+
+    #[test]
+    fn sustained_health_drains_back_down() {
+        let (gpu, geom) = setup();
+        // A permissive SLO keeps every epoch healthy; starting above the
+        // floor, the fleet must drain-then-retire down to it.
+        let cfg = FleetConfig {
+            epochs: 10,
+            slo: SloConfig {
+                latency_slo: 1e9,
+                ..SloConfig::default()
+            },
+            burst_every: 0,
+            workload: FleetWorkloadSpec {
+                requests_per_epoch: 6,
+                ..FleetWorkloadSpec::default()
+            },
+            replica_set: ReplicaSetConfig {
+                replicas: 3,
+                prefix_tokens: 64,
+                prefix_dim: 4,
+                ..ReplicaSetConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        let stats = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &cfg, 9, None);
+        assert!(stats.scale_downs > 0, "healthy fleet must retire replicas");
+        assert_eq!(
+            stats.epochs.last().map(|e| e.replicas),
+            Some(cfg.autoscaler.min_replicas),
+            "fleet should settle at the floor"
+        );
+        assert_eq!(stats.accounted(), stats.total);
+        assert_eq!(stats.lost_tokens, 0);
+    }
+}

@@ -26,6 +26,7 @@
 #![warn(missing_docs)]
 
 pub mod endtoend;
+pub mod fleet;
 pub mod geometry;
 pub mod hw;
 pub mod kernels;
@@ -36,6 +37,10 @@ pub mod serving;
 pub mod throughput;
 
 pub use endtoend::{generation_breakdown, EndToEndBreakdown};
+pub use fleet::{
+    run_fleet, run_fleet_on, Autoscaler, AutoscalerConfig, BurstRecovery, EpochReport,
+    FleetConfig, FleetStats, FleetWorkloadSpec, ScaleDecision,
+};
 pub use geometry::ModelGeometry;
 pub use hw::GpuSpec;
 pub use kernels::{decode_latency, prefill_latency, KernelBreakdown};

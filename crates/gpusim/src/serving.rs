@@ -199,7 +199,9 @@ fn simulate_serving_impl(
                     .into_iter()
                     .fold(0.0f64, f64::max),
                 None => {
-                    let max_ctx = live.iter().map(|s| s.ctx).max().unwrap();
+                    // `live` is non-empty here, but fold instead of
+                    // `max().unwrap()` per the no-panic discipline.
+                    let max_ctx = live.iter().map(|s| s.ctx).fold(0, usize::max);
                     decode_latency(gpu, geom, method, batch, max_ctx).total()
                 }
             };
@@ -232,7 +234,7 @@ fn simulate_serving_impl(
         .enumerate()
         .map(|(i, r)| finish_time[i] - r.arrival)
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies.sort_by(f64::total_cmp);
     let total_gen: usize = requests.iter().map(|r| r.gen).sum();
     let makespan = finish_time.iter().fold(0.0f64, |m, &t| m.max(t));
     let pct = |p: f64| -> f64 {
@@ -327,6 +329,11 @@ pub struct RobustServingStats {
     pub mean_queue_time: f64,
     /// Largest number of sequences decoding together.
     pub peak_batch: usize,
+    /// End-to-end latency of every served request (completed and
+    /// truncated), ascending. The fleet control plane feeds these into
+    /// its `SloTracker` windows; aggregates above are derived from this
+    /// same vector.
+    pub latencies: Vec<f64>,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -571,8 +578,10 @@ fn simulate_serving_robust_impl(
 
         if !live.is_empty() {
             // One decode step for the whole live batch at the longest ctx.
+            // `live` is non-empty here, but fold instead of
+            // `max().unwrap()` per the no-panic discipline.
             let batch = live.len();
-            let max_ctx = live.iter().map(|s| s.ctx).max().unwrap();
+            let max_ctx = live.iter().map(|s| s.ctx).fold(0, usize::max);
             now += decode_latency(&gpu, geom, method, batch, max_ctx).total()
                 + linear_time(&gpu, geom, batch, 1);
             let mut still_live = Vec::with_capacity(live.len());
@@ -659,7 +668,7 @@ fn simulate_serving_robust_impl(
         .iter()
         .map(|&i| finish_time[i] - requests[i].arrival)
         .collect();
-    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    latencies.sort_by(f64::total_cmp);
     let (mean_latency, p95_latency, mean_queue_time) = if latencies.is_empty() {
         (0.0, 0.0, 0.0)
     } else {
@@ -694,6 +703,7 @@ fn simulate_serving_robust_impl(
         p95_latency,
         mean_queue_time,
         peak_batch,
+        latencies,
     }
 }
 
@@ -1033,7 +1043,7 @@ mod tests {
         let prefix = pool.create_sequence();
         for t in 0..tokens {
             let row: Vec<f32> = (0..8).map(|c| ((t * 13 + c) % 89) as f32 * 1e-2).collect();
-            pool.try_append(prefix, &row, &row).unwrap();
+            pool.try_append(prefix, &row, &row).expect("prefix prefill");
         }
         (pool, prefix)
     }
@@ -1067,7 +1077,7 @@ mod tests {
         assert!(health.is_clean(), "healthy pool records nothing");
         // Every fork was released on finish — nothing leaked.
         assert_eq!(pool.num_sequences(), 1, "only the prefix survives");
-        assert_eq!(pool.try_seq_len(prefix).unwrap(), 32);
+        assert_eq!(pool.try_seq_len(prefix).expect("prefix survives"), 32);
     }
 
     #[test]
@@ -1079,7 +1089,7 @@ mod tests {
         // sequence, dangling page). The old panicking `fork` wrapper
         // would have aborted the replica right here.
         let (mut pool, prefix) = prefix_pool(32);
-        pool.try_release(prefix).unwrap();
+        pool.try_release(prefix).expect("release prefix");
         let health = HealthStats::new();
         let stats = simulate_serving_robust_paged(
             &gpu,

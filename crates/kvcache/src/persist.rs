@@ -33,6 +33,17 @@ use turbo_robust::{crc32, HealthEvent, HealthStats};
 pub mod layer_wal;
 pub mod wal;
 
+/// Serializes `src` as little-endian f32s straight into `dst`
+/// (`dst.len() == 4 * src.len()`). Bulk fixed-width stores instead of
+/// per-element `extend_from_slice` keep WAL record construction off the
+/// decode hot path's allocator and bounds-check budget.
+pub(crate) fn fill_rows_le(dst: &mut [u8], src: &[f32]) {
+    debug_assert_eq!(dst.len(), 4 * src.len());
+    for (chunk, &x) in dst.chunks_exact_mut(4).zip(src) {
+        chunk.copy_from_slice(&x.to_le_bytes());
+    }
+}
+
 const MAGIC: &[u8; 4] = b"TKVC";
 /// Current format: per-element CRC32 checksums.
 const VERSION: u16 = 2;

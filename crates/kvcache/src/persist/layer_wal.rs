@@ -401,17 +401,23 @@ impl LayerWriteAheadLog {
         }
         // The group record is the decode hot path (one per token), so it
         // is framed in place rather than through a temporary payload
-        // buffer.
-        let payload_len = cells * 2 * self.d * 4;
+        // buffer: one resize, then bulk row serialization into the
+        // reserved span. The on-disk bytes are identical to the
+        // element-at-a-time formulation.
+        let row_bytes = self.d * 4;
+        let payload_len = cells * 2 * row_bytes;
         let start = self.bytes.len();
         self.bytes.reserve(RECORD_OVERHEAD + payload_len);
         self.bytes.push(KIND_GROUP_APPEND);
         self.bytes
             .extend_from_slice(&(payload_len as u32).to_le_bytes());
-        for (k, v) in ks.iter().zip(vs) {
-            for &x in k.iter().chain(v.iter()) {
-                self.bytes.extend_from_slice(&x.to_le_bytes());
-            }
+        let payload_start = self.bytes.len();
+        self.bytes.resize(payload_start + payload_len, 0);
+        let payload = &mut self.bytes[payload_start..];
+        for (cell, (k, v)) in ks.iter().zip(vs).enumerate() {
+            let base = cell * 2 * row_bytes;
+            crate::persist::fill_rows_le(&mut payload[base..base + row_bytes], k);
+            crate::persist::fill_rows_le(&mut payload[base + row_bytes..base + 2 * row_bytes], v);
         }
         let crc = crc32(&self.bytes[start..]);
         self.bytes.extend_from_slice(&crc.to_le_bytes());

@@ -143,11 +143,24 @@ impl WriteAheadLog {
     pub fn log_append(&mut self, k: &[f32], v: &[f32]) {
         assert_eq!(k.len(), self.d, "K row width mismatch");
         assert_eq!(v.len(), self.d, "V row width mismatch");
-        let mut payload = Vec::with_capacity(8 * self.d);
-        for &x in k.iter().chain(v) {
-            payload.extend_from_slice(&x.to_le_bytes());
-        }
-        self.push_record(KIND_APPEND, &payload);
+        // Framed in place (no temporary payload allocation): this runs
+        // once per decoded token per head, so record construction must
+        // stay off the allocator. Bytes are identical to the old
+        // element-at-a-time path.
+        let row_bytes = self.d * 4;
+        let payload_len = 2 * row_bytes;
+        let start = self.bytes.len();
+        self.bytes.reserve(RECORD_OVERHEAD + payload_len);
+        self.bytes.push(KIND_APPEND);
+        self.bytes
+            .extend_from_slice(&(payload_len as u32).to_le_bytes());
+        let payload_start = self.bytes.len();
+        self.bytes.resize(payload_start + payload_len, 0);
+        let payload = &mut self.bytes[payload_start..];
+        crate::persist::fill_rows_le(&mut payload[..row_bytes], k);
+        crate::persist::fill_rows_le(&mut payload[row_bytes..], v);
+        let crc = crc32(&self.bytes[start..]);
+        self.bytes.extend_from_slice(&crc.to_le_bytes());
         self.appends += 1;
     }
 

@@ -94,6 +94,28 @@ pub struct ChaosConfig {
     /// Usable-HBM range pressure spikes draw from (`lo < hi`, both in
     /// `(0, 1]`).
     pub pressure_range: (f64, f64),
+    /// Correlated kill bursts to schedule: each burst kills several
+    /// replicas at the *same* instant (a rack power event, a bad rollout
+    /// hitting many hosts at once) instead of the independent kills
+    /// above.
+    pub bursts: usize,
+    /// Fraction of the replica set each correlated burst takes down
+    /// (rounded up, at least 2 victims when the set allows it).
+    pub burst_kill_fraction: f64,
+    /// Zone-grouped faults to schedule: replicas partition round-robin
+    /// into [`ChaosConfig::zones`] zones, and one whole zone dies
+    /// together (shared switch / PDU failure domain).
+    pub zone_faults: usize,
+    /// Failure-domain count replicas divide into (`replica % zones`).
+    pub zones: usize,
+    /// Pressure storms to schedule: a cluster of severe memory-pressure
+    /// spikes in quick succession (noisy-neighbor stampede), drawn from
+    /// [`ChaosConfig::storm_pressure_range`] rather than the milder
+    /// independent range.
+    pub pressure_storms: usize,
+    /// Usable-HBM range storm spikes draw from (tighter than
+    /// `pressure_range`).
+    pub storm_pressure_range: (f64, f64),
 }
 
 impl Default for ChaosConfig {
@@ -109,8 +131,43 @@ impl Default for ChaosConfig {
             faults: 2,
             pressure_spikes: 1,
             pressure_range: (0.5, 0.95),
+            // Correlated failures are opt-in: zero bursts keeps every
+            // pre-existing (seed, config) plan byte-identical, because
+            // the burst loops draw nothing from the RNG.
+            bursts: 0,
+            burst_kill_fraction: 0.5,
+            zone_faults: 0,
+            zones: 2,
+            pressure_storms: 0,
+            storm_pressure_range: (0.2, 0.5),
         }
     }
+}
+
+/// The species of correlated burst a plan scheduled.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BurstKind {
+    /// Several replicas killed at the same instant.
+    CorrelatedKills,
+    /// One whole failure domain (zone) killed together.
+    ZoneFault,
+    /// A cluster of severe memory-pressure spikes in quick succession.
+    PressureStorm,
+}
+
+/// Metadata for one correlated burst: where its events sit in the plan
+/// and what it did. The constituent [`ChaosEvent`]s use the ordinary
+/// action vocabulary (kills / pressure), so the serving layer needs no
+/// new machinery — this record exists so harnesses can find each burst
+/// and assert bounded SLO recovery after it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChaosBurst {
+    /// Instant the burst fires.
+    pub time: f64,
+    /// What kind of correlated failure it is.
+    pub kind: BurstKind,
+    /// Events the burst contributed to the plan.
+    pub events: usize,
 }
 
 /// A deterministic, time-sorted chaos script.
@@ -120,6 +177,9 @@ pub struct ChaosPlan {
     pub seed: u64,
     /// Events sorted by time (ties broken by generation order).
     pub events: Vec<ChaosEvent>,
+    /// Correlated bursts scheduled (time-sorted); their constituent
+    /// events are interleaved into [`ChaosPlan::events`].
+    pub bursts: Vec<ChaosBurst>,
 }
 
 impl ChaosPlan {
@@ -183,10 +243,102 @@ impl ChaosPlan {
                 action: ChaosAction::MemoryPressure { usable },
             });
         }
+        // Correlated bursts draw strictly after the independent events,
+        // so a config with zero bursts replays pre-burst plans
+        // byte-identically.
+        let mut bursts = Vec::new();
+        if config.bursts > 0 {
+            assert!(
+                (0.0..=1.0).contains(&config.burst_kill_fraction),
+                "burst kill fraction must be a fraction"
+            );
+        }
+        for _ in 0..config.bursts {
+            let time = draw_time(&mut inj);
+            let want = ((config.replicas as f64 * config.burst_kill_fraction).ceil() as usize)
+                .clamp(1, config.replicas)
+                .max(2.min(config.replicas));
+            // Distinct victims via a rotation from a random start: a
+            // burst is "several replicas at once", which a contiguous
+            // index window models as well as any subset while staying a
+            // single deterministic draw.
+            let start = inj.pick(config.replicas);
+            let mut emitted = 0;
+            for k in 0..want {
+                let replica = (start + k) % config.replicas;
+                let wal_cut = inj.hbm_pressure(0.01, 0.99);
+                events.push(ChaosEvent {
+                    time,
+                    action: ChaosAction::KillReplica { replica, wal_cut },
+                });
+                emitted += 1;
+            }
+            bursts.push(ChaosBurst {
+                time,
+                kind: BurstKind::CorrelatedKills,
+                events: emitted,
+            });
+        }
+        if config.zone_faults > 0 {
+            assert!(config.zones > 0, "need at least one zone");
+        }
+        for _ in 0..config.zone_faults {
+            let time = draw_time(&mut inj);
+            let zone = inj.pick(config.zones);
+            let mut emitted = 0;
+            for replica in (0..config.replicas).filter(|r| r % config.zones == zone) {
+                let wal_cut = inj.hbm_pressure(0.01, 0.99);
+                events.push(ChaosEvent {
+                    time,
+                    action: ChaosAction::KillReplica { replica, wal_cut },
+                });
+                emitted += 1;
+            }
+            // A zone can be empty (more zones than replicas drew an
+            // unpopulated one); it still counts as a burst with zero
+            // events so same-seed metadata stays stable.
+            bursts.push(ChaosBurst {
+                time,
+                kind: BurstKind::ZoneFault,
+                events: emitted,
+            });
+        }
+        if config.pressure_storms > 0 {
+            let (slo, shi) = config.storm_pressure_range;
+            assert!(
+                0.0 < slo && slo < shi && shi <= 1.0,
+                "storm pressure range must satisfy 0 < lo < hi <= 1"
+            );
+        }
+        for _ in 0..config.pressure_storms {
+            let time = draw_time(&mut inj);
+            let (slo, shi) = config.storm_pressure_range;
+            // Three spikes 100 ms apart: pressure that *stays* bad
+            // briefly, not one transient dip.
+            let mut emitted = 0;
+            for k in 0..3 {
+                let usable = inj.hbm_pressure(slo, shi);
+                events.push(ChaosEvent {
+                    time: time + 0.1 * k as f64,
+                    action: ChaosAction::MemoryPressure { usable },
+                });
+                emitted += 1;
+            }
+            bursts.push(ChaosBurst {
+                time,
+                kind: BurstKind::PressureStorm,
+                events: emitted,
+            });
+        }
         // Stable sort keeps generation order for equal times, so the
         // plan is a pure function of (seed, config).
-        events.sort_by(|a, b| a.time.partial_cmp(&b.time).expect("chaos times are finite"));
-        Self { seed, events }
+        events.sort_by(|a, b| a.time.total_cmp(&b.time));
+        bursts.sort_by(|a, b| a.time.total_cmp(&b.time));
+        Self {
+            seed,
+            events,
+            bursts,
+        }
     }
 
     /// Events that target serving replicas, in time order.
@@ -298,6 +450,127 @@ mod tests {
             },
         );
         assert_eq!(none.min_pressure(), None);
+    }
+
+    #[test]
+    fn zero_burst_config_schedules_no_bursts() {
+        let plan = ChaosPlan::generate(42, &ChaosConfig::default());
+        assert!(plan.bursts.is_empty());
+        let base = ChaosConfig::default();
+        assert_eq!(
+            plan.events.len(),
+            base.kills + base.restarts + base.wal_truncations + base.faults + base.pressure_spikes
+        );
+    }
+
+    #[test]
+    fn correlated_kills_fire_simultaneously_on_distinct_replicas() {
+        let cfg = ChaosConfig {
+            replicas: 6,
+            bursts: 3,
+            burst_kill_fraction: 0.5,
+            kills: 0,
+            restarts: 0,
+            wal_truncations: 0,
+            faults: 0,
+            pressure_spikes: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(17, &cfg);
+        assert_eq!(plan.bursts.len(), 3);
+        for b in &plan.bursts {
+            assert_eq!(b.kind, BurstKind::CorrelatedKills);
+            assert_eq!(b.events, 3, "ceil(6 * 0.5) victims");
+            let victims: Vec<usize> = plan
+                .events
+                .iter()
+                .filter(|e| e.time == b.time)
+                .map(|e| match e.action {
+                    ChaosAction::KillReplica { replica, .. } => replica,
+                    other => panic!("burst emitted {other:?}"),
+                })
+                .collect();
+            assert_eq!(victims.len(), b.events, "all victims die at one instant");
+            let mut dedup = victims.clone();
+            dedup.sort_unstable();
+            dedup.dedup();
+            assert_eq!(dedup.len(), victims.len(), "victims are distinct");
+        }
+    }
+
+    #[test]
+    fn zone_fault_kills_exactly_one_failure_domain() {
+        let cfg = ChaosConfig {
+            replicas: 6,
+            zones: 3,
+            zone_faults: 1,
+            kills: 0,
+            restarts: 0,
+            wal_truncations: 0,
+            faults: 0,
+            pressure_spikes: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(23, &cfg);
+        assert_eq!(plan.bursts.len(), 1);
+        let b = plan.bursts[0];
+        assert_eq!(b.kind, BurstKind::ZoneFault);
+        assert_eq!(b.events, 2, "6 replicas / 3 zones");
+        let zones: Vec<usize> = plan
+            .events
+            .iter()
+            .map(|e| match e.action {
+                ChaosAction::KillReplica { replica, .. } => replica % cfg.zones,
+                other => panic!("zone fault emitted {other:?}"),
+            })
+            .collect();
+        assert!(zones.windows(2).all(|w| w[0] == w[1]), "one zone only");
+    }
+
+    #[test]
+    fn pressure_storms_cluster_severe_spikes() {
+        let cfg = ChaosConfig {
+            pressure_storms: 2,
+            storm_pressure_range: (0.2, 0.4),
+            kills: 0,
+            restarts: 0,
+            wal_truncations: 0,
+            faults: 0,
+            pressure_spikes: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(31, &cfg);
+        assert_eq!(plan.bursts.len(), 2);
+        assert_eq!(plan.events.len(), 6, "three spikes per storm");
+        for e in &plan.events {
+            match e.action {
+                ChaosAction::MemoryPressure { usable } => {
+                    assert!((0.2..0.4).contains(&usable), "storm severity range")
+                }
+                other => panic!("storm emitted {other:?}"),
+            }
+        }
+        for b in &plan.bursts {
+            let in_burst = plan
+                .events
+                .iter()
+                .filter(|e| e.time >= b.time && e.time <= b.time + 0.21)
+                .count();
+            assert!(in_burst >= 3, "spikes cluster within the storm window");
+        }
+    }
+
+    #[test]
+    fn burst_plans_replay_bit_identically() {
+        let cfg = ChaosConfig {
+            replicas: 4,
+            bursts: 2,
+            zone_faults: 1,
+            pressure_storms: 1,
+            ..ChaosConfig::default()
+        };
+        assert_eq!(ChaosPlan::generate(5, &cfg), ChaosPlan::generate(5, &cfg));
+        assert_ne!(ChaosPlan::generate(5, &cfg), ChaosPlan::generate(6, &cfg));
     }
 
     #[test]

@@ -1,15 +1,21 @@
-//! Hand-rolled CRC32 (IEEE 802.3 polynomial), table-driven.
+//! Hand-rolled CRC32 (IEEE 802.3 polynomial), slicing-by-8.
 //!
 //! Used for cache-page and persisted-snapshot integrity checks. The
-//! table is built at compile time so the hot path is one lookup and one
-//! shift per byte — no external crates, fully deterministic.
+//! eight lookup tables are built at compile time so the hot path
+//! processes eight bytes per iteration (eight lookups, one XOR tree) —
+//! no external crates, fully deterministic, and bit-identical to the
+//! classic one-table-per-byte formulation. WAL group commits checksum a
+//! multi-kilobyte frame per decoded token, so the checksum sits on the
+//! serving hot path.
 
 /// Reflected IEEE polynomial (0x04C11DB7 bit-reversed).
 const POLY: u32 = 0xEDB8_8320;
 
-/// 256-entry lookup table, one CRC step per byte value.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
+/// Slicing-by-8 lookup tables. `TABLES[0]` is the classic byte table;
+/// `TABLES[k][i]` advances the CRC of byte `i` through `k` further zero
+/// bytes, letting eight input bytes fold in parallel.
+const TABLES: [[u32; 256]; 8] = {
+    let mut tables = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -22,20 +28,47 @@ const TABLE: [u32; 256] = {
             };
             bit += 1;
         }
-        table[i] = crc;
+        tables[0][i] = crc;
         i += 1;
     }
-    table
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = tables[k - 1][i];
+            tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    tables
 };
+
+/// Advances a raw (pre-finalized) CRC state over `data`.
+fn update_raw(mut crc: u32, data: &[u8]) -> u32 {
+    let mut chunks = data.chunks_exact(8);
+    for c in chunks.by_ref() {
+        let lo = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let hi = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        crc = TABLES[7][(lo & 0xFF) as usize]
+            ^ TABLES[6][((lo >> 8) & 0xFF) as usize]
+            ^ TABLES[5][((lo >> 16) & 0xFF) as usize]
+            ^ TABLES[4][(lo >> 24) as usize]
+            ^ TABLES[3][(hi & 0xFF) as usize]
+            ^ TABLES[2][((hi >> 8) & 0xFF) as usize]
+            ^ TABLES[1][((hi >> 16) & 0xFF) as usize]
+            ^ TABLES[0][(hi >> 24) as usize];
+    }
+    for &b in chunks.remainder() {
+        crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+    }
+    crc
+}
 
 /// CRC32 (IEEE) of `data`, matching the common zlib/`crc32` convention
 /// (init `0xFFFF_FFFF`, final xor `0xFFFF_FFFF`).
 pub fn crc32(data: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
-    }
-    crc ^ 0xFFFF_FFFF
+    update_raw(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
 }
 
 /// Incremental CRC32 over several fragments without concatenating them.
@@ -52,9 +85,7 @@ impl Crc32 {
 
     /// Feeds one fragment.
     pub fn update(&mut self, data: &[u8]) {
-        for &b in data {
-            self.state = (self.state >> 8) ^ TABLE[((self.state ^ b as u32) & 0xFF) as usize];
-        }
+        self.state = update_raw(self.state, data);
     }
 
     /// Finishes and returns the checksum.
@@ -88,6 +119,24 @@ mod tests {
         inc.update(&data[..10]);
         inc.update(&data[10..]);
         assert_eq!(inc.finish(), crc32(data));
+    }
+
+    #[test]
+    fn slicing_by_8_matches_bytewise_reference() {
+        // The classic one-table formulation, kept as an oracle: the
+        // slicing-by-8 hot path must agree at every length, including
+        // the 1..7-byte remainders around the 8-byte fold boundary.
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &b in data {
+                crc = (crc >> 8) ^ TABLES[0][((crc ^ b as u32) & 0xFF) as usize];
+            }
+            crc ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..1024u32).map(|i| (i.wrapping_mul(2654435761) >> 13) as u8).collect();
+        for len in (0..64).chain([255, 256, 257, 1000, 1024]) {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len {len}");
+        }
     }
 
     #[test]

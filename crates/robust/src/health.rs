@@ -97,10 +97,37 @@ pub enum HealthEvent {
     /// A cached INT8 expansion was evicted to stay inside the tile cache's
     /// byte budget (LRU order).
     DequantCacheEvict,
+    /// A request finished inside its latency SLO (tracked per window by
+    /// [`crate::SloTracker`]).
+    SloRequestOk,
+    /// A request finished over its latency SLO or missed its deadline
+    /// outright (an SLO violation).
+    SloViolation,
+    /// An [`crate::SloTracker`] observation window closed and its
+    /// percentiles were folded into the running report.
+    SloWindowClosed,
+    /// The online tuner backed off (multiplicative-decrease): admission /
+    /// hedging / breaker knobs moved toward the conservative end after a
+    /// violating window.
+    TunerBackoff,
+    /// The online tuner relaxed (additive-increase): knobs moved toward
+    /// the aggressive end after a healthy window.
+    TunerRelax,
+    /// A correlated chaos burst began (multi-replica kills, zone fault,
+    /// or pressure storm — one event per burst, not per victim).
+    ChaosBurst,
+    /// The fleet autoscaler added a replica after an SLO breach.
+    FleetScaleUp,
+    /// The fleet autoscaler drained and retired a replica after a
+    /// sustained healthy run.
+    FleetScaleDown,
+    /// The fleet's p99/violation-rate signal returned under the SLO
+    /// threshold after a correlated burst (one event per recovery).
+    FleetSloRecovered,
 }
 
 /// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 31;
+pub const EVENT_COUNT: usize = 40;
 
 /// All events, in discriminant order, for iteration/reporting.
 pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
@@ -135,6 +162,15 @@ pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
     HealthEvent::DequantCacheHit,
     HealthEvent::DequantCacheMiss,
     HealthEvent::DequantCacheEvict,
+    HealthEvent::SloRequestOk,
+    HealthEvent::SloViolation,
+    HealthEvent::SloWindowClosed,
+    HealthEvent::TunerBackoff,
+    HealthEvent::TunerRelax,
+    HealthEvent::ChaosBurst,
+    HealthEvent::FleetScaleUp,
+    HealthEvent::FleetScaleDown,
+    HealthEvent::FleetSloRecovered,
 ];
 
 impl HealthEvent {
@@ -172,14 +208,33 @@ impl HealthEvent {
             HealthEvent::DequantCacheHit => "dequant_cache_hit",
             HealthEvent::DequantCacheMiss => "dequant_cache_miss",
             HealthEvent::DequantCacheEvict => "dequant_cache_evict",
+            HealthEvent::SloRequestOk => "slo_request_ok",
+            HealthEvent::SloViolation => "slo_violation",
+            HealthEvent::SloWindowClosed => "slo_window_closed",
+            HealthEvent::TunerBackoff => "tuner_backoff",
+            HealthEvent::TunerRelax => "tuner_relax",
+            HealthEvent::ChaosBurst => "chaos_burst",
+            HealthEvent::FleetScaleUp => "fleet_scale_up",
+            HealthEvent::FleetScaleDown => "fleet_scale_down",
+            HealthEvent::FleetSloRecovered => "fleet_slo_recovered",
         }
     }
 }
 
 /// Shared registry of per-event counters.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct HealthStats {
     counters: [AtomicU64; EVENT_COUNT],
+}
+
+// Arrays only derive `Default` up to 32 elements; build the counter
+// bank explicitly.
+impl Default for HealthStats {
+    fn default() -> Self {
+        Self {
+            counters: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
 }
 
 impl HealthStats {

@@ -15,8 +15,14 @@
 //!   crates) backing per-block checksums in the persisted-cache format,
 //!   page scrubbing in the paged pool, and WAL record framing.
 //! * [`ChaosPlan`] — seeded, time-ordered scripts of kills, WAL
-//!   truncations, fault injections, and pressure spikes for the chaos
-//!   soak harness; pure data consumed by the serving layer.
+//!   truncations, fault injections, pressure spikes, and *correlated*
+//!   failure bursts (simultaneous multi-replica kills, zone faults,
+//!   pressure storms) for the chaos soak harness; pure data consumed by
+//!   the serving layer.
+//! * [`SloTracker`] — windowed p50/p99 latency and SLO-violation-rate
+//!   accounting the fleet control plane steers by.
+//! * [`OnlineTuner`] — AIMD re-tuning of admission backoff, hedging
+//!   delay, and breaker thresholds from observed SLO windows.
 //!
 //! The crate sits *below* `turbo-kvcache` and `turbo-attention` in the
 //! dependency graph (it only needs `turbo-tensor` and `turbo-quant`),
@@ -30,8 +36,12 @@ mod chaos;
 mod crc32;
 mod fault;
 mod health;
+mod slo;
+mod tuner;
 
-pub use chaos::{ChaosAction, ChaosConfig, ChaosEvent, ChaosPlan};
+pub use chaos::{BurstKind, ChaosAction, ChaosBurst, ChaosConfig, ChaosEvent, ChaosPlan};
 pub use crc32::{crc32, Crc32};
 pub use fault::{ActivationFault, ByteFault, FaultInjector};
 pub use health::{HealthEvent, HealthStats, ALL_EVENTS, EVENT_COUNT};
+pub use slo::{SloConfig, SloTracker, SloWindow};
+pub use tuner::{OnlineTuner, TunedParams, TunerConfig};

@@ -1,0 +1,314 @@
+//! Windowed latency-SLO accounting.
+//!
+//! [`SloTracker`] turns a stream of per-request completions into the
+//! control signals the fleet layer steers by: per-window p50/p99
+//! latency, the fraction of requests that violated their SLO (finished
+//! over the latency target or missed their deadline outright), and a
+//! running violation history. It is pure data — no clocks, no
+//! threads — so every fleet episode replays bit-for-bit from its seed,
+//! and it reports into the shared [`HealthStats`] registry so chaos
+//! suites can cross-check SLO verdicts against injected faults.
+//!
+//! The window is *count-based* (every `window` finished requests close
+//! one [`SloWindow`]), not wall-clock-based: the simulator's virtual
+//! time advances at wildly different rates under load spikes, and a
+//! count basis keeps percentile estimates equally conditioned in calm
+//! and stormy windows.
+
+use crate::health::{HealthEvent, HealthStats};
+
+/// Latency-SLO contract one tracker enforces.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloConfig {
+    /// Per-request latency target in seconds; a request finishing slower
+    /// than this (or missing its deadline) counts as a violation.
+    pub latency_slo: f64,
+    /// Finished requests per observation window.
+    pub window: usize,
+    /// Highest per-window violation fraction still considered healthy.
+    pub max_violation_rate: f64,
+}
+
+impl Default for SloConfig {
+    /// 2-second latency target, 32-request windows, 10% violation budget.
+    fn default() -> Self {
+        Self {
+            latency_slo: 2.0,
+            window: 32,
+            max_violation_rate: 0.1,
+        }
+    }
+}
+
+/// One closed observation window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SloWindow {
+    /// Zero-based window sequence number.
+    pub index: usize,
+    /// Requests folded into this window (== `SloConfig::window`).
+    pub samples: usize,
+    /// Median finish latency (seconds) of the window.
+    pub p50: f64,
+    /// 99th-percentile finish latency (seconds) of the window.
+    pub p99: f64,
+    /// Requests that violated the SLO in this window.
+    pub violations: usize,
+    /// `violations / samples`.
+    pub violation_rate: f64,
+}
+
+impl SloWindow {
+    /// Whether the window met its violation budget.
+    pub fn healthy(&self, cfg: &SloConfig) -> bool {
+        self.violation_rate <= cfg.max_violation_rate
+    }
+}
+
+/// Streaming per-request SLO accounting with count-based windows.
+///
+/// # Example
+///
+/// ```
+/// use turbo_robust::{SloConfig, SloTracker};
+///
+/// let cfg = SloConfig { latency_slo: 1.0, window: 4, max_violation_rate: 0.25 };
+/// let mut slo = SloTracker::new(cfg);
+/// for lat in [0.2, 0.4, 1.5, 0.3] {
+///     slo.record(lat, false, None);
+/// }
+/// let w = &slo.windows()[0];
+/// assert_eq!(w.violations, 1);
+/// assert!(w.healthy(&cfg));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct SloTracker {
+    cfg: SloConfig,
+    /// Latencies of the currently-open window.
+    open: Vec<f64>,
+    /// Violations in the currently-open window.
+    open_violations: usize,
+    /// Closed windows, oldest first.
+    windows: Vec<SloWindow>,
+    /// Lifetime totals.
+    total: usize,
+    total_violations: usize,
+}
+
+impl SloTracker {
+    /// Fresh tracker with no observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window size is zero, the latency target is not
+    /// positive, or the violation budget is outside `[0, 1]`.
+    pub fn new(cfg: SloConfig) -> Self {
+        assert!(cfg.window > 0, "SLO window must hold at least one request");
+        assert!(
+            cfg.latency_slo > 0.0 && cfg.latency_slo.is_finite(),
+            "latency SLO must be positive and finite"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.max_violation_rate),
+            "violation budget must be a fraction"
+        );
+        Self {
+            cfg,
+            open: Vec::with_capacity(cfg.window),
+            open_violations: 0,
+            windows: Vec::new(),
+            total: 0,
+            total_violations: 0,
+        }
+    }
+
+    /// The contract this tracker enforces.
+    pub fn config(&self) -> &SloConfig {
+        &self.cfg
+    }
+
+    /// Folds one finished request in: its end-to-end latency and whether
+    /// it missed its hard deadline (deadline misses violate regardless
+    /// of latency). Non-finite latencies are treated as violations with
+    /// the latency clamped to the SLO bound — a poisoned measurement
+    /// must never poison the percentile estimates.
+    pub fn record(&mut self, latency: f64, deadline_missed: bool, health: Option<&HealthStats>) {
+        let lat = if latency.is_finite() && latency >= 0.0 {
+            latency
+        } else {
+            self.cfg.latency_slo
+        };
+        let violated =
+            deadline_missed || lat > self.cfg.latency_slo || !latency.is_finite() || latency < 0.0;
+        self.open.push(lat);
+        self.total += 1;
+        if violated {
+            self.open_violations += 1;
+            self.total_violations += 1;
+        }
+        if let Some(hs) = health {
+            hs.record(if violated {
+                HealthEvent::SloViolation
+            } else {
+                HealthEvent::SloRequestOk
+            });
+        }
+        if self.open.len() == self.cfg.window {
+            self.close_window(health);
+        }
+    }
+
+    fn close_window(&mut self, health: Option<&HealthStats>) {
+        let mut lats = std::mem::take(&mut self.open);
+        lats.sort_by(f64::total_cmp);
+        let samples = lats.len();
+        let window = SloWindow {
+            index: self.windows.len(),
+            samples,
+            p50: percentile(&lats, 0.50),
+            p99: percentile(&lats, 0.99),
+            violations: self.open_violations,
+            violation_rate: self.open_violations as f64 / samples as f64,
+        };
+        self.open = lats;
+        self.open.clear();
+        self.open_violations = 0;
+        self.windows.push(window);
+        if let Some(hs) = health {
+            hs.record(HealthEvent::SloWindowClosed);
+        }
+    }
+
+    /// Closed windows, oldest first.
+    pub fn windows(&self) -> &[SloWindow] {
+        &self.windows
+    }
+
+    /// The most recently closed window, if any.
+    pub fn last_window(&self) -> Option<&SloWindow> {
+        self.windows.last()
+    }
+
+    /// Requests observed (including ones still in the open window).
+    pub fn total(&self) -> usize {
+        self.total
+    }
+
+    /// Lifetime violation fraction over every observed request (0 when
+    /// nothing was observed).
+    pub fn violation_rate(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.total_violations as f64 / self.total as f64
+        }
+    }
+
+    /// Requests buffered in the not-yet-closed window.
+    pub fn pending(&self) -> usize {
+        self.open.len()
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted slice (`q` in
+/// `[0, 1]`); 0 for an empty slice.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(window: usize) -> SloConfig {
+        SloConfig {
+            latency_slo: 1.0,
+            window,
+            max_violation_rate: 0.25,
+        }
+    }
+
+    #[test]
+    fn windows_close_on_count_and_report_percentiles() {
+        let mut slo = SloTracker::new(cfg(4));
+        for lat in [0.1, 0.2, 0.3, 0.4, 0.5, 2.0, 0.7, 0.8] {
+            slo.record(lat, false, None);
+        }
+        assert_eq!(slo.windows().len(), 2);
+        let w0 = slo.windows()[0];
+        assert_eq!(w0.index, 0);
+        assert_eq!(w0.samples, 4);
+        assert_eq!(w0.p50, 0.2);
+        assert_eq!(w0.p99, 0.4);
+        assert_eq!(w0.violations, 0);
+        assert!(w0.healthy(slo.config()));
+        let w1 = slo.windows()[1];
+        assert_eq!(w1.violations, 1);
+        assert_eq!(w1.p99, 2.0);
+        assert!(w1.healthy(slo.config())); // 1/4 == budget
+    }
+
+    #[test]
+    fn deadline_miss_violates_even_when_fast() {
+        let mut slo = SloTracker::new(cfg(2));
+        slo.record(0.1, true, None);
+        slo.record(0.1, false, None);
+        assert_eq!(slo.windows()[0].violations, 1);
+        assert_eq!(slo.violation_rate(), 0.5);
+    }
+
+    #[test]
+    fn non_finite_latency_is_a_clamped_violation() {
+        let mut slo = SloTracker::new(cfg(2));
+        slo.record(f64::NAN, false, None);
+        slo.record(f64::INFINITY, false, None);
+        let w = slo.windows()[0];
+        assert_eq!(w.violations, 2);
+        assert!(w.p99.is_finite(), "poisoned samples must not leak");
+    }
+
+    #[test]
+    fn health_counters_match_verdicts() {
+        let hs = HealthStats::new();
+        let mut slo = SloTracker::new(cfg(3));
+        for lat in [0.5, 5.0, 0.5] {
+            slo.record(lat, false, Some(&hs));
+        }
+        assert_eq!(hs.count(HealthEvent::SloRequestOk), 2);
+        assert_eq!(hs.count(HealthEvent::SloViolation), 1);
+        assert_eq!(hs.count(HealthEvent::SloWindowClosed), 1);
+    }
+
+    #[test]
+    fn same_stream_same_windows() {
+        let lats: Vec<f64> = (0..64).map(|i| (i as f64 * 0.37) % 1.9).collect();
+        let mut a = SloTracker::new(cfg(8));
+        let mut b = SloTracker::new(cfg(8));
+        for &l in &lats {
+            a.record(l, false, None);
+            b.record(l, false, None);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&v, 0.5), 2.0);
+        assert_eq!(percentile(&v, 0.99), 4.0);
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window must hold")]
+    fn zero_window_rejected() {
+        SloTracker::new(SloConfig {
+            window: 0,
+            ..SloConfig::default()
+        });
+    }
+}

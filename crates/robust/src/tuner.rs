@@ -1,0 +1,324 @@
+//! AIMD online tuning of the serving layer's protection knobs.
+//!
+//! [`OnlineTuner`] closes the loop between observed [`SloWindow`]s and
+//! the admission/hedging/breaker parameters the serving layer runs
+//! with. It maintains one scalar *aggressiveness* position `t ∈ [0, 1]`
+//! and moves it AIMD-style: a healthy window nudges `t` up by an
+//! additive step (toward the throughput end — admit faster, hedge
+//! later, tolerate more failures before tripping a breaker); a
+//! violating window cuts `t` multiplicatively (toward the protective
+//! end — back admission off harder, hedge sooner, trip breakers faster
+//! and hold them open longer). Every concrete knob is a linear
+//! interpolation between its protective and throughput endpoints, so
+//! the whole controller is a pure, seed-free function of the window
+//! stream — deterministic by construction.
+//!
+//! The single-position design is deliberate: independent per-knob
+//! controllers can end up in contradictory corners (aggressive
+//! admission with paranoid breakers), whereas one shared position keeps
+//! the knob set self-consistent and makes the controller's state
+//! trivially auditable (one number).
+
+use crate::health::{HealthEvent, HealthStats};
+use crate::slo::{SloConfig, SloWindow};
+
+/// The serving knobs the tuner emits. Plain numbers, not serving-layer
+/// types: `robust` sits below the serving crate in the dependency
+/// graph, so the fleet layer maps these onto its own config structs.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunedParams {
+    /// Admission retry backoff base, seconds.
+    pub admission_backoff: f64,
+    /// Hedge a request onto a standby if its replica has not answered
+    /// within this many seconds.
+    pub hedge_threshold: f64,
+    /// Consecutive failures before a replica's circuit breaker opens.
+    pub breaker_failure_threshold: u32,
+    /// Seconds an open breaker waits before probing half-open.
+    pub breaker_cooldown: f64,
+}
+
+/// Endpoint ranges and AIMD step sizes.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TunerConfig {
+    /// Admission backoff endpoints `(throughput, protective)` — the
+    /// protective end backs off harder.
+    pub backoff_range: (f64, f64),
+    /// Hedge threshold endpoints `(protective, throughput)` — the
+    /// protective end hedges sooner.
+    pub hedge_range: (f64, f64),
+    /// Breaker failure-threshold endpoints `(protective, throughput)` —
+    /// the protective end trips after fewer failures.
+    pub breaker_failures_range: (u32, u32),
+    /// Breaker cooldown endpoints `(throughput, protective)` — the
+    /// protective end holds breakers open longer.
+    pub breaker_cooldown_range: (f64, f64),
+    /// Additive step applied to the position after a healthy window.
+    pub relax_step: f64,
+    /// Multiplicative factor applied to the position after a violating
+    /// window (in `(0, 1)`).
+    pub backoff_factor: f64,
+    /// Starting position in `[0, 1]`.
+    pub initial_position: f64,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        Self {
+            backoff_range: (0.05, 1.0),
+            hedge_range: (0.25, 4.0),
+            breaker_failures_range: (1, 6),
+            breaker_cooldown_range: (1.0, 10.0),
+            relax_step: 0.1,
+            backoff_factor: 0.5,
+            initial_position: 0.5,
+        }
+    }
+}
+
+/// AIMD controller over one aggressiveness position; see the module
+/// docs for the update rule.
+///
+/// # Example
+///
+/// ```
+/// use turbo_robust::{OnlineTuner, TunerConfig, SloConfig, SloTracker};
+///
+/// let slo = SloConfig::default();
+/// let mut tuner = OnlineTuner::new(TunerConfig::default());
+/// let before = tuner.params();
+/// let mut tracker = SloTracker::new(SloConfig { window: 2, ..slo });
+/// tracker.record(10.0, true, None); // violating window
+/// tracker.record(10.0, true, None);
+/// let after = tuner.observe(tracker.last_window().unwrap(), &slo, None);
+/// assert!(after.admission_backoff > before.admission_backoff);
+/// assert!(after.hedge_threshold < before.hedge_threshold);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct OnlineTuner {
+    cfg: TunerConfig,
+    /// Aggressiveness position: 0 = fully protective, 1 = full
+    /// throughput.
+    position: f64,
+    /// Windows observed.
+    observed: usize,
+    /// Multiplicative-decrease steps taken.
+    backoffs: usize,
+    /// Additive-increase steps taken.
+    relaxes: usize,
+}
+
+impl OnlineTuner {
+    /// Fresh tuner at the configured initial position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any range is inverted/non-finite, the steps are not in
+    /// range, or the initial position is outside `[0, 1]`.
+    pub fn new(cfg: TunerConfig) -> Self {
+        let ok = |(a, b): (f64, f64)| a.is_finite() && b.is_finite() && a > 0.0 && b > 0.0;
+        assert!(
+            ok(cfg.backoff_range) && ok(cfg.hedge_range) && ok(cfg.breaker_cooldown_range),
+            "tuner ranges must be positive and finite"
+        );
+        assert!(
+            cfg.breaker_failures_range.0 >= 1
+                && cfg.breaker_failures_range.0 <= cfg.breaker_failures_range.1,
+            "breaker failure range must be ordered and at least 1"
+        );
+        assert!(
+            cfg.relax_step > 0.0 && cfg.relax_step <= 1.0,
+            "relax step must be in (0, 1]"
+        );
+        assert!(
+            cfg.backoff_factor > 0.0 && cfg.backoff_factor < 1.0,
+            "backoff factor must be in (0, 1)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.initial_position),
+            "initial position must be a fraction"
+        );
+        Self {
+            position: cfg.initial_position,
+            cfg,
+            observed: 0,
+            backoffs: 0,
+            relaxes: 0,
+        }
+    }
+
+    /// Current aggressiveness position in `[0, 1]`.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// `(windows observed, backoff steps, relax steps)`.
+    pub fn counters(&self) -> (usize, usize, usize) {
+        (self.observed, self.backoffs, self.relaxes)
+    }
+
+    /// Knobs for the current position.
+    pub fn params(&self) -> TunedParams {
+        let t = self.position;
+        // Protective end is t = 0: hardest backoff, earliest hedge,
+        // twitchiest breaker, longest cooldown.
+        let (back_thr, back_prot) = self.cfg.backoff_range;
+        let (hedge_prot, hedge_thr) = self.cfg.hedge_range;
+        let (fail_prot, fail_thr) = self.cfg.breaker_failures_range;
+        let (cool_thr, cool_prot) = self.cfg.breaker_cooldown_range;
+        TunedParams {
+            admission_backoff: lerp(back_prot, back_thr, t),
+            hedge_threshold: lerp(hedge_prot, hedge_thr, t),
+            breaker_failure_threshold: lerp(fail_prot as f64, fail_thr as f64, t).round() as u32,
+            breaker_cooldown: lerp(cool_prot, cool_thr, t),
+        }
+    }
+
+    /// Folds one closed window in and returns the re-tuned knobs.
+    /// Healthy window ⇒ additive increase; violating window ⇒
+    /// multiplicative decrease.
+    pub fn observe(
+        &mut self,
+        window: &SloWindow,
+        slo: &SloConfig,
+        health: Option<&HealthStats>,
+    ) -> TunedParams {
+        self.observed += 1;
+        if window.healthy(slo) {
+            self.position = (self.position + self.cfg.relax_step).min(1.0);
+            self.relaxes += 1;
+            if let Some(hs) = health {
+                hs.record(HealthEvent::TunerRelax);
+            }
+        } else {
+            self.position *= self.cfg.backoff_factor;
+            self.backoffs += 1;
+            if let Some(hs) = health {
+                hs.record(HealthEvent::TunerBackoff);
+            }
+        }
+        self.params()
+    }
+}
+
+fn lerp(at_zero: f64, at_one: f64, t: f64) -> f64 {
+    at_zero + (at_one - at_zero) * t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slo::SloTracker;
+
+    fn violating_window() -> SloWindow {
+        SloWindow {
+            index: 0,
+            samples: 4,
+            p50: 5.0,
+            p99: 9.0,
+            violations: 4,
+            violation_rate: 1.0,
+        }
+    }
+
+    fn healthy_window() -> SloWindow {
+        SloWindow {
+            index: 0,
+            samples: 4,
+            p50: 0.2,
+            p99: 0.5,
+            violations: 0,
+            violation_rate: 0.0,
+        }
+    }
+
+    #[test]
+    fn violations_move_protective_and_health_counts() {
+        let slo = SloConfig::default();
+        let hs = HealthStats::new();
+        let mut tuner = OnlineTuner::new(TunerConfig::default());
+        let before = tuner.params();
+        let after = tuner.observe(&violating_window(), &slo, Some(&hs));
+        assert!(after.admission_backoff > before.admission_backoff);
+        assert!(after.hedge_threshold < before.hedge_threshold);
+        assert!(after.breaker_failure_threshold <= before.breaker_failure_threshold);
+        assert!(after.breaker_cooldown > before.breaker_cooldown);
+        assert_eq!(hs.count(HealthEvent::TunerBackoff), 1);
+        assert_eq!(hs.count(HealthEvent::TunerRelax), 0);
+    }
+
+    #[test]
+    fn healthy_windows_relax_toward_throughput() {
+        let slo = SloConfig::default();
+        let mut tuner = OnlineTuner::new(TunerConfig::default());
+        let before = tuner.params();
+        tuner.observe(&healthy_window(), &slo, None);
+        let after = tuner.params();
+        assert!(after.admission_backoff < before.admission_backoff);
+        assert!(after.hedge_threshold > before.hedge_threshold);
+    }
+
+    #[test]
+    fn position_stays_bounded_and_knobs_stay_in_range() {
+        let slo = SloConfig::default();
+        let cfg = TunerConfig::default();
+        let mut tuner = OnlineTuner::new(cfg);
+        for _ in 0..50 {
+            tuner.observe(&healthy_window(), &slo, None);
+        }
+        assert_eq!(tuner.position(), 1.0);
+        let p = tuner.params();
+        assert!((p.admission_backoff - cfg.backoff_range.0).abs() < 1e-12);
+        assert_eq!(p.breaker_failure_threshold, cfg.breaker_failures_range.1);
+        for _ in 0..200 {
+            tuner.observe(&violating_window(), &slo, None);
+        }
+        assert!(tuner.position() >= 0.0 && tuner.position() < 1e-6);
+        let p = tuner.params();
+        assert!(p.admission_backoff <= cfg.backoff_range.1);
+        assert!(p.breaker_failure_threshold >= cfg.breaker_failures_range.0);
+        assert!(p.breaker_cooldown <= cfg.breaker_cooldown_range.1);
+    }
+
+    #[test]
+    fn multiplicative_decrease_outpaces_additive_increase() {
+        // One bad window must undo more than one good window restored —
+        // the classic AIMD stability argument.
+        let slo = SloConfig::default();
+        let mut tuner = OnlineTuner::new(TunerConfig::default());
+        let start = tuner.position();
+        tuner.observe(&healthy_window(), &slo, None);
+        tuner.observe(&violating_window(), &slo, None);
+        assert!(tuner.position() < start);
+    }
+
+    #[test]
+    fn same_window_stream_same_params() {
+        let slo = SloConfig {
+            window: 4,
+            ..SloConfig::default()
+        };
+        let mut track_a = SloTracker::new(slo);
+        let mut track_b = SloTracker::new(slo);
+        let mut tun_a = OnlineTuner::new(TunerConfig::default());
+        let mut tun_b = OnlineTuner::new(TunerConfig::default());
+        for i in 0..64 {
+            let lat = if i % 7 == 0 { 5.0 } else { 0.3 };
+            track_a.record(lat, false, None);
+            track_b.record(lat, false, None);
+        }
+        for (wa, wb) in track_a.windows().iter().zip(track_b.windows()) {
+            assert_eq!(tun_a.observe(wa, &slo, None), tun_b.observe(wb, &slo, None));
+        }
+        assert_eq!(tun_a, tun_b);
+    }
+
+    #[test]
+    #[should_panic(expected = "backoff factor")]
+    fn bad_backoff_factor_rejected() {
+        OnlineTuner::new(TunerConfig {
+            backoff_factor: 1.5,
+            ..TunerConfig::default()
+        });
+    }
+}

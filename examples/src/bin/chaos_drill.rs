@@ -68,6 +68,7 @@ fn main() {
             faults: 0,
             pressure_spikes: 1,
             pressure_range: (0.6, 0.9),
+            ..ChaosConfig::default()
         },
     );
     println!("2. chaos plan (seed {seed}): {} events", plan.events.len());

@@ -19,6 +19,9 @@ TURBO_RUNTIME_THREADS=2 cargo test -q -p turbo-runtime
 echo "==> chaos smoke (64 seeded episodes, 2 replicas)"
 TURBO_CHAOS_EPISODES=64 cargo test -q -p turbo-integration-tests --test chaos_soak
 
+echo "==> fleet smoke (16 seeded control-plane episodes, bounded SLO recovery)"
+TURBO_FLEET_EPISODES=16 cargo test -q -p turbo-integration-tests --test fleet_soak
+
 echo "==> layer-WAL smoke (group-commit crash points + chaos)"
 cargo test -q -p turbo-integration-tests --test crash_consistency layer_wal
 

@@ -1,0 +1,209 @@
+//! Deterministic fleet soak: seeded control-plane episodes with
+//! correlated-failure bursts and bounded SLO recovery.
+//!
+//! Every episode runs a full fleet control loop — diurnal/bursty
+//! workload, SLO tracker, AIMD tuner, SLO-driven autoscaler — through a
+//! chaos campaign whose burst epochs fire *correlated* failures
+//! (simultaneous multi-replica kills, pressure storms). Each episode
+//! asserts the fleet contract:
+//!
+//! * **exactly-once accounting** — `completed + truncated + rejected`
+//!   equals the number of submitted requests, per epoch and in total;
+//! * **zero token loss** — every durable prefix token of every killed
+//!   replica (chaos kills *and* cold spawn warm-ups) is recovered by
+//!   WAL replay or re-prefilled;
+//! * **bounded SLO recovery** — after every correlated burst, the
+//!   violation rate returns under the SLO budget within the configured
+//!   number of epochs;
+//! * **determinism** — the same seed reproduces the identical
+//!   [`FleetStats`] (event trace included) on 1, 2, and 8 runtime
+//!   workers, bit for bit.
+//!
+//! The episode count defaults to 200 and can be overridden with the
+//! `TURBO_FLEET_EPISODES` environment variable (CI runs a bounded smoke;
+//! soak rigs can turn it up).
+
+use turbo_gpusim::{
+    fleet::{FleetConfig, FleetWorkloadSpec},
+    run_fleet_on, AttnMethod, GpuSpec, ModelGeometry, ReplicaSetConfig,
+};
+use turbo_robust::{ChaosConfig, HealthEvent, HealthStats, SloConfig};
+use turbo_runtime::Runtime;
+
+fn episodes() -> usize {
+    std::env::var("TURBO_FLEET_EPISODES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200)
+}
+
+/// The soak fleet: three burst epochs per episode (4th, 8th, 12th of
+/// 13), recovery required within 2 epochs of each.
+fn soak_config() -> FleetConfig {
+    FleetConfig {
+        epochs: 13,
+        burst_every: 4,
+        recovery_bound_epochs: 2,
+        slo: SloConfig {
+            latency_slo: 2.0,
+            window: 24,
+            max_violation_rate: 0.1,
+        },
+        workload: FleetWorkloadSpec {
+            requests_per_epoch: 12,
+            ..FleetWorkloadSpec::default()
+        },
+        replica_set: ReplicaSetConfig {
+            prefix_tokens: 64,
+            prefix_dim: 4,
+            ..ReplicaSetConfig::default()
+        },
+        chaos: ChaosConfig {
+            horizon: 20.0,
+            kills: 0,
+            restarts: 0,
+            wal_truncations: 0,
+            faults: 1,
+            pressure_spikes: 0,
+            bursts: 1,
+            burst_kill_fraction: 0.5,
+            pressure_storms: 1,
+            ..ChaosConfig::default()
+        },
+        ..FleetConfig::default()
+    }
+}
+
+#[test]
+fn fleet_soak_holds_slo_recovery_and_ledgers_across_seeded_episodes() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let cfg = soak_config();
+    let rt = Runtime::with_workers(2);
+    let n = episodes();
+    assert!(n > 0, "soak needs at least one episode");
+    let expected_total = cfg.epochs * cfg.workload.requests_per_epoch;
+    let mut total_bursts = 0usize;
+    let mut total_kills = 0usize;
+    for ep in 0..n {
+        let seed = 0xF1EE_7000 + ep as u64;
+        let health = HealthStats::new();
+        let stats = run_fleet_on(
+            &rt,
+            &gpu,
+            &geom,
+            AttnMethod::FlashFp16,
+            &cfg,
+            seed,
+            Some(&health),
+        );
+
+        // Exactly-once: every submitted request lands in exactly one
+        // terminal bucket, per epoch and in total.
+        assert_eq!(stats.total, expected_total, "episode {ep}");
+        assert_eq!(stats.accounted(), stats.total, "episode {ep}: ledger leak");
+        for e in &stats.epochs {
+            assert_eq!(
+                e.completed + e.truncated + e.rejected,
+                e.total,
+                "episode {ep} epoch {}: ledger leak",
+                e.epoch
+            );
+        }
+
+        // Zero token loss: chaos kills and cold spawn warm-ups both
+        // rebuild through snapshot + WAL replay or re-prefill.
+        assert_eq!(stats.lost_tokens, 0, "episode {ep}: silent token loss");
+        assert_eq!(
+            stats.recovered_tokens + stats.reprefilled_tokens,
+            stats.kills * cfg.replica_set.prefix_tokens,
+            "episode {ep}: durability ledger does not balance"
+        );
+
+        // The campaign must actually burst, and every burst must recover
+        // within the configured bound.
+        assert!(stats.bursts > 0, "episode {ep}: no correlated bursts fired");
+        let burst_epochs = stats.epochs.iter().filter(|e| !e.bursts.is_empty()).count();
+        assert_eq!(
+            stats.recoveries.len(),
+            burst_epochs,
+            "episode {ep}: every burst epoch needs a recovery record"
+        );
+        for r in &stats.recoveries {
+            assert!(
+                r.within_bound,
+                "episode {ep}: burst at epoch {} took {} epochs to recover (bound {})",
+                r.burst_epoch, r.recovery_epochs, cfg.recovery_bound_epochs
+            );
+        }
+
+        // Health telemetry agrees with the report.
+        assert_eq!(
+            health.count(HealthEvent::SloRequestOk) + health.count(HealthEvent::SloViolation),
+            stats.total as u64,
+            "episode {ep}: SLO tracker must see every request exactly once"
+        );
+        assert_eq!(
+            health.count(HealthEvent::ChaosBurst),
+            stats.bursts as u64,
+            "episode {ep}"
+        );
+        assert_eq!(
+            health.count(HealthEvent::ReplicaKilled),
+            stats.kills as u64,
+            "episode {ep}"
+        );
+        assert!(
+            health.count(HealthEvent::FleetScaleUp) >= stats.scale_ups as u64,
+            "episode {ep}"
+        );
+        assert_eq!(
+            health.count(HealthEvent::FleetScaleDown),
+            stats.scale_downs as u64,
+            "episode {ep}"
+        );
+        assert!(
+            health.count(HealthEvent::FleetSloRecovered) as usize <= stats.recoveries.len(),
+            "episode {ep}"
+        );
+
+        // The tuner must have consumed the closed SLO windows.
+        assert_eq!(
+            stats.tuner_counters.0,
+            stats.slo_windows,
+            "episode {ep}: tuner missed windows"
+        );
+        assert!(
+            (0.0..=1.0).contains(&stats.tuner_position),
+            "episode {ep}: tuner position out of range"
+        );
+
+        total_bursts += stats.bursts;
+        total_kills += stats.kills;
+
+        // Sampled determinism: the identical FleetStats — event trace,
+        // windows, decisions, ledger — on 1 and 8 workers.
+        if ep % 16 == 0 {
+            let rt1 = Runtime::with_workers(1);
+            let rt8 = Runtime::with_workers(8);
+            let s1 = run_fleet_on(&rt1, &gpu, &geom, AttnMethod::FlashFp16, &cfg, seed, None);
+            let s8 = run_fleet_on(&rt8, &gpu, &geom, AttnMethod::FlashFp16, &cfg, seed, None);
+            assert_eq!(stats, s1, "episode {ep}: 2-worker vs 1-worker diverged");
+            assert_eq!(stats, s8, "episode {ep}: 2-worker vs 8-worker diverged");
+        }
+    }
+    assert!(total_bursts > 0, "the soak never fired a correlated burst");
+    assert!(total_kills > 0, "the soak never killed a replica");
+}
+
+#[test]
+fn fleet_trace_is_bit_identical_across_reruns() {
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let cfg = soak_config();
+    let rt = Runtime::with_workers(2);
+    let a = run_fleet_on(&rt, &gpu, &geom, AttnMethod::FlashFp16, &cfg, 0xF1EE, None);
+    let b = run_fleet_on(&rt, &gpu, &geom, AttnMethod::FlashFp16, &cfg, 0xF1EE, None);
+    assert_eq!(a.trace, b.trace);
+    assert_eq!(a, b);
+}
