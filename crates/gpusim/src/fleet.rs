@@ -615,14 +615,8 @@ pub fn run_fleet_on(
         }
         replicas = next;
 
-        let pct = |q: f64| -> f64 {
-            if epoch_latencies.is_empty() {
-                return 0.0;
-            }
-            let rank = ((q * epoch_latencies.len() as f64).ceil() as usize)
-                .clamp(1, epoch_latencies.len());
-            epoch_latencies[rank - 1]
-        };
+        // Same nearest-rank definition the SloTracker windows use.
+        let pct = |q: f64| -> f64 { turbo_robust::percentile(&epoch_latencies, q) };
         let report = EpochReport {
             epoch,
             replicas: before,

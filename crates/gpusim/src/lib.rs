@@ -33,6 +33,7 @@ pub mod kernels;
 pub mod memory;
 pub mod method;
 pub mod replica;
+pub mod sched;
 pub mod serving;
 pub mod throughput;
 
@@ -50,9 +51,14 @@ pub use replica::{
     run_replica_set, run_replica_set_on, BreakerConfig, BreakerState, CircuitBreaker,
     ReplicaSetConfig, ReplicaSetStats,
 };
+pub use sched::{
+    simulate_serving_continuous, simulate_serving_continuous_on,
+    simulate_serving_continuous_paged, simulate_serving_continuous_streamed, Queue, Scheduler,
+    SchedulerConfig, SchedulerStats, StepRecord, TokenEvent,
+};
 pub use serving::{
     simulate_serving, simulate_serving_batched, simulate_serving_batched_on,
-    simulate_serving_robust, uniform_workload, RequestSpec, RobustServingStats, ServingPolicy,
-    ServingStats, WorkloadSpec,
+    simulate_serving_robust, simulate_serving_robust_paged, uniform_workload, RequestSpec,
+    RobustServingStats, ServingPolicy, ServingStats, WorkloadSpec,
 };
 pub use throughput::{max_throughput, throughput};

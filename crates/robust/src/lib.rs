@@ -43,5 +43,5 @@ pub use chaos::{BurstKind, ChaosAction, ChaosBurst, ChaosConfig, ChaosEvent, Cha
 pub use crc32::{crc32, Crc32};
 pub use fault::{ActivationFault, ByteFault, FaultInjector};
 pub use health::{HealthEvent, HealthStats, ALL_EVENTS, EVENT_COUNT};
-pub use slo::{SloConfig, SloTracker, SloWindow};
+pub use slo::{percentile, SloConfig, SloTracker, SloWindow};
 pub use tuner::{OnlineTuner, TunedParams, TunerConfig};

@@ -211,7 +211,14 @@ impl SloTracker {
 
 /// Nearest-rank percentile of an ascending-sorted slice (`q` in
 /// `[0, 1]`); 0 for an empty slice.
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+///
+/// This is the **one** percentile definition in the workspace: the
+/// serving report, the fleet epoch reports, and the SLO windows all
+/// quote it, so the tuner and the serving stats can never disagree on
+/// the same latency vector. (The serving layer previously used
+/// `((n-1)·q).round()` — a different rank for most n — which let the
+/// two reports contradict each other on one episode.)
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }

@@ -66,9 +66,10 @@ import json, os, sys
 
 GATED_PREFIX = "attention/decode_over_256/"
 # Coverage-only prefixes: rows must keep existing, but their medians are
-# not regression-gated (fleet episodes are whole-control-loop scenarios,
-# tracked for the requests/s trend rather than gated).
-COVERAGE_PREFIXES = (GATED_PREFIX, "fleet/")
+# not regression-gated (fleet/serving episodes are whole-scenario runs —
+# a full control loop or a 2048-sequence continuous-batching episode —
+# tracked for the requests/s and sequences/s trends rather than gated).
+COVERAGE_PREFIXES = (GATED_PREFIX, "fleet/", "serving/")
 
 with open(sys.argv[1]) as f:
     baseline = json.load(f)

@@ -25,6 +25,9 @@ TURBO_FLEET_EPISODES=16 cargo test -q -p turbo-integration-tests --test fleet_so
 echo "==> layer-WAL smoke (group-commit crash points + chaos)"
 cargo test -q -p turbo-integration-tests --test crash_consistency layer_wal
 
+echo "==> continuous-batching scheduler smoke (budget invariants + worker bit-identity)"
+cargo test -q -p turbo-integration-tests --test continuous_batching
+
 echo "==> bench regression check (smoke: schema + decode-row coverage vs BENCH_attention.json)"
 # Full-measurement median gating (>25% decode regression fails) runs via
 # `scripts/bench.sh --check` without TURBO_BENCH_SMOKE; under smoke the
