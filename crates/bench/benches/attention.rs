@@ -405,6 +405,78 @@ fn bench_continuous_serving(c: &mut Criterion) {
     g.finish();
 }
 
+/// Sharded long-context serving: a 128k-token context partitioned over
+/// 4 shards, served through the full episode — fan-out dispatch with
+/// hedging, a degraded-zone burst, a mid-episode shard kill with WAL
+/// tear, deterministic re-shard (prefix migration + suffix re-prefill +
+/// map epoch bump + tile-cache invalidation), and the per-shard
+/// lockstep serve. Each iteration runs the whole episode including its
+/// ledger asserts, so episodes/s = 1 / (median_ns × 1e-9); the
+/// turbo3-vs-fp16 delta prices the serving phase, the rest is the
+/// shared durability machinery.
+fn bench_sharded_serving(c: &mut Criterion) {
+    use turbo_gpusim::{
+        run_sharded_episode, uniform_workload, AttnMethod, GpuSpec, ModelGeometry, ShardedConfig,
+    };
+    use turbo_robust::{ChaosAction, ChaosEvent};
+    let gpu = GpuSpec::a100_80gb();
+    let geom = ModelGeometry::phi3_medium();
+    let config = ShardedConfig {
+        shards: 4,
+        context_tokens: 131_072,
+        ..ShardedConfig::default()
+    };
+    let reqs = uniform_workload(6, 1.5, 256, 16, 77);
+    let chaos = [
+        ChaosEvent {
+            time: 0.5,
+            action: ChaosAction::DegradeZone {
+                zone: 1,
+                latency_factor: 4.0,
+                wal_rot: 0.7,
+                duration: 3.0,
+            },
+        },
+        ChaosEvent {
+            time: 1.5,
+            action: ChaosAction::KillReplica {
+                replica: 1,
+                wal_cut: 0.9,
+            },
+        },
+    ];
+    let mut g = c.benchmark_group("serving/sharded_128k_4shard");
+    g.bench_function("turbo3", |b| {
+        b.iter(|| {
+            run_sharded_episode(
+                black_box(&gpu),
+                &geom,
+                AttnMethod::Turbo { kv_bits: 3.0 },
+                &reqs,
+                &chaos,
+                &config,
+                31,
+                None,
+            )
+        })
+    });
+    g.bench_function("flash_fp16", |b| {
+        b.iter(|| {
+            run_sharded_episode(
+                black_box(&gpu),
+                &geom,
+                AttnMethod::FlashFp16,
+                &reqs,
+                &chaos,
+                &config,
+                31,
+                None,
+            )
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_prefill,
@@ -413,5 +485,6 @@ criterion_group!(
     bench_prefill_layer_32head,
     bench_fleet,
     bench_continuous_serving,
+    bench_sharded_serving,
 );
 criterion_main!(benches);

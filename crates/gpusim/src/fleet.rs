@@ -24,7 +24,8 @@
 //! re-prefill through the same machinery a crashed replica uses, and
 //! the zero-token-loss ledger covers its warm-up.
 //!
-//! Chaos epochs inject *correlated* failure bursts ([`ChaosBurst`]):
+//! Chaos epochs inject *correlated* failure bursts
+//! ([`ChaosBurst`](turbo_robust::ChaosBurst)):
 //! simultaneous multi-replica kills, zone faults, pressure storms. The
 //! fleet records how many epochs each burst needs before the violation
 //! rate returns under the SLO budget; soak harnesses assert that
@@ -40,7 +41,8 @@ use crate::replica::{BreakerConfig, ReplicaSetConfig, ReplicaSetStats};
 use crate::serving::{RequestSpec, WorkloadSpec};
 use turbo_robust::{
     BurstKind, ChaosAction, ChaosConfig, ChaosEvent, ChaosPlan, FaultInjector, HealthEvent,
-    HealthStats, OnlineTuner, SloConfig, SloTracker, TunedParams, TunerConfig,
+    HealthStats, OnlineTuner, ReplayTelemetry, ReplayTuner, ReplayTunerConfig, SloConfig,
+    SloTracker, TunedParams, TunerConfig,
 };
 
 /// A diurnal, bursty request population.
@@ -236,6 +238,10 @@ pub struct FleetConfig {
     pub slo: SloConfig,
     /// AIMD tuner ranges/steps.
     pub tuner: TunerConfig,
+    /// AIMD checkpoint-cadence tuner: rebuild/replay telemetry from
+    /// each epoch tightens or relaxes the `ReplayBudget` ceiling the
+    /// next epoch's replica set checkpoints under.
+    pub replay_tuner: ReplayTunerConfig,
     /// Replica-count bounds and steps.
     pub autoscaler: AutoscalerConfig,
     /// Template replica-set config; `replicas`, admission backoff,
@@ -263,6 +269,7 @@ impl Default for FleetConfig {
             workload: FleetWorkloadSpec::default(),
             slo: SloConfig::default(),
             tuner: TunerConfig::default(),
+            replay_tuner: ReplayTunerConfig::default(),
             autoscaler: AutoscalerConfig::default(),
             replica_set: ReplicaSetConfig {
                 prefix_tokens: 64,
@@ -298,6 +305,9 @@ pub struct EpochReport {
     pub spawned: usize,
     /// Tuned knobs in force this epoch.
     pub params: TunedParams,
+    /// Replay-budget ceiling (seconds) the epoch's replicas
+    /// checkpointed under.
+    pub replay_budget_secs: f64,
     /// Arrival rate of the epoch's workload.
     pub rate: f64,
     /// Requests submitted.
@@ -376,6 +386,11 @@ pub struct FleetStats {
     pub tuner_position: f64,
     /// `(windows observed, backoff steps, relax steps)` of the tuner.
     pub tuner_counters: (usize, usize, usize),
+    /// Replay-budget ceiling (seconds) in force after the last epoch.
+    pub replay_budget_secs: f64,
+    /// `(epochs observed, tighten steps, relax steps)` of the replay
+    /// tuner.
+    pub replay_tuner_counters: (usize, usize, usize),
     /// Structured event trace — the determinism suite asserts this is
     /// bit-identical across same-seed reruns and worker counts.
     pub trace: Vec<String>,
@@ -440,6 +455,7 @@ pub fn run_fleet_on(
     );
     let mut autoscaler = Autoscaler::new(config.autoscaler);
     let mut tuner = OnlineTuner::new(config.tuner);
+    let mut replay_tuner = ReplayTuner::new(config.replay_tuner);
     let mut slo = SloTracker::new(config.slo);
     let mut windows_consumed = 0usize;
     let mut replicas = config
@@ -458,6 +474,7 @@ pub fn run_fleet_on(
 
     for epoch in 0..config.epochs {
         let params = tuner.params();
+        let replay_budget = replay_tuner.budget_secs();
         let requests = config.workload.requests(seed, epoch);
         let rate = config.workload.rate(seed, epoch);
 
@@ -496,6 +513,7 @@ pub fn run_fleet_on(
         let mut rs_cfg = ReplicaSetConfig {
             replicas,
             hedge_threshold: Some(params.hedge_threshold),
+            replay_budget_secs: Some(replay_budget),
             breaker: BreakerConfig {
                 failure_threshold: params.breaker_failure_threshold,
                 cooldown: params.breaker_cooldown,
@@ -545,6 +563,18 @@ pub fn run_fleet_on(
             tuner.observe(&w, &config.slo, health);
             windows_consumed += 1;
         }
+
+        // Feed rebuild/replay telemetry to the checkpoint-cadence
+        // tuner: churny epochs tighten the replay ceiling, calm epochs
+        // relax it toward cheaper group commits.
+        replay_tuner.observe(
+            &ReplayTelemetry {
+                rebuilds: stats.rebuilds as u64,
+                replayed_records: stats.recovered_tokens as u64,
+                replay_rate: rs_cfg.wal_replay_rate,
+            },
+            health,
+        );
 
         // Burst recovery bookkeeping.
         let healthy = violation_rate <= config.slo.max_violation_rate;
@@ -622,6 +652,7 @@ pub fn run_fleet_on(
             replicas: before,
             spawned: spawned_this_epoch,
             params,
+            replay_budget_secs: replay_budget,
             rate,
             total: stats.total,
             completed: stats.completed,
@@ -644,7 +675,8 @@ pub fn run_fleet_on(
             decision,
         };
         trace.push(format!(
-            "epoch {epoch}: replicas={before} spawned={} rate={rate:?} total={} c/t/r={}/{}/{} \
+            "epoch {epoch}: replicas={before} spawned={} rbudget={replay_budget:.4} rate={rate:?} \
+             total={} c/t/r={}/{}/{} \
              kills={} viol={violations} vr={violation_rate:?} p99={:?} bursts={:?} -> {decision:?}",
             report.spawned,
             stats.total,
@@ -687,6 +719,8 @@ pub fn run_fleet_on(
         violation_rate: slo.violation_rate(),
         tuner_position: tuner.position(),
         tuner_counters: tuner.counters(),
+        replay_budget_secs: replay_tuner.budget_secs(),
+        replay_tuner_counters: replay_tuner.counters(),
         trace,
     }
 }
@@ -742,6 +776,40 @@ mod tests {
             health.count(HealthEvent::SloRequestOk) + health.count(HealthEvent::SloViolation),
             stats.total as u64
         );
+    }
+
+    #[test]
+    fn replay_budget_is_steered_by_rebuild_telemetry() {
+        let (gpu, geom) = setup();
+        // A calm fleet (no chaos, no scale churn) closes every epoch
+        // with zero rebuilds: the replay budget only relaxes, ending at
+        // the top of its range.
+        let calm = FleetConfig {
+            burst_every: 0,
+            ..small_config()
+        };
+        let calm_stats = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &calm, 21, None);
+        let (_, relaxed) = calm.replay_tuner.budget_range;
+        if calm_stats.kills == 0 {
+            let (_, tightens, relaxes) = calm_stats.replay_tuner_counters;
+            assert_eq!(tightens, 0, "calm fleet must not tighten");
+            assert!(relaxes > 0, "calm epochs must relax the budget");
+            assert!((calm_stats.replay_budget_secs - relaxed).abs() < 1e-9);
+        }
+
+        // The budget feeds back into the replica sets: every epoch's
+        // record carries the ceiling it checkpointed under, and the
+        // trace pins it for the determinism suite.
+        let churn = run_fleet(&gpu, &geom, AttnMethod::FlashFp16, &small_config(), 21, None);
+        let (observed, _, _) = churn.replay_tuner_counters;
+        assert_eq!(observed, churn.epochs.len());
+        for (e, line) in churn.epochs.iter().zip(&churn.trace) {
+            assert!(e.replay_budget_secs > 0.0);
+            assert!(
+                line.contains(&format!("rbudget={:.4}", e.replay_budget_secs)),
+                "trace must carry the epoch's replay budget"
+            );
+        }
     }
 
     #[test]

@@ -35,6 +35,7 @@ pub mod method;
 pub mod replica;
 pub mod sched;
 pub mod serving;
+pub mod shard;
 pub mod throughput;
 
 pub use endtoend::{generation_breakdown, EndToEndBreakdown};
@@ -60,5 +61,9 @@ pub use serving::{
     simulate_serving, simulate_serving_batched, simulate_serving_batched_on,
     simulate_serving_robust, simulate_serving_robust_paged, uniform_workload, RequestSpec,
     RobustServingStats, ServingPolicy, ServingStats, WorkloadSpec,
+};
+pub use shard::{
+    run_sharded_episode, run_sharded_episode_on, ShardMap, ShardRange, ShardedConfig,
+    ShardedStats, SHARD_MAP_MAGIC, SHARD_MAP_VERSION,
 };
 pub use throughput::{max_throughput, throughput};

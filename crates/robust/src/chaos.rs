@@ -50,6 +50,22 @@ pub enum ChaosAction {
         /// Usable fraction of HBM in `(0, 1]`.
         usable: f64,
     },
+    /// Degrade one failure domain without killing it: for `duration`
+    /// seconds every replica/shard in the zone answers `latency_factor`×
+    /// slower and its durable WAL silently rots at `wal_rot`. The zone
+    /// keeps *succeeding* — breakers must stay closed (slow ≠ dead)
+    /// while hedging and replay-budget control absorb the damage.
+    DegradeZone {
+        /// Which failure domain degrades (`replica % zones`).
+        zone: usize,
+        /// Service-time multiplier while degraded (`> 1`).
+        latency_factor: f64,
+        /// Fractional byte offset the zone members' durable logs rot at
+        /// (discovered only at the next recovery).
+        wal_rot: f64,
+        /// How long the degradation window lasts, in seconds.
+        duration: f64,
+    },
 }
 
 impl ChaosAction {
@@ -61,6 +77,7 @@ impl ChaosAction {
             ChaosAction::KillReplica { .. }
                 | ChaosAction::RestartReplica { .. }
                 | ChaosAction::TruncateWal { .. }
+                | ChaosAction::DegradeZone { .. }
         )
     }
 }
@@ -116,6 +133,17 @@ pub struct ChaosConfig {
     /// Usable-HBM range storm spikes draw from (tighter than
     /// `pressure_range`).
     pub storm_pressure_range: (f64, f64),
+    /// Degraded-zone windows to schedule: a zone that gets *sick* rather
+    /// than dying — latency inflates and WAL rot is injected, but every
+    /// request still succeeds, so breakers must not trip.
+    pub degraded_zones: usize,
+    /// Latency-multiplier range degraded zones draw from (`1 < lo < hi`).
+    pub degrade_latency_range: (f64, f64),
+    /// WAL-rot cut range degraded zones draw from (fraction of the log
+    /// body kept, in `(0, 1)`).
+    pub degrade_rot_range: (f64, f64),
+    /// How long each degradation window lasts, in seconds.
+    pub degrade_duration: f64,
 }
 
 impl Default for ChaosConfig {
@@ -140,6 +168,10 @@ impl Default for ChaosConfig {
             zones: 2,
             pressure_storms: 0,
             storm_pressure_range: (0.2, 0.5),
+            degraded_zones: 0,
+            degrade_latency_range: (2.0, 8.0),
+            degrade_rot_range: (0.5, 0.95),
+            degrade_duration: 5.0,
         }
     }
 }
@@ -153,6 +185,8 @@ pub enum BurstKind {
     ZoneFault,
     /// A cluster of severe memory-pressure spikes in quick succession.
     PressureStorm,
+    /// One failure domain degraded (slow + rotting) without dying.
+    DegradedZone,
 }
 
 /// Metadata for one correlated burst: where its events sit in the plan
@@ -330,6 +364,44 @@ impl ChaosPlan {
                 events: emitted,
             });
         }
+        // Degraded zones draw last of all, preserving byte-identical
+        // replay for every pre-existing (seed, config) pair.
+        if config.degraded_zones > 0 {
+            assert!(config.zones > 0, "need at least one zone");
+            let (llo, lhi) = config.degrade_latency_range;
+            assert!(
+                1.0 < llo && llo < lhi,
+                "degrade latency range must satisfy 1 < lo < hi"
+            );
+            let (rlo, rhi) = config.degrade_rot_range;
+            assert!(
+                0.0 < rlo && rlo < rhi && rhi < 1.0,
+                "degrade rot range must satisfy 0 < lo < hi < 1"
+            );
+            assert!(config.degrade_duration > 0.0, "degrade duration must be positive");
+        }
+        for _ in 0..config.degraded_zones {
+            let time = draw_time(&mut inj);
+            let zone = inj.pick(config.zones);
+            let (llo, lhi) = config.degrade_latency_range;
+            let latency_factor = inj.hbm_pressure(llo / lhi, 1.0) * lhi;
+            let (rlo, rhi) = config.degrade_rot_range;
+            let wal_rot = inj.hbm_pressure(rlo, rhi);
+            events.push(ChaosEvent {
+                time,
+                action: ChaosAction::DegradeZone {
+                    zone,
+                    latency_factor,
+                    wal_rot,
+                    duration: config.degrade_duration,
+                },
+            });
+            bursts.push(ChaosBurst {
+                time,
+                kind: BurstKind::DegradedZone,
+                events: 1,
+            });
+        }
         // Stable sort keeps generation order for equal times, so the
         // plan is a pure function of (seed, config).
         events.sort_by(|a, b| a.time.total_cmp(&b.time));
@@ -414,6 +486,9 @@ mod tests {
                 ChaosAction::InjectFault { elements } => assert!(elements >= 1),
                 ChaosAction::MemoryPressure { usable } => {
                     assert!((cfg.pressure_range.0..cfg.pressure_range.1).contains(&usable));
+                }
+                ChaosAction::DegradeZone { .. } => {
+                    panic!("no degraded zones configured in this plan")
                 }
             }
         }
@@ -567,10 +642,73 @@ mod tests {
             bursts: 2,
             zone_faults: 1,
             pressure_storms: 1,
+            degraded_zones: 1,
             ..ChaosConfig::default()
         };
         assert_eq!(ChaosPlan::generate(5, &cfg), ChaosPlan::generate(5, &cfg));
         assert_ne!(ChaosPlan::generate(5, &cfg), ChaosPlan::generate(6, &cfg));
+    }
+
+    #[test]
+    fn degraded_zones_inflate_latency_without_killing() {
+        let cfg = ChaosConfig {
+            replicas: 8,
+            zones: 4,
+            degraded_zones: 3,
+            degrade_latency_range: (2.0, 8.0),
+            degrade_rot_range: (0.5, 0.95),
+            degrade_duration: 4.0,
+            kills: 0,
+            restarts: 0,
+            wal_truncations: 0,
+            faults: 0,
+            pressure_spikes: 0,
+            ..ChaosConfig::default()
+        };
+        let plan = ChaosPlan::generate(61, &cfg);
+        assert_eq!(plan.events.len(), 3);
+        assert_eq!(plan.bursts.len(), 3);
+        for (e, b) in plan.events.iter().zip(&plan.bursts) {
+            assert_eq!(b.kind, BurstKind::DegradedZone);
+            assert_eq!(b.events, 1);
+            assert!(e.action.targets_replica(), "serving layer applies it");
+            match e.action {
+                ChaosAction::DegradeZone {
+                    zone,
+                    latency_factor,
+                    wal_rot,
+                    duration,
+                } => {
+                    assert!(zone < cfg.zones);
+                    assert!((2.0..=8.0).contains(&latency_factor));
+                    assert!((0.5..0.95).contains(&wal_rot));
+                    assert_eq!(duration, 4.0);
+                }
+                other => panic!("degraded zone emitted {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn degraded_zone_draws_do_not_disturb_legacy_plans() {
+        // A config that only adds degraded zones on top of the default
+        // must keep the default's events byte-identical (new draws come
+        // strictly after every legacy draw).
+        let base = ChaosPlan::generate(77, &ChaosConfig::default());
+        let extended = ChaosPlan::generate(
+            77,
+            &ChaosConfig {
+                degraded_zones: 2,
+                ..ChaosConfig::default()
+            },
+        );
+        let legacy: Vec<ChaosEvent> = extended
+            .events
+            .iter()
+            .copied()
+            .filter(|e| !matches!(e.action, ChaosAction::DegradeZone { .. }))
+            .collect();
+        assert_eq!(base.events, legacy);
     }
 
     #[test]

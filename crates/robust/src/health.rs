@@ -8,218 +8,188 @@
 //! atomics — they are monotonic tallies, not synchronization points —
 //! and increment through `&self` so one registry can be shared across
 //! an engine, its caches, and the serving simulator.
+//!
+//! The event enum, [`ALL_EVENTS`], [`EVENT_COUNT`], and
+//! [`HealthEvent::name`] are all generated from one declaration list by
+//! the `health_events!` macro below, so the three tables can never drift
+//! out of lockstep: adding an event without a name (or vice versa) is a
+//! compile error, and the counter bank is sized from the same list.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-/// Everything the robustness layer knows how to count.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
-#[repr(usize)]
-pub enum HealthEvent {
+/// Generates [`HealthEvent`], [`EVENT_COUNT`], [`ALL_EVENTS`], and
+/// [`HealthEvent::name`] from a single `Variant => "name"` list. One
+/// source of truth: the enum, the iteration table, the count, and the
+/// name table cannot disagree by construction.
+macro_rules! health_events {
+    ($( $(#[$meta:meta])* $variant:ident => $name:literal, )+) => {
+        /// Everything the robustness layer knows how to count.
+        #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+        #[repr(usize)]
+        pub enum HealthEvent {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        /// Number of [`HealthEvent`] variants. Derived from the same
+        /// declaration list as the enum, so it cannot drift.
+        pub const EVENT_COUNT: usize = ALL_EVENTS.len();
+
+        /// All events, in discriminant order, for iteration/reporting.
+        pub const ALL_EVENTS: [HealthEvent; [$(HealthEvent::$variant),+].len()] =
+            [$(HealthEvent::$variant),+];
+
+        impl HealthEvent {
+            /// Short stable name for logs and reports.
+            pub fn name(self) -> &'static str {
+                match self {
+                    $(HealthEvent::$variant => $name,)+
+                }
+            }
+        }
+    };
+}
+
+health_events! {
     /// A non-finite (NaN/±Inf) value was detected in a query/key/value
     /// input and sanitized to zero.
-    NonFiniteInput,
+    NonFiniteInput => "non_finite_input",
     /// A non-finite value surfaced in an attention *output*, triggering
     /// recompute at a higher-precision rung.
-    NonFiniteOutput,
+    NonFiniteOutput => "non_finite_output",
     /// Progressive quantization detected a scale overflow (outlier too
     /// large for the INT8 → INT4/2 second stage).
-    ScaleOverflow,
+    ScaleOverflow => "scale_overflow",
     /// A persisted-cache block failed its checksum or structural checks.
-    CorruptBlock,
+    CorruptBlock => "corrupt_block",
     /// A paged-pool page failed its checksum scrub and was dropped.
-    DroppedPage,
+    DroppedPage => "dropped_page",
     /// A head fell back one rung on the precision ladder.
-    PrecisionFallback,
+    PrecisionFallback => "precision_fallback",
     /// A head was promoted back up after a healthy streak.
-    PrecisionPromotion,
+    PrecisionPromotion => "precision_promotion",
     /// A serving request missed its deadline and was cancelled.
-    DeadlineMiss,
+    DeadlineMiss => "deadline_miss",
     /// A serving admission was retried after backoff.
-    AdmissionRetry,
+    AdmissionRetry => "admission_retry",
     /// A live sequence was demoted to a lower bitwidth to relieve HBM
     /// pressure.
-    PressureDemotion,
+    PressureDemotion => "pressure_demotion",
     /// A request was rejected outright (could never fit, or retries
     /// exhausted).
-    RequestRejected,
+    RequestRejected => "request_rejected",
     /// A persisted cache was recovered partially (valid prefix kept,
     /// corrupt suffix dropped).
-    PartialRecovery,
+    PartialRecovery => "partial_recovery",
     /// The execution runtime spawned a persistent pool worker. The total
     /// count is bounded by the configured pool size for the life of the
     /// process — the regression guard against per-call thread spawning.
-    RuntimeWorkerSpawned,
+    RuntimeWorkerSpawned => "runtime_worker_spawned",
     /// The execution runtime ran one pooled task to completion.
-    RuntimeTaskRun,
+    RuntimeTaskRun => "runtime_task_run",
     /// A pool worker (or helping submitter) stole a task from another
     /// worker's queue.
-    RuntimeTaskStolen,
+    RuntimeTaskStolen => "runtime_task_stolen",
     /// A write-ahead log was replayed onto a recovered snapshot.
-    WalReplay,
+    WalReplay => "wal_replay",
     /// A torn or corrupt WAL tail was dropped during recovery (one event
     /// per salvage, not per byte).
-    WalRecordDropped,
+    WalRecordDropped => "wal_record_dropped",
     /// A serving replica was killed by a fault (crash, chaos kill).
-    ReplicaKilled,
+    ReplicaKilled => "replica_killed",
     /// A killed replica finished rebuilding (snapshot + WAL replay +
     /// re-prefill) and rejoined the set.
-    ReplicaRebuilt,
+    ReplicaRebuilt => "replica_rebuilt",
     /// A replica's circuit breaker tripped from closed to open.
-    BreakerOpened,
+    BreakerOpened => "breaker_opened",
     /// A request was re-dispatched to another replica after its original
     /// replica failed.
-    FailoverRetry,
+    FailoverRetry => "failover_retry",
     /// A request was hedged onto a standby replica at dispatch time.
-    RequestHedged,
+    RequestHedged => "request_hedged",
     /// One group-commit record — every head of every layer's K/V rows for
     /// one token — was appended to a layer-level write-ahead log.
-    LayerGroupCommit,
+    LayerGroupCommit => "layer_group_commit",
     /// K/V row-pairs carried by group-commit records (recorded with
     /// `record_n`; divided by [`HealthEvent::LayerGroupCommit`] this gives
     /// the mean group-commit size).
-    LayerGroupRows,
+    LayerGroupRows => "layer_group_rows",
     /// The adaptive checkpoint scheduler fired on bytes-since-checkpoint.
-    CheckpointByBytes,
+    CheckpointByBytes => "checkpoint_by_bytes",
     /// The adaptive checkpoint scheduler fired on records-since-checkpoint.
-    CheckpointByRecords,
+    CheckpointByRecords => "checkpoint_by_records",
     /// The adaptive checkpoint scheduler fired because the estimated WAL
     /// replay time exceeded its budget.
-    CheckpointByReplayBudget,
+    CheckpointByReplayBudget => "checkpoint_by_replay_budget",
     /// Records applied while replaying a layer-level WAL (recorded with
     /// `record_n`; the replay length recovery actually paid).
-    LayerWalReplayedRecords,
+    LayerWalReplayedRecords => "layer_wal_replayed_records",
     /// A resident block's INT8 expansion was served from the dequant tile
     /// cache (decode hot path avoided re-running the integer dequant).
-    DequantCacheHit,
+    DequantCacheHit => "dequant_cache_hit",
     /// A resident block's INT8 expansion was not cached and had to be
     /// recomputed (cold block, or invalidated by flush/eviction/recovery).
-    DequantCacheMiss,
+    DequantCacheMiss => "dequant_cache_miss",
     /// A cached INT8 expansion was evicted to stay inside the tile cache's
     /// byte budget (LRU order).
-    DequantCacheEvict,
+    DequantCacheEvict => "dequant_cache_evict",
     /// A request finished inside its latency SLO (tracked per window by
     /// [`crate::SloTracker`]).
-    SloRequestOk,
+    SloRequestOk => "slo_request_ok",
     /// A request finished over its latency SLO or missed its deadline
     /// outright (an SLO violation).
-    SloViolation,
+    SloViolation => "slo_violation",
     /// An [`crate::SloTracker`] observation window closed and its
     /// percentiles were folded into the running report.
-    SloWindowClosed,
+    SloWindowClosed => "slo_window_closed",
     /// The online tuner backed off (multiplicative-decrease): admission /
     /// hedging / breaker knobs moved toward the conservative end after a
     /// violating window.
-    TunerBackoff,
+    TunerBackoff => "tuner_backoff",
     /// The online tuner relaxed (additive-increase): knobs moved toward
     /// the aggressive end after a healthy window.
-    TunerRelax,
+    TunerRelax => "tuner_relax",
     /// A correlated chaos burst began (multi-replica kills, zone fault,
     /// or pressure storm — one event per burst, not per victim).
-    ChaosBurst,
+    ChaosBurst => "chaos_burst",
     /// The fleet autoscaler added a replica after an SLO breach.
-    FleetScaleUp,
+    FleetScaleUp => "fleet_scale_up",
     /// The fleet autoscaler drained and retired a replica after a
     /// sustained healthy run.
-    FleetScaleDown,
+    FleetScaleDown => "fleet_scale_down",
     /// The fleet's p99/violation-rate signal returned under the SLO
     /// threshold after a correlated burst (one event per recovery).
-    FleetSloRecovered,
+    FleetSloRecovered => "fleet_slo_recovered",
+    /// A KV shard serving a slice of a long context was killed by a
+    /// fault (its WAL torn at the cut point).
+    ShardKilled => "shard_killed",
+    /// A killed shard's KV range finished redistributing to the
+    /// surviving shards (replay + migrate + re-prefill complete).
+    ShardResharded => "shard_resharded",
+    /// The shard map's migration epoch was bumped after a re-shard,
+    /// invalidating every pre-migration dequant tile generation.
+    ShardMapEpochBump => "shard_map_epoch_bump",
+    /// A zone entered degraded service: latency inflated and WAL rot
+    /// injected, but its shards keep answering (slow ≠ dead).
+    ZoneDegraded => "zone_degraded",
+    /// A degraded zone's window elapsed and it returned to healthy
+    /// service.
+    ZoneRestored => "zone_restored",
+    /// A degraded zone silently rotted a shard's WAL tail (the damage
+    /// surfaces only at the next recovery).
+    DegradedWalRot => "degraded_wal_rot",
+    /// The replay-budget controller tightened checkpoint cadence
+    /// (multiplicative-decrease) after observing rebuild churn.
+    ReplayBudgetTightened => "replay_budget_tightened",
+    /// The replay-budget controller relaxed checkpoint cadence
+    /// (additive-increase) after a calm window.
+    ReplayBudgetRelaxed => "replay_budget_relaxed",
 }
 
-/// Number of [`HealthEvent`] variants; keep in sync with the enum.
-pub const EVENT_COUNT: usize = 40;
-
-/// All events, in discriminant order, for iteration/reporting.
-pub const ALL_EVENTS: [HealthEvent; EVENT_COUNT] = [
-    HealthEvent::NonFiniteInput,
-    HealthEvent::NonFiniteOutput,
-    HealthEvent::ScaleOverflow,
-    HealthEvent::CorruptBlock,
-    HealthEvent::DroppedPage,
-    HealthEvent::PrecisionFallback,
-    HealthEvent::PrecisionPromotion,
-    HealthEvent::DeadlineMiss,
-    HealthEvent::AdmissionRetry,
-    HealthEvent::PressureDemotion,
-    HealthEvent::RequestRejected,
-    HealthEvent::PartialRecovery,
-    HealthEvent::RuntimeWorkerSpawned,
-    HealthEvent::RuntimeTaskRun,
-    HealthEvent::RuntimeTaskStolen,
-    HealthEvent::WalReplay,
-    HealthEvent::WalRecordDropped,
-    HealthEvent::ReplicaKilled,
-    HealthEvent::ReplicaRebuilt,
-    HealthEvent::BreakerOpened,
-    HealthEvent::FailoverRetry,
-    HealthEvent::RequestHedged,
-    HealthEvent::LayerGroupCommit,
-    HealthEvent::LayerGroupRows,
-    HealthEvent::CheckpointByBytes,
-    HealthEvent::CheckpointByRecords,
-    HealthEvent::CheckpointByReplayBudget,
-    HealthEvent::LayerWalReplayedRecords,
-    HealthEvent::DequantCacheHit,
-    HealthEvent::DequantCacheMiss,
-    HealthEvent::DequantCacheEvict,
-    HealthEvent::SloRequestOk,
-    HealthEvent::SloViolation,
-    HealthEvent::SloWindowClosed,
-    HealthEvent::TunerBackoff,
-    HealthEvent::TunerRelax,
-    HealthEvent::ChaosBurst,
-    HealthEvent::FleetScaleUp,
-    HealthEvent::FleetScaleDown,
-    HealthEvent::FleetSloRecovered,
-];
-
-impl HealthEvent {
-    /// Short stable name for logs and reports.
-    pub fn name(self) -> &'static str {
-        match self {
-            HealthEvent::NonFiniteInput => "non_finite_input",
-            HealthEvent::NonFiniteOutput => "non_finite_output",
-            HealthEvent::ScaleOverflow => "scale_overflow",
-            HealthEvent::CorruptBlock => "corrupt_block",
-            HealthEvent::DroppedPage => "dropped_page",
-            HealthEvent::PrecisionFallback => "precision_fallback",
-            HealthEvent::PrecisionPromotion => "precision_promotion",
-            HealthEvent::DeadlineMiss => "deadline_miss",
-            HealthEvent::AdmissionRetry => "admission_retry",
-            HealthEvent::PressureDemotion => "pressure_demotion",
-            HealthEvent::RequestRejected => "request_rejected",
-            HealthEvent::PartialRecovery => "partial_recovery",
-            HealthEvent::RuntimeWorkerSpawned => "runtime_worker_spawned",
-            HealthEvent::RuntimeTaskRun => "runtime_task_run",
-            HealthEvent::RuntimeTaskStolen => "runtime_task_stolen",
-            HealthEvent::WalReplay => "wal_replay",
-            HealthEvent::WalRecordDropped => "wal_record_dropped",
-            HealthEvent::ReplicaKilled => "replica_killed",
-            HealthEvent::ReplicaRebuilt => "replica_rebuilt",
-            HealthEvent::BreakerOpened => "breaker_opened",
-            HealthEvent::FailoverRetry => "failover_retry",
-            HealthEvent::RequestHedged => "request_hedged",
-            HealthEvent::LayerGroupCommit => "layer_group_commit",
-            HealthEvent::LayerGroupRows => "layer_group_rows",
-            HealthEvent::CheckpointByBytes => "checkpoint_by_bytes",
-            HealthEvent::CheckpointByRecords => "checkpoint_by_records",
-            HealthEvent::CheckpointByReplayBudget => "checkpoint_by_replay_budget",
-            HealthEvent::LayerWalReplayedRecords => "layer_wal_replayed_records",
-            HealthEvent::DequantCacheHit => "dequant_cache_hit",
-            HealthEvent::DequantCacheMiss => "dequant_cache_miss",
-            HealthEvent::DequantCacheEvict => "dequant_cache_evict",
-            HealthEvent::SloRequestOk => "slo_request_ok",
-            HealthEvent::SloViolation => "slo_violation",
-            HealthEvent::SloWindowClosed => "slo_window_closed",
-            HealthEvent::TunerBackoff => "tuner_backoff",
-            HealthEvent::TunerRelax => "tuner_relax",
-            HealthEvent::ChaosBurst => "chaos_burst",
-            HealthEvent::FleetScaleUp => "fleet_scale_up",
-            HealthEvent::FleetScaleDown => "fleet_scale_down",
-            HealthEvent::FleetSloRecovered => "fleet_slo_recovered",
-        }
-    }
-}
+// Compile-time lockstep guard: the counter bank, iteration table, and
+// name table are all sized/generated from the one macro list, and the
+// last discriminant must equal EVENT_COUNT - 1 (catches any future
+// hand-edit that bypasses the macro).
+const _: () = assert!(ALL_EVENTS[EVENT_COUNT - 1] as usize == EVENT_COUNT - 1);
 
 /// Shared registry of per-event counters.
 #[derive(Debug)]
@@ -345,6 +315,41 @@ mod tests {
     fn all_events_cover_enum() {
         for (i, e) in ALL_EVENTS.iter().enumerate() {
             assert_eq!(*e as usize, i, "discriminant order mismatch");
+        }
+    }
+
+    #[test]
+    fn every_event_has_a_unique_nonempty_name() {
+        let mut seen = std::collections::HashSet::new();
+        for e in ALL_EVENTS {
+            let name = e.name();
+            assert!(!name.is_empty(), "{e:?} has an empty name");
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'),
+                "{e:?} name {name:?} is not snake_case"
+            );
+            assert!(seen.insert(name), "duplicate event name {name:?}");
+        }
+        assert_eq!(seen.len(), EVENT_COUNT);
+    }
+
+    #[test]
+    fn shard_and_degradation_events_are_named() {
+        // Satellite guard: every shard/degradation/replay-budget event
+        // introduced for sharded serving resolves to a stable name.
+        let expected = [
+            (HealthEvent::ShardKilled, "shard_killed"),
+            (HealthEvent::ShardResharded, "shard_resharded"),
+            (HealthEvent::ShardMapEpochBump, "shard_map_epoch_bump"),
+            (HealthEvent::ZoneDegraded, "zone_degraded"),
+            (HealthEvent::ZoneRestored, "zone_restored"),
+            (HealthEvent::DegradedWalRot, "degraded_wal_rot"),
+            (HealthEvent::ReplayBudgetTightened, "replay_budget_tightened"),
+            (HealthEvent::ReplayBudgetRelaxed, "replay_budget_relaxed"),
+        ];
+        for (e, name) in expected {
+            assert_eq!(e.name(), name);
         }
     }
 }

@@ -23,6 +23,9 @@
 //!   accounting the fleet control plane steers by.
 //! * [`OnlineTuner`] — AIMD re-tuning of admission backoff, hedging
 //!   delay, and breaker thresholds from observed SLO windows.
+//! * [`ReplayTuner`] — sibling AIMD controller folding checkpoint
+//!   cadence into the control plane: rebuild/replay telemetry tightens
+//!   the `ReplayBudget` ceiling under churn and relaxes it when calm.
 //!
 //! The crate sits *below* `turbo-kvcache` and `turbo-attention` in the
 //! dependency graph (it only needs `turbo-tensor` and `turbo-quant`),
@@ -44,4 +47,6 @@ pub use crc32::{crc32, Crc32};
 pub use fault::{ActivationFault, ByteFault, FaultInjector};
 pub use health::{HealthEvent, HealthStats, ALL_EVENTS, EVENT_COUNT};
 pub use slo::{percentile, SloConfig, SloTracker, SloWindow};
-pub use tuner::{OnlineTuner, TunedParams, TunerConfig};
+pub use tuner::{
+    OnlineTuner, ReplayTelemetry, ReplayTuner, ReplayTunerConfig, TunedParams, TunerConfig,
+};

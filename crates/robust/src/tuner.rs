@@ -205,6 +205,161 @@ fn lerp(at_zero: f64, at_one: f64, t: f64) -> f64 {
     at_zero + (at_one - at_zero) * t
 }
 
+/// One window's worth of rebuild telemetry for the replay-budget
+/// controller: how many recoveries ran and how much WAL they replayed.
+/// The fleet layer derives this from `replica_killed` /
+/// `layer_wal_replayed_records` deltas between epochs.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ReplayTelemetry {
+    /// Rebuilds (WAL recoveries) observed in the window.
+    pub rebuilds: u64,
+    /// Total records replayed across those rebuilds
+    /// (`layer_wal_replayed_records` delta).
+    pub replayed_records: u64,
+    /// Replay speed in records/second (the serving layer's
+    /// `wal_replay_rate`), used to convert records into latency.
+    pub replay_rate: f64,
+}
+
+impl ReplayTelemetry {
+    /// Mean replay latency per rebuild, in seconds (zero when calm).
+    pub fn mean_replay_secs(&self) -> f64 {
+        if self.rebuilds == 0 || self.replay_rate <= 0.0 {
+            return 0.0;
+        }
+        self.replayed_records as f64 / self.replay_rate / self.rebuilds as f64
+    }
+}
+
+/// Endpoint range and AIMD steps for the replay-budget controller.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplayTunerConfig {
+    /// Replay-budget endpoints `(tightest, most relaxed)` in seconds of
+    /// worst-case WAL replay: position 0 emits the tight end.
+    pub budget_range: (f64, f64),
+    /// Additive step applied to the position after a calm window.
+    pub relax_step: f64,
+    /// Multiplicative factor applied to the position after a churning
+    /// window (in `(0, 1)`).
+    pub tighten_factor: f64,
+    /// Tighten when the observed mean replay latency per rebuild
+    /// exceeds this fraction of the current budget; a window whose
+    /// rebuilds replayed less than that holds the position steady.
+    pub tighten_above: f64,
+    /// Starting position in `[0, 1]`.
+    pub initial_position: f64,
+}
+
+impl Default for ReplayTunerConfig {
+    fn default() -> Self {
+        Self {
+            budget_range: (0.001, 0.05),
+            relax_step: 0.1,
+            tighten_factor: 0.5,
+            tighten_above: 0.5,
+            initial_position: 0.5,
+        }
+    }
+}
+
+/// Sibling AIMD controller to [`OnlineTuner`] for checkpoint cadence:
+/// folds observed rebuild telemetry (`layer_wal_replayed_records`,
+/// rebuild latency) into a `ReplayBudget` checkpoint-policy ceiling
+/// (the kvcache layer's replay-bounded `CheckpointPolicy`). Under churn — rebuilds actually paying long replays — the
+/// budget tightens multiplicatively, forcing more frequent checkpoints
+/// and shorter worst-case recovery; when the fleet is calm it relaxes
+/// additively, amortizing checkpoint cost back out. Deterministic: a
+/// pure function of the telemetry stream, no seeds.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReplayTuner {
+    cfg: ReplayTunerConfig,
+    /// Budget position: 0 = tightest replay ceiling, 1 = most relaxed.
+    position: f64,
+    /// Windows observed.
+    observed: usize,
+    /// Multiplicative tighten steps taken.
+    tightens: usize,
+    /// Additive relax steps taken.
+    relaxes: usize,
+}
+
+impl ReplayTuner {
+    /// Fresh controller at the configured initial position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the budget range is inverted/non-positive, the steps
+    /// are out of range, or the initial position is outside `[0, 1]`.
+    pub fn new(cfg: ReplayTunerConfig) -> Self {
+        let (lo, hi) = cfg.budget_range;
+        assert!(
+            lo.is_finite() && hi.is_finite() && 0.0 < lo && lo <= hi,
+            "replay budget range must be positive and ordered"
+        );
+        assert!(
+            cfg.relax_step > 0.0 && cfg.relax_step <= 1.0,
+            "relax step must be in (0, 1]"
+        );
+        assert!(
+            cfg.tighten_factor > 0.0 && cfg.tighten_factor < 1.0,
+            "tighten factor must be in (0, 1)"
+        );
+        assert!(
+            cfg.tighten_above > 0.0 && cfg.tighten_above <= 1.0,
+            "tighten threshold must be a fraction"
+        );
+        assert!(
+            (0.0..=1.0).contains(&cfg.initial_position),
+            "initial position must be a fraction"
+        );
+        Self {
+            position: cfg.initial_position,
+            cfg,
+            observed: 0,
+            tightens: 0,
+            relaxes: 0,
+        }
+    }
+
+    /// Current budget position in `[0, 1]`.
+    pub fn position(&self) -> f64 {
+        self.position
+    }
+
+    /// `(windows observed, tighten steps, relax steps)`.
+    pub fn counters(&self) -> (usize, usize, usize) {
+        (self.observed, self.tightens, self.relaxes)
+    }
+
+    /// Replay-budget ceiling (seconds) for the current position.
+    pub fn budget_secs(&self) -> f64 {
+        let (tight, relaxed) = self.cfg.budget_range;
+        lerp(tight, relaxed, self.position)
+    }
+
+    /// Folds one window's rebuild telemetry in and returns the re-tuned
+    /// replay budget. Calm window (no rebuilds) ⇒ additive relax;
+    /// rebuilds paying more than `tighten_above` of the current budget
+    /// ⇒ multiplicative tighten; cheap rebuilds hold steady.
+    pub fn observe(&mut self, window: &ReplayTelemetry, health: Option<&HealthStats>) -> f64 {
+        self.observed += 1;
+        if window.rebuilds == 0 {
+            self.position = (self.position + self.cfg.relax_step).min(1.0);
+            self.relaxes += 1;
+            if let Some(hs) = health {
+                hs.record(HealthEvent::ReplayBudgetRelaxed);
+            }
+        } else if window.mean_replay_secs() > self.cfg.tighten_above * self.budget_secs() {
+            self.position *= self.cfg.tighten_factor;
+            self.tightens += 1;
+            if let Some(hs) = health {
+                hs.record(HealthEvent::ReplayBudgetTightened);
+            }
+        }
+        self.budget_secs()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -319,6 +474,91 @@ mod tests {
         OnlineTuner::new(TunerConfig {
             backoff_factor: 1.5,
             ..TunerConfig::default()
+        });
+    }
+
+    fn churn_window(budget: f64) -> ReplayTelemetry {
+        // One rebuild whose replay alone costs the whole current budget.
+        ReplayTelemetry {
+            rebuilds: 1,
+            replayed_records: (budget * 50_000.0) as u64 + 1,
+            replay_rate: 50_000.0,
+        }
+    }
+
+    const CALM: ReplayTelemetry = ReplayTelemetry {
+        rebuilds: 0,
+        replayed_records: 0,
+        replay_rate: 50_000.0,
+    };
+
+    #[test]
+    fn replay_budget_tightens_under_churn_and_relaxes_when_calm() {
+        let hs = HealthStats::new();
+        let mut tuner = ReplayTuner::new(ReplayTunerConfig::default());
+        let start = tuner.budget_secs();
+        let tightened = tuner.observe(&churn_window(start), Some(&hs));
+        assert!(tightened < start, "churn must tighten the budget");
+        assert_eq!(hs.count(HealthEvent::ReplayBudgetTightened), 1);
+        let relaxed = tuner.observe(&CALM, Some(&hs));
+        assert!(relaxed > tightened, "calm must relax the budget");
+        assert_eq!(hs.count(HealthEvent::ReplayBudgetRelaxed), 1);
+    }
+
+    #[test]
+    fn cheap_rebuilds_hold_the_budget_steady() {
+        let mut tuner = ReplayTuner::new(ReplayTunerConfig::default());
+        let before = tuner.budget_secs();
+        // A rebuild that replayed almost nothing: neither churn nor calm.
+        let after = tuner.observe(
+            &ReplayTelemetry {
+                rebuilds: 1,
+                replayed_records: 1,
+                replay_rate: 50_000.0,
+            },
+            None,
+        );
+        assert_eq!(before, after);
+        assert_eq!(tuner.counters(), (1, 0, 0));
+    }
+
+    #[test]
+    fn replay_budget_stays_inside_its_range() {
+        let cfg = ReplayTunerConfig::default();
+        let mut tuner = ReplayTuner::new(cfg);
+        for _ in 0..100 {
+            tuner.observe(&CALM, None);
+        }
+        assert_eq!(tuner.budget_secs(), cfg.budget_range.1);
+        for _ in 0..200 {
+            let b = tuner.budget_secs();
+            tuner.observe(&churn_window(b), None);
+        }
+        assert!(tuner.budget_secs() >= cfg.budget_range.0);
+        assert!(tuner.budget_secs() <= cfg.budget_range.0 * 1.01, "converges to the tight end");
+    }
+
+    #[test]
+    fn replay_tuner_is_deterministic() {
+        let mut a = ReplayTuner::new(ReplayTunerConfig::default());
+        let mut b = ReplayTuner::new(ReplayTunerConfig::default());
+        for i in 0..32u64 {
+            let w = ReplayTelemetry {
+                rebuilds: i % 3,
+                replayed_records: i * 997,
+                replay_rate: 50_000.0,
+            };
+            assert_eq!(a.observe(&w, None), b.observe(&w, None));
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "tighten factor")]
+    fn bad_tighten_factor_rejected() {
+        ReplayTuner::new(ReplayTunerConfig {
+            tighten_factor: 1.0,
+            ..ReplayTunerConfig::default()
         });
     }
 }

@@ -28,6 +28,12 @@ cargo test -q -p turbo-integration-tests --test crash_consistency layer_wal
 echo "==> continuous-batching scheduler smoke (budget invariants + worker bit-identity)"
 cargo test -q -p turbo-integration-tests --test continuous_batching
 
+echo "==> sharded-serving smoke (crash-cut re-sharding, 16k-token acceptance episode)"
+# The full 128k-token acceptance episode runs in the plain test suite;
+# the smoke bounds the context and the soak so this stage stays fast.
+TURBO_SHARD_TOKENS=16384 TURBO_RESHARD_EPISODES=8 \
+  cargo test -q -p turbo-integration-tests --test resharding
+
 echo "==> bench regression check (smoke: schema + decode-row coverage vs BENCH_attention.json)"
 # Full-measurement median gating (>25% decode regression fails) runs via
 # `scripts/bench.sh --check` without TURBO_BENCH_SMOKE; under smoke the
