@@ -29,7 +29,7 @@ use crate::scratch::Scratch;
 use turbo_kvcache::{DequantTile, HeadKvCache};
 use turbo_quant::symmetric::quantize_slice_sym_into;
 use turbo_softmax::Sas;
-use turbo_tensor::{dot_i8, matmul_i8_transposed_b_into};
+use turbo_tensor::matmul_i8_transposed_b_into;
 
 /// Decodes one token for one head: appends `(k_new, v_new)` to the cache,
 /// then computes the attention output of `q_new` over the whole cache.
@@ -128,7 +128,7 @@ pub fn turbo_attend_cache_into(
     let scale = 1.0 / (d as f32).sqrt();
     let Scratch {
         q8,
-        s,
+        si,
         p,
         p8,
         pv,
@@ -157,7 +157,7 @@ pub fn turbo_attend_cache_into(
             tile.rows(),
             d,
             sas,
-            s,
+            si,
             p,
             p8,
             pv,
@@ -192,7 +192,7 @@ pub fn turbo_attend_cache_into(
             rows,
             d,
             sas,
-            s,
+            si,
             p,
             p8,
             pv,
@@ -212,11 +212,16 @@ pub fn turbo_attend_cache_into(
 /// online-softmax state `(o, m, l)`.
 ///
 /// Bit-identical to the original `matmul → Matrix → online_update` chain:
-/// * scores are 4-wide-unrolled integer dots ([`dot_i8`], associative in
-///   `i32`) with the combined `s_q·s_k/√d` scale applied once per
-///   finished sum — the same single multiplication as before;
-/// * SAS runs over the whole row via `exp_row_into`, whose threshold
-///   short-circuit zeroes exactly the entries `Sas::exp` zeroes;
+/// * scores stay in raw `i32` through the SIMD-dispatched
+///   `q⁸ · (K⁸)ᵀ` GEMM (associative integer accumulation), and the row
+///   max is taken over the integer sums — `i32 → f32` conversion and the
+///   positive `s_q·s_k/√d` scale are weakly monotone, so the scaled
+///   integer max *is* the f32 row max the old code folded;
+/// * SAS consumes the codes plus scale directly via
+///   `exp_scaled_row_into`, which evaluates the exact
+///   `code as f32 * s_scale - m_new` expression per element (vectorized
+///   when the evaluator qualifies), zeroing exactly the entries
+///   `Sas::exp` zeroes;
 /// * the probability row is re-quantized with the same `max|p|/119` fold
 ///   and the integer `P⁸·V⁸` product consumes the pre-transposed value
 ///   codes the old code rebuilt per call.
@@ -232,7 +237,7 @@ fn attend_tile(
     rows: usize,
     d: usize,
     sas: &Sas,
-    s: &mut Vec<f32>,
+    si: &mut Vec<i32>,
     p: &mut Vec<f32>,
     p8: &mut Vec<i8>,
     pv: &mut Vec<i32>,
@@ -243,17 +248,15 @@ fn attend_tile(
     debug_assert_eq!(k_codes.len(), rows * d, "K tile shape mismatch");
     debug_assert_eq!(vt_codes.len(), rows * d, "V tile shape mismatch");
 
-    // Fused score kernel: i8×i8→i32 dot per key, scale epilogue applied
-    // once to each finished sum.
+    // Fused integer score kernel: one 1 × rows GEMM against the key
+    // tile; the scores never leave i32 until SAS consumes them.
     let s_scale = s_q * k_scale * scale;
-    s.clear();
-    s.extend(
-        k_codes
-            .chunks_exact(d)
-            .map(|k_row| dot_i8(q8, k_row) as f32 * s_scale),
-    );
+    matmul_i8_transposed_b_into(q8, k_codes, 1, d, rows, si);
 
-    let row_max = s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let row_max = match si.iter().max() {
+        Some(&mx) => mx as f32 * s_scale,
+        None => f32::NEG_INFINITY,
+    };
     let m_new = m.max(row_max);
     if m_new == f32::NEG_INFINITY {
         // Tile contributed nothing (cannot happen with finite scores);
@@ -268,7 +271,7 @@ fn attend_tile(
 
     p.clear();
     p.resize(rows, 0.0);
-    let row_sum = sas.exp_row_into(s, m_new, p);
+    let row_sum = sas.exp_scaled_row_into(si, s_scale, m_new, p);
     *l = *l * corr + row_sum;
     *m = m_new;
 

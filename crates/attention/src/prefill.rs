@@ -145,7 +145,7 @@ impl HeadSweep<'_> {
 
         // Per-row-block scratch, reused for every K tile below.
         let mut s_int: Vec<i32> = Vec::new();
-        let mut s: Vec<f32> = Vec::new();
+        let mut spans = vec![(0usize, 0usize); br];
         let mut p: Vec<f32> = Vec::new();
         let mut p8: Vec<i8> = Vec::new();
         let mut corr = vec![0.0f32; br];
@@ -164,28 +164,33 @@ impl HeadSweep<'_> {
                     continue;
                 }
             }
-            // Integer score GEMM with the scalar symmetric correction.
+            // Integer score GEMM with the scalar symmetric correction. The
+            // i32 tile is *not* dequantized into an f32 buffer: masking is
+            // tracked as a per-row visible span `[j0, j1)` and the SAS
+            // exponential consumes the raw codes plus `s_scale` directly
+            // (masked entries contribute exactly 0.0 either way, so the
+            // span form is value-identical to writing −∞ sentinels).
             matmul_i8_transposed_b_into(q8.codes(), k8.codes(), br, d, bc, &mut s_int);
             let s_scale = q8.scale() * k8.scale() * self.scale;
-            s.clear();
-            s.extend(s_int.iter().map(|&x| x as f32 * s_scale));
             if masking.is_causal_like() {
-                for i in 0..br {
+                for (i, span) in spans.iter_mut().enumerate() {
                     let (lo, hi) = masking.visible_range(qi + i + offset, n_k);
-                    for (j, sv) in s[i * bc..(i + 1) * bc].iter_mut().enumerate() {
-                        let key = kj + j;
-                        if key < lo || key > hi {
-                            *sv = f32::NEG_INFINITY;
-                        }
-                    }
+                    // Intersect [lo, hi] with this tile's keys [kj, kj+bc).
+                    let j0 = lo.max(kj) - kj;
+                    let j1 = (hi + 1).min(kj + bc).saturating_sub(kj);
+                    *span = if j0 < j1 { (j0, j1) } else { (0, 0) };
                 }
+            } else {
+                spans.fill((0, bc));
             }
 
             online_update_quantized(
                 &mut o,
                 &mut m,
                 &mut l,
-                &s,
+                &s_int,
+                s_scale,
+                &spans,
                 bc,
                 &self.v_tiles[tile_idx],
                 self.sas,
@@ -302,17 +307,28 @@ fn prefill_head_impl(
 }
 
 /// Shared quantized online-softmax update (steps 3–4 of Algorithm 1 and
-/// the body of Algorithm 2): SAS exponentiation over the flat `br × bc`
-/// score tile, INT8 re-quantization of the whole probability tile with a
-/// single scale (Algorithm 1: `s_P = max|P̃|/119`), and the integer
-/// `P⁸·V⁸` accumulation against the pre-transposed value codes. All
-/// buffers are caller-owned scratch; nothing is allocated here.
+/// the body of Algorithm 2), fused on the *integer* score tile: per-row
+/// max over the raw `i32` codes, SAS exponentiation straight from codes
+/// plus `s_scale` ([`Sas::exp_scaled_row_into`]), INT8 re-quantization of
+/// the whole probability tile with a single scale (Algorithm 1:
+/// `s_P = max|P̃|/119`), and the integer `P⁸·V⁸` accumulation against the
+/// pre-transposed value codes. The f32 score tile never materializes.
+///
+/// Value-identical to the unfused form (dequantize → mask with −∞ →
+/// f32 row max → `exp_row_into`): `i32 → f32` conversion and the
+/// positive-scale multiply are weakly monotone, so the converted integer
+/// max *is* the f32 row max; masked/out-of-span entries produce exactly
+/// `0.0` on both paths, and `+0.0` terms do not perturb the non-negative
+/// left-to-right row sum. All buffers are caller-owned scratch; nothing
+/// is allocated here.
 #[allow(clippy::too_many_arguments)]
 fn online_update_quantized(
     o: &mut Matrix,
     m: &mut [f32],
     l: &mut [f32],
-    s: &[f32],
+    s_int: &[i32],
+    s_scale: f32,
+    spans: &[(usize, usize)],
     bc: usize,
     v8: &VTile,
     sas: &Sas,
@@ -323,7 +339,8 @@ fn online_update_quantized(
 ) {
     let br = m.len();
     let d = o.cols();
-    debug_assert_eq!(s.len(), br * bc, "score tile shape mismatch");
+    debug_assert_eq!(s_int.len(), br * bc, "score tile shape mismatch");
+    debug_assert_eq!(spans.len(), br, "span row-count mismatch");
     debug_assert_eq!(v8.rows, bc, "V tile height mismatch");
     debug_assert_eq!(v8.vt.len(), bc * d, "V tile width mismatch");
 
@@ -331,8 +348,12 @@ fn online_update_quantized(
     p.clear();
     p.resize(br * bc, 0.0);
     for i in 0..br {
-        let s_row = &s[i * bc..(i + 1) * bc];
-        let row_max = s_row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let (j0, j1) = spans[i];
+        let row_codes = &s_int[i * bc + j0..i * bc + j1];
+        let row_max = match row_codes.iter().max() {
+            Some(&mx) => mx as f32 * s_scale,
+            None => f32::NEG_INFINITY, // fully masked row in this tile
+        };
         let m_new = m[i].max(row_max);
         if m_new == f32::NEG_INFINITY {
             corr[i] = 1.0; // row untouched by this tile
@@ -343,7 +364,8 @@ fn online_update_quantized(
         } else {
             sas.exp(m[i] - m_new)
         };
-        let row_sum = sas.exp_row_into(s_row, m_new, &mut p[i * bc..(i + 1) * bc]);
+        let row_sum =
+            sas.exp_scaled_row_into(row_codes, s_scale, m_new, &mut p[i * bc + j0..i * bc + j1]);
         l[i] = l[i] * corr[i] + row_sum;
         m[i] = m_new;
     }

@@ -26,8 +26,10 @@ use turbo_kvcache::HeadKvCache;
 pub struct Scratch {
     /// Quantized query row (`d` codes).
     pub(crate) q8: Vec<i8>,
-    /// Score row for the current tile (`bc` floats).
-    pub(crate) s: Vec<f32>,
+    /// Raw integer score row for the current tile (`bc` i32 sums) — the
+    /// fused kernels keep QK^T scores in integer form until the SAS
+    /// exponential consumes them.
+    pub(crate) si: Vec<i32>,
     /// SAS probability row (`bc` floats).
     pub(crate) p: Vec<f32>,
     /// INT8 re-quantized probability row (`bc` codes).
@@ -74,7 +76,7 @@ impl Scratch {
     /// Ensures capacity for head dimension `d` and tile height `max_bc`.
     pub fn reserve(&mut self, d: usize, max_bc: usize) {
         ensure_cap(&mut self.q8, d);
-        ensure_cap(&mut self.s, max_bc);
+        ensure_cap(&mut self.si, max_bc);
         ensure_cap(&mut self.p, max_bc);
         ensure_cap(&mut self.p8, max_bc);
         ensure_cap(&mut self.pv, d);
@@ -111,7 +113,7 @@ mod tests {
         }
         let s = Scratch::for_cache(&cache);
         assert!(s.q8.capacity() >= 8);
-        assert!(s.s.capacity() >= 16);
+        assert!(s.si.capacity() >= 16);
         assert!(s.p.capacity() >= 16);
         assert!(s.p8.capacity() >= 16);
         assert!(s.pv.capacity() >= 8);

@@ -15,7 +15,7 @@ use turbo_kvcache::HeadKvCache;
 use turbo_quant::symmetric::{quantize_slice_sym, quantize_slice_sym_into};
 use turbo_runtime::Runtime;
 use turbo_softmax::Sas;
-use turbo_tensor::{dot_i8, matmul_i8_transposed_b_into};
+use turbo_tensor::matmul_i8_transposed_b_into;
 
 /// One partition's partial attention state: unnormalized output, running
 /// max, and running sum (the `(O, m, ℓ)` triple of Algorithm 2).
@@ -97,17 +97,19 @@ fn partial_over_tile(
     debug_assert_eq!(vt_codes.len(), rows * d, "V tile shape mismatch");
     SPLITK_SCRATCH.with(|cell| {
         let sc = &mut *cell.borrow_mut();
+        // Fused integer path, mirroring decode::attend_tile: scores stay
+        // i32 through the GEMM, the row max comes from the integer sums
+        // (weakly monotone conversion + positive scale preserve it), and
+        // SAS consumes codes plus scale directly.
         let s_scale = s_q * k_scale * scale;
-        sc.s.clear();
-        sc.s.extend(
-            k_codes
-                .chunks_exact(d)
-                .map(|k_row| dot_i8(q8, k_row) as f32 * s_scale),
-        );
-        let m = sc.s.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        matmul_i8_transposed_b_into(q8, k_codes, 1, d, rows, &mut sc.si);
+        let m = match sc.si.iter().max() {
+            Some(&mx) => mx as f32 * s_scale,
+            None => f32::NEG_INFINITY,
+        };
         sc.p.clear();
         sc.p.resize(rows, 0.0);
-        let l = sas.exp_row_into(&sc.s, m, &mut sc.p);
+        let l = sas.exp_scaled_row_into(&sc.si, s_scale, m, &mut sc.p);
         // Quantize the probability row and run the integer P·V product,
         // exactly as the fused kernel does.
         let s_p = quantize_slice_sym_into(&sc.p, &mut sc.p8);

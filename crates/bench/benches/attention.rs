@@ -245,6 +245,50 @@ fn bench_decode(c: &mut Criterion) {
     g.finish();
 }
 
+/// Integer micro-kernels, scalar arm vs the detected dispatch arm, on
+/// the shapes the fused sweeps actually run (64-wide dot for QK^T at
+/// d=64; a 64×64×64 tile GEMM). On a machine without vector support the
+/// two rows coincide; the delta is the per-call win the SIMD layer buys
+/// before any fusion. These rows are recorded for the trend, not gated —
+/// the end-to-end prefill/decode rows above are the gate.
+fn bench_i8_kernels(c: &mut Criterion) {
+    use turbo_tensor::simd::{dot_i8_on, matmul_i8t_on};
+    use turbo_tensor::{simd_level, SimdLevel};
+    let mut rng = TensorRng::new(41);
+    let mk = |n: usize, rng: &mut TensorRng| -> Vec<i8> {
+        (0..n)
+            .map(|_| (rng.standard_normal() * 40.0).clamp(-127.0, 127.0) as i8)
+            .collect()
+    };
+    let a = mk(D, &mut rng);
+    let b = mk(D, &mut rng);
+    let ga = mk(64 * D, &mut rng);
+    let gb = mk(64 * D, &mut rng);
+    let level = simd_level();
+
+    let mut g = c.benchmark_group("attention/kernels_i8");
+    g.bench_function("dot_64/scalar", |bch| {
+        bch.iter(|| dot_i8_on(SimdLevel::Scalar, black_box(&a), black_box(&b)))
+    });
+    g.bench_function("dot_64/dispatched", |bch| {
+        bch.iter(|| dot_i8_on(level, black_box(&a), black_box(&b)))
+    });
+    let mut out = Vec::with_capacity(64 * 64);
+    g.bench_function("matmul_64x64x64/scalar", |bch| {
+        bch.iter(|| {
+            matmul_i8t_on(SimdLevel::Scalar, black_box(&ga), black_box(&gb), 64, D, 64, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.bench_function("matmul_64x64x64/dispatched", |bch| {
+        bch.iter(|| {
+            matmul_i8t_on(level, black_box(&ga), black_box(&gb), 64, D, 64, &mut out);
+            black_box(out[0])
+        })
+    });
+    g.finish();
+}
+
 fn bench_block_sizes(c: &mut Criterion) {
     let (q, k, v) = qkv();
     let sas = Sas::paper_default();
@@ -481,6 +525,7 @@ criterion_group!(
     benches,
     bench_prefill,
     bench_decode,
+    bench_i8_kernels,
     bench_block_sizes,
     bench_prefill_layer_32head,
     bench_fleet,

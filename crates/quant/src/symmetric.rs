@@ -78,11 +78,8 @@ impl SymQuantized {
     /// Panics if `scale` is not a positive finite value.
     pub fn quantize_with_scale(x: &Matrix, scale: f32) -> Self {
         assert!(scale.is_finite() && scale > 0.0, "scale must be positive");
-        let data = x
-            .as_slice()
-            .iter()
-            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-            .collect();
+        let mut data = vec![0i8; x.len()];
+        encode_sym(x.as_slice(), scale, &mut data);
         Self {
             data,
             scale,
@@ -175,11 +172,27 @@ pub fn quantize_slice_sym_into(x: &[f32], out: &mut Vec<i8>) -> f32 {
         abs_max / SYM_INT8_DIVISOR
     };
     out.clear();
-    out.extend(
-        x.iter()
-            .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8),
-    );
+    out.resize(x.len(), 0);
+    encode_sym(x, scale, out);
     scale
+}
+
+/// The shared encode pass behind every symmetric quantizer here:
+/// `(v / scale).round().clamp(-127, 127) as i8` per element, dispatched
+/// to the vectorized arm ([`turbo_tensor::simd::quantize_i8_row_on`])
+/// when one is available — bit-identical to the scalar expression on
+/// every arm (true division, round half away from zero, NaN → 0).
+///
+/// The abs-max *scale* fold stays scalar by design: it folds with
+/// `f32::max`, whose NaN-skipping semantics (`m.max(NaN) == m`) would
+/// need per-lane replication for no measurable win — the encode division
+/// pass dominates the cost.
+fn encode_sym(x: &[f32], scale: f32, out: &mut [i8]) {
+    if !turbo_tensor::simd::quantize_i8_row_on(turbo_tensor::simd_level(), x, scale, out) {
+        for (o, &v) in out.iter_mut().zip(x) {
+            *o = (v / scale).round().clamp(-127.0, 127.0) as i8;
+        }
+    }
 }
 
 #[cfg(test)]
@@ -268,5 +281,38 @@ mod tests {
     #[should_panic(expected = "scale must be positive")]
     fn invalid_scale_panics() {
         SymQuantized::quantize_with_scale(&Matrix::zeros(1, 1), 0.0);
+    }
+
+    #[test]
+    fn encode_edge_values_match_the_scalar_contract() {
+        // Pin the dispatched encode against the scalar expression on the
+        // values where a vector arm could plausibly diverge: exact .5
+        // midpoints (round half away, not half even), NaN (→ 0 like
+        // Rust's saturating cast), ±inf (clamp), and ragged lengths.
+        for len in [1usize, 7, 31, 32, 33, 100] {
+            let x: Vec<f32> = (0..len)
+                .map(|j| match j % 7 {
+                    0 => 2.5,
+                    1 => -2.5,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    5 => 0.49999997, // largest f32 below 0.5
+                    _ => (j as f32 - 50.0) * 0.73,
+                })
+                .collect();
+            let q = SymQuantized::quantize_with_scale(
+                &Matrix::from_vec(1, len, x.clone()),
+                1.0,
+            );
+            for (j, &v) in x.iter().enumerate() {
+                let want = (v / 1.0f32).round().clamp(-127.0, 127.0) as i8;
+                assert_eq!(q.codes()[j], want, "len {len} j {j} v {v}");
+            }
+            assert_eq!(q.codes()[0], 3, "2.5 must round away from zero");
+            if len > 1 {
+                assert_eq!(q.codes()[1], -3, "-2.5 must round away from zero");
+            }
+        }
     }
 }

@@ -157,17 +157,31 @@ impl Sas {
         m.map(|x| self.exp(x))
     }
 
+    /// Whether the vectorized tile-exp arm may serve this evaluator:
+    /// `f32` polynomial (the f16-emulation mode rounds every Horner step
+    /// through binary16, which the vector arm does not replicate) and
+    /// non-exact mode. The LUT-size bound (≤ 8 entries, i.e.
+    /// `n_r ≥ −7`, so the table fits one 256-bit register) is enforced
+    /// by the kernel itself, which declines oversized tables.
+    #[inline]
+    fn simd_eligible(&self) -> bool {
+        !self.exact && !self.f16_poly
+    }
+
     /// Evaluates [`Sas::exp`] over a whole score row at once: writes
     /// `exp(scores[j] - m_new)` into `out[j]` and returns the
     /// left-to-right f32 sum of the probabilities.
     ///
     /// This is the fused-kernel form used by the decode hot path — one
-    /// pass over the tile with a threshold-skip short-circuit that
-    /// avoids the LUT/polynomial for sparsified entries. The output and
-    /// the sum are bit-identical to calling [`Sas::exp`] per element and
-    /// accumulating in order: `x < n_r` is false for NaN, so poisoned
-    /// scores still fall through to [`Sas::exp`] and get exactly 0, and
-    /// kept entries take the identical LUT×POLY path.
+    /// pass over the tile, dispatched to the vectorized SAS arm
+    /// ([`turbo_tensor::simd`]) when the evaluator qualifies, else a
+    /// scalar loop with a threshold-skip short-circuit that avoids the
+    /// LUT/polynomial for sparsified entries. The output and the sum are
+    /// bit-identical to calling [`Sas::exp`] per element and
+    /// accumulating in order — on *every* arm: `x < n_r` is false for
+    /// NaN, so poisoned scores still get exactly 0, and kept entries
+    /// take the identical LUT×POLY operation sequence (the vector arm
+    /// uses no FMA contraction).
     ///
     /// # Panics
     ///
@@ -183,9 +197,85 @@ impl Sas {
             }
             return sum;
         }
+        if self.simd_eligible()
+            && turbo_tensor::simd::sas_exp_row_on(
+                turbo_tensor::simd_level(),
+                scores,
+                m_new,
+                self.threshold as f32,
+                &self.lut,
+                self.poly.coeffs,
+                out,
+            )
+        {
+            // Same values in the same order as the scalar loop's
+            // interleaved accumulation -> bit-identical sum.
+            for &p in out.iter() {
+                sum += p;
+            }
+            return sum;
+        }
         let thr = self.threshold as f32;
         for (o, &sv) in out.iter_mut().zip(scores) {
             let x = sv - m_new;
+            let p = if x < thr { 0.0 } else { self.exp(x) };
+            *o = p;
+            sum += p;
+        }
+        sum
+    }
+
+    /// As [`Sas::exp_row_into`], fused with the integer-score epilogue of
+    /// the quantized attention kernels: the row arrives as raw `i32`
+    /// QK^T sums plus their dequantization scale, and each element
+    /// evaluates `exp(codes[j] as f32 * s_scale - m_new)`. The score
+    /// tile never materializes as an `f32` buffer — the convert,
+    /// dequantize-scale, max-subtract, and SAS exponential all happen
+    /// in registers.
+    ///
+    /// Bit-identical to dequantizing into a temporary and calling
+    /// [`Sas::exp_row_into`] on it, on every dispatch arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `codes` and `out` differ in length.
+    pub fn exp_scaled_row_into(
+        &self,
+        codes: &[i32],
+        s_scale: f32,
+        m_new: f32,
+        out: &mut [f32],
+    ) -> f32 {
+        assert_eq!(codes.len(), out.len(), "score/probability length mismatch");
+        let mut sum = 0.0f32;
+        if self.exact {
+            for (o, &cv) in out.iter_mut().zip(codes) {
+                let p = self.exp(cv as f32 * s_scale - m_new);
+                *o = p;
+                sum += p;
+            }
+            return sum;
+        }
+        if self.simd_eligible()
+            && turbo_tensor::simd::sas_exp_scaled_row_on(
+                turbo_tensor::simd_level(),
+                codes,
+                s_scale,
+                m_new,
+                self.threshold as f32,
+                &self.lut,
+                self.poly.coeffs,
+                out,
+            )
+        {
+            for &p in out.iter() {
+                sum += p;
+            }
+            return sum;
+        }
+        let thr = self.threshold as f32;
+        for (o, &cv) in out.iter_mut().zip(codes) {
+            let x = cv as f32 * s_scale - m_new;
             let p = if x < thr { 0.0 } else { self.exp(x) };
             *o = p;
             sum += p;
@@ -568,6 +658,40 @@ mod tests {
                     expect_sum += p;
                 }
                 assert_eq!(sum.to_bits(), expect_sum.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn exp_scaled_row_into_is_bit_identical_to_dequantize_then_exp() {
+        // The fused integer-score path must match dequantizing into a
+        // temporary f32 row and running the plain path — bitwise, on
+        // whichever dispatch arm is live — for every evaluator flavor
+        // (vector-eligible, f16-poly scalar fallback, exact reference).
+        let mut codes: Vec<i32> = vec![0, 1, -1, i32::MIN / 2, i32::MAX / 2];
+        codes.extend((0..67).map(|j| (j * 7919 % 40001) - 20000));
+        for sas in [
+            Sas::paper_default(),
+            Sas::new(-9, PAPER_POLY), // LUT too big for a register: scalar
+            Sas::paper_default().with_f16_poly(true),
+            Sas::exact_reference(),
+        ] {
+            for (s_scale, m_new) in [(3.1e-4f32, 0.0f32), (0.017, 4.2), (1.0, -2.0)] {
+                let dequant: Vec<f32> =
+                    codes.iter().map(|&c| c as f32 * s_scale).collect();
+                let mut via_f32 = vec![f32::NAN; codes.len()];
+                let sum_f32 = sas.exp_row_into(&dequant, m_new, &mut via_f32);
+                let mut fused = vec![f32::NAN; codes.len()];
+                let sum_fused = sas.exp_scaled_row_into(&codes, s_scale, m_new, &mut fused);
+                for (j, (&a, &b)) in fused.iter().zip(&via_f32).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "fused diverged at code {} (scale {s_scale}, m_new {m_new})",
+                        codes[j]
+                    );
+                }
+                assert_eq!(sum_fused.to_bits(), sum_f32.to_bits());
             }
         }
     }

@@ -12,7 +12,10 @@
 //!   on hardware we do not have.
 //! * Integer matmul kernels (`i8 × i8 → i32`) mirroring INT8 tensor-core
 //!   semantics, plus an `f32` reference matmul with optional f16 input
-//!   rounding.
+//!   rounding. The integer kernels dispatch once per process to an
+//!   explicit-SIMD arm ([`simd`]) — AVX2 on x86-64, NEON on aarch64 —
+//!   with the scalar kernels kept as the always-correct, bit-identical
+//!   fallback (`TURBO_SIMD=0` forces it).
 //! * Row-wise reductions (max/sum) used by online softmax.
 //! * Deterministic random tensor generators for workloads, including the
 //!   channel-outlier distributions observed in the paper's Figure 4.
@@ -30,7 +33,9 @@
 //! assert_eq!(c.get(1, 0), 3.0);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` (not `forbid`) so the one SIMD module can opt back in: all
+// `unsafe` in this crate lives behind `simd`'s runtime-checked dispatch.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod error;
@@ -40,14 +45,17 @@ pub mod matmul;
 pub mod matrix;
 pub mod reduce;
 pub mod rng;
+#[allow(unsafe_code)]
+pub mod simd;
 
 pub use error::{cosine_similarity, max_abs_error, mean_abs_error, mse, relative_error};
 pub use fp8::{round_e4m3, round_e5m2, Fp8Format};
 pub use half::{round_bf16, round_f16, round_f16_slice, Bf16, F16};
 pub use matmul::{
-    dot_i8, matmul, matmul_f16, matmul_i8, matmul_i8_transposed_b, matmul_i8_transposed_b_into,
-    matmul_transposed_b,
+    dot_i8, dot_i8_wide, matmul, matmul_f16, matmul_i8, matmul_i8_transposed_b,
+    matmul_i8_transposed_b_into, matmul_transposed_b, DOT_I8_MAX_LEN,
 };
+pub use simd::{simd_level, SimdLevel};
 pub use matrix::Matrix;
 pub use reduce::{col_max_min, row_abs_max, row_max, row_sum};
 pub use rng::TensorRng;

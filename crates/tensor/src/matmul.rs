@@ -8,10 +8,30 @@
 //! * [`matmul_i8`] / [`matmul_i8_transposed_b`] — `i8 × i8 → i32`
 //!   accumulation: the numerics of an INT8 tensor-core MMA (IMMA). `i32`
 //!   accumulation cannot overflow for the dimensions used in attention
-//!   (`|a·b| ≤ 127² · k`, so `k` up to ~2²⁷ is safe).
+//!   (`|a·b| ≤ 127² · k`, safe up to [`DOT_I8_MAX_LEN`] ≈ 2¹⁷ — *not*
+//!   unbounded; longer reductions must go through [`dot_i8_wide`]).
+//!
+//! The integer dot/GEMM kernels dispatch once per process to an
+//! explicit-SIMD arm (see [`crate::simd`]); every arm is bit-identical
+//! to the scalar fallback.
 
 use crate::half::round_f16;
 use crate::matrix::Matrix;
+use crate::simd;
+
+/// Largest slice length the `i32`-accumulating integer kernels accept
+/// before a debug assertion fires.
+///
+/// Every product is bounded by `127² = 16129`, so a length-`k` dot is
+/// bounded by `16129 · k`; the exact wrap point is
+/// `⌊(2³¹−1)/16129⌋ = 133 151`. We pin the guard at the power of two
+/// below it (`2¹⁷ = 131 072`) so the bound is memorable and leaves
+/// headroom. The SIMD arms are *stricter* than scalar about partial
+/// sums (AVX2 lanes accumulate `k/8` products each, NEON `k/4`), so a
+/// length that passes this bound is safe on every arm. Callers with
+/// longer reductions (e.g. full-channel statistics over 100k+ token
+/// contexts) must use [`dot_i8_wide`], which chunks into `i64`.
+pub const DOT_I8_MAX_LEN: usize = 131_072;
 
 /// Exact `f32` GEMM: `C = A · B`.
 ///
@@ -124,6 +144,10 @@ pub fn matmul_f16(a: &Matrix, b: &Matrix) -> Matrix {
 pub fn matmul_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
     assert_eq!(a.len(), m * k, "a length mismatch");
     assert_eq!(b.len(), k * n, "b length mismatch");
+    debug_assert!(
+        k <= DOT_I8_MAX_LEN,
+        "matmul_i8 k {k} exceeds the i32-safe bound {DOT_I8_MAX_LEN}"
+    );
     let mut c = vec![0i32; m * n];
     for i in 0..m {
         for kk in 0..k {
@@ -141,24 +165,48 @@ pub fn matmul_i8(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) -> Vec<i32> {
     c
 }
 
-/// Unrolled `i8 × i8 → i32` dot product over equal-length slices — the
-/// shared inner kernel of every integer GEMM here.
+/// `i8 × i8 → i32` dot product over equal-length slices — the shared
+/// inner kernel of every integer GEMM here, dispatched once per process
+/// to the best available SIMD arm ([`simd::simd_level`]).
 ///
-/// Written as a bounds-check-free zip reduction: integer adds are
-/// associative, so LLVM is free to split the accumulator into as many
-/// independent lanes as the target vector width allows (16+ i8 lanes
-/// with widening multiplies). A hand-unrolled 4-accumulator variant was
-/// measured at 2× *slower* on the reference target — fixing the lane
-/// count manually pins the vectorizer below its natural width. Either
-/// shape is bit-identical to the naive single-accumulator loop.
+/// On AVX2 this widens `i8→i16` and multiply-accumulates pairs with
+/// `pmaddwd` (16 exact products per instruction); on NEON it uses
+/// `vmull_s8` + `vpadalq_s16`; elsewhere it falls back to a zip
+/// reduction LLVM auto-vectorizes. All arms are bit-identical because
+/// every partial product is exact and integer addition is associative.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length. Debug builds additionally
+/// assert `a.len() <= `[`DOT_I8_MAX_LEN`] — beyond that the `i32`
+/// accumulator can wrap silently; long-`k` callers must use
+/// [`dot_i8_wide`].
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert!(
+        a.len() <= DOT_I8_MAX_LEN,
+        "dot_i8 length {} exceeds the i32-safe bound {DOT_I8_MAX_LEN}; use dot_i8_wide",
+        a.len()
+    );
+    simd::dot_i8_on(simd::simd_level(), a, b)
+}
+
+/// Overflow-proof `i8 × i8 → i64` dot product for reductions longer
+/// than [`DOT_I8_MAX_LEN`]: the slices are processed in
+/// `DOT_I8_MAX_LEN`-sized chunks through the dispatched `i32` kernel
+/// and the per-chunk sums accumulate in `i64` (exact for any
+/// representable slice length, since `16129 · 2⁶³⁻¹⁴` is unreachable).
 ///
 /// # Panics
 ///
 /// Panics if the slices differ in length.
-#[inline]
-pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+pub fn dot_i8_wide(a: &[i8], b: &[i8]) -> i64 {
     assert_eq!(a.len(), b.len(), "dot length mismatch");
-    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+    let level = simd::simd_level();
+    a.chunks(DOT_I8_MAX_LEN)
+        .zip(b.chunks(DOT_I8_MAX_LEN))
+        .map(|(ca, cb)| simd::dot_i8_on(level, ca, cb) as i64)
+        .sum()
 }
 
 /// INT8 GEMM against a transposed second operand: `C = A · Bᵀ`.
@@ -177,13 +225,17 @@ pub fn matmul_i8_transposed_b(a: &[i8], b: &[i8], m: usize, k: usize, n: usize) 
 
 /// Allocation-free [`matmul_i8_transposed_b`]: writes the `m × n` result
 /// into `out` (cleared and refilled; no reallocation once `out` has
-/// capacity). The inner dot runs through the 4-wide-unrolled [`dot_i8`],
-/// which is bit-identical to the naive accumulation because integer adds
-/// are exact.
+/// capacity). The SIMD arm is resolved once up front
+/// ([`simd::matmul_i8t_on`]) rather than per inner dot; on AVX2 a
+/// four-output micro-kernel shares each widened `a` chunk across four
+/// `b` rows. Bit-identical to the scalar twin because integer adds are
+/// exact.
 ///
 /// # Panics
 ///
 /// Panics if slice lengths are inconsistent with the given dimensions.
+/// Debug builds additionally assert `k <= `[`DOT_I8_MAX_LEN`] (the
+/// `i32` accumulator wraps beyond it).
 pub fn matmul_i8_transposed_b_into(
     a: &[i8],
     b: &[i8],
@@ -192,16 +244,11 @@ pub fn matmul_i8_transposed_b_into(
     n: usize,
     out: &mut Vec<i32>,
 ) {
-    assert_eq!(a.len(), m * k, "a length mismatch");
-    assert_eq!(b.len(), n * k, "b length mismatch");
-    out.clear();
-    out.reserve(m * n);
-    for i in 0..m {
-        let arow = &a[i * k..(i + 1) * k];
-        for j in 0..n {
-            out.push(dot_i8(arow, &b[j * k..(j + 1) * k]));
-        }
-    }
+    debug_assert!(
+        k <= DOT_I8_MAX_LEN,
+        "matmul_i8_transposed_b k {k} exceeds the i32-safe bound {DOT_I8_MAX_LEN}"
+    );
+    simd::matmul_i8t_on(simd::simd_level(), a, b, m, k, n, out);
 }
 
 /// Row-sum of an `i8` matrix in `i32` — the correction term
@@ -356,5 +403,42 @@ mod tests {
     #[should_panic(expected = "dimension mismatch")]
     fn matmul_shape_mismatch_panics() {
         matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn wide_dot_is_exact_past_the_i32_wrap_point() {
+        // 127·127·k overflows i32 at k = 133 152; at k = 200 000 the true
+        // sum is 16129 · 200 000 = 3 225 800 000 > i32::MAX. The chunked
+        // i64 path must report it exactly (the i32 kernel would wrap to a
+        // negative value here).
+        let k = 200_000usize;
+        let a = vec![127i8; k];
+        let b = vec![127i8; k];
+        assert_eq!(dot_i8_wide(&a, &b), 16_129i64 * k as i64);
+        // Mixed-sign long reduction with a non-trivial ragged tail.
+        let a2: Vec<i8> = (0..k + 7).map(|i| ((i * 37 + 11) % 255) as i8).collect();
+        let b2: Vec<i8> = (0..k + 7).map(|i| ((i * 91 + 3) % 255) as i8).collect();
+        let reference: i64 = a2
+            .iter()
+            .zip(&b2)
+            .map(|(&x, &y)| x as i64 * y as i64)
+            .sum();
+        assert_eq!(dot_i8_wide(&a2, &b2), reference);
+    }
+
+    #[test]
+    fn wide_dot_matches_narrow_below_the_bound() {
+        let a: Vec<i8> = (0..4096).map(|i| ((i * 73 + 5) % 255) as i8).collect();
+        let b: Vec<i8> = (0..4096).map(|i| ((i * 131 + 17) % 255) as i8).collect();
+        assert_eq!(dot_i8_wide(&a, &b), dot_i8(&a, &b) as i64);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "exceeds the i32-safe bound")]
+    fn long_k_narrow_dot_trips_the_guard() {
+        let a = vec![0i8; DOT_I8_MAX_LEN + 1];
+        let b = vec![0i8; DOT_I8_MAX_LEN + 1];
+        dot_i8(&a, &b);
     }
 }

@@ -1,0 +1,910 @@
+//! Explicit-SIMD kernels behind one-time runtime feature dispatch.
+//!
+//! Every kernel here has a **scalar twin** that is the semantic source of
+//! truth: the SIMD arm must produce bit-identical results for every input
+//! (pinned by exhaustive equivalence tests at ragged lengths around every
+//! vector-width boundary). This is a hard requirement, not a nicety — the
+//! workspace's determinism suites (worker-count bit-identity, crash-
+//! consistency replay, sharding content CRCs) compare outputs across
+//! machines and arms byte-for-byte, so a kernel whose vector arm drifts
+//! by one ULP would make recovery "corruption" indistinguishable from
+//! dispatch differences.
+//!
+//! Bit-identity is cheap for the integer kernels: `i8×i8→i32` products
+//! are exact and integer addition is associative, so any lane split gives
+//! the same sums (as long as nothing overflows — see
+//! [`crate::matmul::DOT_I8_MAX_LEN`]). The floating-point kernels are
+//! engineered for it: every lane performs the *same operations in the
+//! same order* as the scalar twin (no FMA contraction, true division
+//! instead of reciprocal multiplication, explicit round-half-away-from-
+//! zero instead of the hardware's round-half-even), so IEEE-754
+//! determinism gives bitwise equality per element.
+//!
+//! Dispatch is decided once per process ([`simd_level`]) from CPU
+//! feature detection, overridable with `TURBO_SIMD=0|off|scalar` so CI
+//! can pin the scalar fallback arm under test on any machine.
+
+use std::sync::OnceLock;
+
+/// A kernel arm selectable at runtime.
+///
+/// [`simd_level`] picks the best available arm once per process; the
+/// `*_on` kernel entry points accept an explicit level so tests and
+/// benches can exercise both arms in the same process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimdLevel {
+    /// Portable scalar kernels — the always-correct reference arm.
+    Scalar,
+    /// 256-bit AVX2 kernels (x86-64): widening `i8→i16→i32` integer
+    /// dot/matmul via `pmaddwd`, plus vectorized SAS exponentiation and
+    /// symmetric INT8 encode.
+    Avx2,
+    /// 128-bit NEON integer kernels (aarch64): widening `vmull_s8` +
+    /// `vpadalq_s16` dot/matmul. Float kernels fall back to scalar on
+    /// this arm.
+    Neon,
+}
+
+impl SimdLevel {
+    /// Whether this arm can run on the current machine.
+    pub fn available(self) -> bool {
+        match self {
+            SimdLevel::Scalar => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdLevel::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(not(target_arch = "x86_64"))]
+            SimdLevel::Avx2 => false,
+            #[cfg(target_arch = "aarch64")]
+            SimdLevel::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[cfg(not(target_arch = "aarch64"))]
+            SimdLevel::Neon => false,
+        }
+    }
+}
+
+static LEVEL: OnceLock<SimdLevel> = OnceLock::new();
+
+/// The process-wide dispatch decision, detected once on first call and
+/// cached (subsequent calls are a single atomic load).
+///
+/// Setting `TURBO_SIMD=0`, `off`, or `scalar` in the environment forces
+/// [`SimdLevel::Scalar`] regardless of CPU features — the hook CI uses to
+/// keep the scalar fallback arm covered on SIMD-capable machines. The
+/// variable is read once; changing it after the first kernel call has no
+/// effect.
+pub fn simd_level() -> SimdLevel {
+    *LEVEL.get_or_init(|| {
+        if let Ok(v) = std::env::var("TURBO_SIMD") {
+            let v = v.to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "scalar" {
+                return SimdLevel::Scalar;
+            }
+        }
+        if SimdLevel::Avx2.available() {
+            SimdLevel::Avx2
+        } else if SimdLevel::Neon.available() {
+            SimdLevel::Neon
+        } else {
+            SimdLevel::Scalar
+        }
+    })
+}
+
+/// Number of `i8` elements the widest integer-dot vector step consumes —
+/// equivalence tests sweep every ragged length in `0..=4 * lanes + 3`.
+pub const DOT_I8_SIMD_LANES: usize = 32;
+
+/// `f32` lanes of the vectorized SAS / quantize kernels.
+pub const F32_SIMD_LANES: usize = 8;
+
+#[inline]
+pub(crate) fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    a.iter().zip(b).map(|(&x, &y)| x as i32 * y as i32).sum()
+}
+
+/// `i8 × i8 → i32` dot product on an explicit arm.
+///
+/// Bit-identical across arms (integer accumulation is exact). Prefer
+/// [`crate::dot_i8`], which dispatches on [`simd_level`]; this entry
+/// point exists so tests and benches can pin a specific arm.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length or `level` is not
+/// [`available`](SimdLevel::available) on this machine.
+#[inline]
+pub fn dot_i8_on(level: SimdLevel, a: &[i8], b: &[i8]) -> i32 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    match level {
+        SimdLevel::Scalar => dot_i8_scalar(a, b),
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            assert!(level.available(), "AVX2 not available on this machine");
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::dot_i8_avx2(a, b) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            assert!(level.available(), "NEON not available on this machine");
+            // SAFETY: NEON support verified at runtime above.
+            unsafe { arm::dot_i8_neon(a, b) }
+        }
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD level {other:?} is not supported on this target"),
+    }
+}
+
+/// `C = A · Bᵀ` integer GEMM on an explicit arm, writing the `m × n`
+/// result into `out` (cleared and refilled; no reallocation once `out`
+/// has capacity). `a` is `m × k`, `b` is `n × k`, both row-major.
+///
+/// The AVX2 arm processes four `b` rows per sweep so each `a` chunk is
+/// loaded once per four outputs; results are bit-identical to the scalar
+/// twin because every `i32` partial sum is exact.
+///
+/// # Panics
+///
+/// Panics if slice lengths are inconsistent with the dimensions or
+/// `level` is not available on this machine.
+pub fn matmul_i8t_on(
+    level: SimdLevel,
+    a: &[i8],
+    b: &[i8],
+    m: usize,
+    k: usize,
+    n: usize,
+    out: &mut Vec<i32>,
+) {
+    assert_eq!(a.len(), m * k, "a length mismatch");
+    assert_eq!(b.len(), n * k, "b length mismatch");
+    out.clear();
+    match level {
+        SimdLevel::Scalar => {
+            out.reserve(m * n);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    out.push(dot_i8_scalar(arow, &b[j * k..(j + 1) * k]));
+                }
+            }
+        }
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            assert!(level.available(), "AVX2 not available on this machine");
+            out.resize(m * n, 0);
+            // SAFETY: AVX2 support verified at runtime above; `out` was
+            // just sized to exactly m*n.
+            unsafe { x86::matmul_i8t_avx2(a, b, m, k, n, out) }
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            assert!(level.available(), "NEON not available on this machine");
+            out.reserve(m * n);
+            for i in 0..m {
+                let arow = &a[i * k..(i + 1) * k];
+                for j in 0..n {
+                    // SAFETY: NEON support verified at runtime above.
+                    out.push(unsafe { arm::dot_i8_neon(arow, &b[j * k..(j + 1) * k]) });
+                }
+            }
+        }
+        #[allow(unreachable_patterns)]
+        other => panic!("SIMD level {other:?} is not supported on this target"),
+    }
+}
+
+/// The scalar SAS exponential the vector arms are pinned against:
+/// `exp(x) ≈ lut[⌊-x⌋] · poly(frac)` for max-subtracted scores, with
+/// NaN → 0, positive jitter clamped to 0, and strict-below-threshold
+/// sparsified to exactly 0. Operation-for-operation identical to
+/// `turbo_softmax::Sas::exp` (pinned by that crate's tests).
+#[inline]
+pub fn sas_exp_scalar(x: f32, threshold: f32, lut: &[f32], coeffs: [f32; 4]) -> f32 {
+    if x.is_nan() {
+        return 0.0;
+    }
+    let x = x.min(0.0);
+    if x < threshold {
+        return 0.0;
+    }
+    let t = -x;
+    let n = t as usize;
+    let frac = t - n as f32;
+    let [c0, c1, c2, c3] = coeffs;
+    let p = ((c3 * frac + c2) * frac + c1) * frac + c0;
+    lut[n] * p
+}
+
+/// Vectorized SAS tile-exp over a row of `f32` scores: writes
+/// `exp(scores[j] - m_new)` (per [`sas_exp_scalar`]) into `out[j]`.
+///
+/// Returns `false` — leaving `out` untouched — when `level` has no
+/// vector arm for this kernel (Scalar/NEON) or the LUT exceeds the 8
+/// entries a 256-bit register holds (i.e. `threshold < -7`); the caller
+/// then runs its scalar twin. Returns `true` after filling `out` with
+/// results bit-identical to the scalar twin.
+///
+/// # Panics
+///
+/// Panics if `scores` and `out` differ in length, `lut` is empty, or an
+/// unavailable level is requested.
+pub fn sas_exp_row_on(
+    level: SimdLevel,
+    scores: &[f32],
+    m_new: f32,
+    threshold: f32,
+    lut: &[f32],
+    coeffs: [f32; 4],
+    out: &mut [f32],
+) -> bool {
+    assert_eq!(scores.len(), out.len(), "score/probability length mismatch");
+    assert!(!lut.is_empty(), "empty LUT");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if lut.len() <= F32_SIMD_LANES => {
+            assert!(level.available(), "AVX2 not available on this machine");
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::sas_exp_row_avx2(scores, m_new, threshold, lut, coeffs, out) };
+            true
+        }
+        _ => false,
+    }
+}
+
+/// As [`sas_exp_row_on`], fused with the integer-score epilogue: the
+/// input is a row of raw `i32` GEMM sums and each lane computes
+/// `x = codes[j] as f32 * s_scale - m_new` before the SAS exponential —
+/// the INT8 score tile never materializes as an `f32` buffer.
+///
+/// # Panics
+///
+/// As [`sas_exp_row_on`].
+#[allow(clippy::too_many_arguments)] // mirrors sas_exp_row_on plus the (codes, scale) pair
+pub fn sas_exp_scaled_row_on(
+    level: SimdLevel,
+    codes: &[i32],
+    s_scale: f32,
+    m_new: f32,
+    threshold: f32,
+    lut: &[f32],
+    coeffs: [f32; 4],
+    out: &mut [f32],
+) -> bool {
+    assert_eq!(codes.len(), out.len(), "score/probability length mismatch");
+    assert!(!lut.is_empty(), "empty LUT");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 if lut.len() <= F32_SIMD_LANES => {
+            assert!(level.available(), "AVX2 not available on this machine");
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe {
+                x86::sas_exp_scaled_row_avx2(codes, s_scale, m_new, threshold, lut, coeffs, out)
+            };
+            true
+        }
+        _ => false,
+    }
+}
+
+/// The scalar symmetric-INT8 encode the vector arm is pinned against:
+/// `(v / scale).round().clamp(-127, 127) as i8` (round half away from
+/// zero, saturating cast, NaN → 0).
+#[inline]
+pub fn quantize_i8_scalar(v: f32, scale: f32) -> i8 {
+    (v / scale).round().clamp(-127.0, 127.0) as i8
+}
+
+/// Vectorized symmetric-INT8 encode pass: writes
+/// [`quantize_i8_scalar`]`(x[j], scale)` into `out[j]`.
+///
+/// Returns `false` (with `out` untouched) when `level` has no vector arm
+/// for this kernel; the caller runs its scalar twin. The vector arm uses
+/// true IEEE division and an explicit round-half-away-from-zero sequence
+/// (`trunc` + `|frac| ≥ 0.5` bump) so results are bit-identical to the
+/// scalar twin — the hardware's native round-to-nearest-even would
+/// differ on exact `.5` midpoints.
+///
+/// # Panics
+///
+/// Panics if `x` and `out` differ in length or an unavailable level is
+/// requested.
+pub fn quantize_i8_row_on(level: SimdLevel, x: &[f32], scale: f32, out: &mut [i8]) -> bool {
+    assert_eq!(x.len(), out.len(), "input/output length mismatch");
+    match level {
+        #[cfg(target_arch = "x86_64")]
+        SimdLevel::Avx2 => {
+            assert!(level.available(), "AVX2 not available on this machine");
+            // SAFETY: AVX2 support verified at runtime above.
+            unsafe { x86::quantize_i8_avx2(x, scale, out) };
+            true
+        }
+        _ => false,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    //! AVX2 kernel arms. Every `unsafe` here is justified by the callers
+    //! in the parent module verifying `is_x86_feature_detected!("avx2")`
+    //! before entry; pointer arithmetic stays inside slice bounds by the
+    //! loop conditions.
+
+    use std::arch::x86_64::*;
+
+    /// Sign-extend 16 `i8` from each operand and multiply-accumulate
+    /// pairs into 8 `i32` lanes (`pmaddwd`): 16 exact products per step.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn madd16(a: *const i8, b: *const i8) -> __m256i {
+        unsafe {
+            let va = _mm256_cvtepi8_epi16(_mm_loadu_si128(a as *const __m128i));
+            let vb = _mm256_cvtepi8_epi16(_mm_loadu_si128(b as *const __m128i));
+            _mm256_madd_epi16(va, vb)
+        }
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let s = _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b01_00_11_10));
+        let s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0b10_11_00_01));
+        _mm_cvtsi128_si32(s)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        unsafe {
+            let mut acc = _mm256_setzero_si256();
+            let mut i = 0;
+            while i + 32 <= n {
+                let m0 = madd16(ap.add(i), bp.add(i));
+                let m1 = madd16(ap.add(i + 16), bp.add(i + 16));
+                acc = _mm256_add_epi32(acc, _mm256_add_epi32(m0, m1));
+                i += 32;
+            }
+            if i + 16 <= n {
+                acc = _mm256_add_epi32(acc, madd16(ap.add(i), bp.add(i)));
+                i += 16;
+            }
+            let mut sum = hsum_epi32(acc);
+            while i < n {
+                sum += *ap.add(i) as i32 * *bp.add(i) as i32;
+                i += 1;
+            }
+            sum
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn matmul_i8t_avx2(
+        a: &[i8],
+        b: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(out.len(), m * n);
+        unsafe {
+            for i in 0..m {
+                let arow = a.as_ptr().add(i * k);
+                let orow = out.as_mut_ptr().add(i * n);
+                let mut j = 0;
+                // Four b-rows per sweep: each 16-wide a chunk is loaded
+                // (and widened) once per four outputs.
+                while j + 4 <= n {
+                    let b0 = b.as_ptr().add(j * k);
+                    let b1 = b.as_ptr().add((j + 1) * k);
+                    let b2 = b.as_ptr().add((j + 2) * k);
+                    let b3 = b.as_ptr().add((j + 3) * k);
+                    let mut acc0 = _mm256_setzero_si256();
+                    let mut acc1 = _mm256_setzero_si256();
+                    let mut acc2 = _mm256_setzero_si256();
+                    let mut acc3 = _mm256_setzero_si256();
+                    let mut t = 0;
+                    while t + 16 <= k {
+                        let va =
+                            _mm256_cvtepi8_epi16(_mm_loadu_si128(arow.add(t) as *const __m128i));
+                        let w = |p: *const i8| {
+                            _mm256_cvtepi8_epi16(_mm_loadu_si128(p as *const __m128i))
+                        };
+                        acc0 = _mm256_add_epi32(acc0, _mm256_madd_epi16(va, w(b0.add(t))));
+                        acc1 = _mm256_add_epi32(acc1, _mm256_madd_epi16(va, w(b1.add(t))));
+                        acc2 = _mm256_add_epi32(acc2, _mm256_madd_epi16(va, w(b2.add(t))));
+                        acc3 = _mm256_add_epi32(acc3, _mm256_madd_epi16(va, w(b3.add(t))));
+                        t += 16;
+                    }
+                    // Reduce the four accumulators to one [s0,s1,s2,s3].
+                    let h01 = _mm256_hadd_epi32(acc0, acc1);
+                    let h23 = _mm256_hadd_epi32(acc2, acc3);
+                    let h = _mm256_hadd_epi32(h01, h23);
+                    let s =
+                        _mm_add_epi32(_mm256_castsi256_si128(h), _mm256_extracti128_si256(h, 1));
+                    let mut sums = [0i32; 4];
+                    _mm_storeu_si128(sums.as_mut_ptr() as *mut __m128i, s);
+                    while t < k {
+                        let av = *arow.add(t) as i32;
+                        sums[0] += av * *b0.add(t) as i32;
+                        sums[1] += av * *b1.add(t) as i32;
+                        sums[2] += av * *b2.add(t) as i32;
+                        sums[3] += av * *b3.add(t) as i32;
+                        t += 1;
+                    }
+                    *orow.add(j) = sums[0];
+                    *orow.add(j + 1) = sums[1];
+                    *orow.add(j + 2) = sums[2];
+                    *orow.add(j + 3) = sums[3];
+                    j += 4;
+                }
+                while j < n {
+                    let arow_s = std::slice::from_raw_parts(arow, k);
+                    let brow = std::slice::from_raw_parts(b.as_ptr().add(j * k), k);
+                    *orow.add(j) = dot_i8_avx2(arow_s, brow);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// SAS constants pre-broadcast into registers.
+    struct SasConsts {
+        thr: __m256,
+        lut: __m256,
+        c0: __m256,
+        c1: __m256,
+        c2: __m256,
+        c3: __m256,
+        zero: __m256,
+        signflip: __m256,
+    }
+
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sas_consts(threshold: f32, lut: &[f32], coeffs: [f32; 4]) -> SasConsts {
+        debug_assert!(lut.len() <= 8);
+        let mut padded = [0.0f32; 8];
+        padded[..lut.len()].copy_from_slice(lut);
+        unsafe {
+            SasConsts {
+                thr: _mm256_set1_ps(threshold),
+                lut: _mm256_loadu_ps(padded.as_ptr()),
+                c0: _mm256_set1_ps(coeffs[0]),
+                c1: _mm256_set1_ps(coeffs[1]),
+                c2: _mm256_set1_ps(coeffs[2]),
+                c3: _mm256_set1_ps(coeffs[3]),
+                zero: _mm256_setzero_ps(),
+                signflip: _mm256_set1_ps(-0.0),
+            }
+        }
+    }
+
+    /// Eight lanes of [`super::sas_exp_scalar`], bit-identical per lane:
+    /// the keep-mask (`x ≥ thr`, ordered — false for NaN) reproduces
+    /// both the sparsification cutoff and the NaN→0 rule; `min(x, 0)`
+    /// clamps positive jitter; Horner runs as separate mul/add (no FMA);
+    /// the ≤8-entry LUT is a register permute.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn sas_exp8(x: __m256, c: &SasConsts) -> __m256 {
+        let keep = _mm256_cmp_ps::<_CMP_GE_OQ>(x, c.thr);
+        let xz = _mm256_min_ps(x, c.zero);
+        let t = _mm256_xor_ps(xz, c.signflip);
+        let n = _mm256_cvttps_epi32(t);
+        let frac = _mm256_sub_ps(t, _mm256_cvtepi32_ps(n));
+        let mut p = _mm256_add_ps(_mm256_mul_ps(c.c3, frac), c.c2);
+        p = _mm256_add_ps(_mm256_mul_ps(p, frac), c.c1);
+        p = _mm256_add_ps(_mm256_mul_ps(p, frac), c.c0);
+        let lutv = _mm256_permutevar8x32_ps(c.lut, n);
+        _mm256_and_ps(_mm256_mul_ps(lutv, p), keep)
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sas_exp_row_avx2(
+        scores: &[f32],
+        m_new: f32,
+        threshold: f32,
+        lut: &[f32],
+        coeffs: [f32; 4],
+        out: &mut [f32],
+    ) {
+        let n = scores.len();
+        unsafe {
+            let c = sas_consts(threshold, lut, coeffs);
+            let vm = _mm256_set1_ps(m_new);
+            let mut i = 0;
+            while i + 8 <= n {
+                let x = _mm256_sub_ps(_mm256_loadu_ps(scores.as_ptr().add(i)), vm);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), sas_exp8(x, &c));
+                i += 8;
+            }
+            while i < n {
+                out[i] = super::sas_exp_scalar(scores[i] - m_new, threshold, lut, coeffs);
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn sas_exp_scaled_row_avx2(
+        codes: &[i32],
+        s_scale: f32,
+        m_new: f32,
+        threshold: f32,
+        lut: &[f32],
+        coeffs: [f32; 4],
+        out: &mut [f32],
+    ) {
+        let n = codes.len();
+        unsafe {
+            let c = sas_consts(threshold, lut, coeffs);
+            let vs = _mm256_set1_ps(s_scale);
+            let vm = _mm256_set1_ps(m_new);
+            let mut i = 0;
+            while i + 8 <= n {
+                let ci = _mm256_loadu_si256(codes.as_ptr().add(i) as *const __m256i);
+                let x = _mm256_sub_ps(_mm256_mul_ps(_mm256_cvtepi32_ps(ci), vs), vm);
+                _mm256_storeu_ps(out.as_mut_ptr().add(i), sas_exp8(x, &c));
+                i += 8;
+            }
+            while i < n {
+                let x = codes[i] as f32 * s_scale - m_new;
+                out[i] = super::sas_exp_scalar(x, threshold, lut, coeffs);
+                i += 1;
+            }
+        }
+    }
+
+    /// Eight lanes of `(v / scale).round().clamp(-127, 127)` as `i32`,
+    /// bit-identical to the scalar twin: true division, then
+    /// round-half-away-from-zero built from `trunc` + a `|frac| ≥ 0.5`
+    /// bump (the naive `trunc(x + copysign(0.5, x))` is *wrong* — e.g.
+    /// the largest f32 below 0.5 rounds up through the addition), then
+    /// clamp, with NaN lanes forced to 0 like Rust's saturating cast.
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn quant8(v: __m256, vscale: __m256) -> __m256i {
+        let q = _mm256_div_ps(v, vscale);
+        let t = _mm256_round_ps::<{ _MM_FROUND_TO_ZERO | _MM_FROUND_NO_EXC }>(q);
+        let d = _mm256_sub_ps(q, t);
+        let absmask = _mm256_castsi256_ps(_mm256_set1_epi32(0x7fff_ffff));
+        let absd = _mm256_and_ps(d, absmask);
+        let half = _mm256_set1_ps(0.5);
+        let one = _mm256_set1_ps(1.0);
+        let sign = _mm256_and_ps(q, _mm256_set1_ps(-0.0));
+        let bump = _mm256_and_ps(
+            _mm256_or_ps(one, sign),
+            _mm256_cmp_ps::<_CMP_GE_OQ>(absd, half),
+        );
+        let r = _mm256_add_ps(t, bump);
+        let clamped =
+            _mm256_max_ps(_mm256_set1_ps(-127.0), _mm256_min_ps(r, _mm256_set1_ps(127.0)));
+        let nan = _mm256_castps_si256(_mm256_cmp_ps::<_CMP_UNORD_Q>(q, q));
+        _mm256_andnot_si256(nan, _mm256_cvtps_epi32(clamped))
+    }
+
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn quantize_i8_avx2(x: &[f32], scale: f32, out: &mut [i8]) {
+        let n = x.len();
+        unsafe {
+            let vscale = _mm256_set1_ps(scale);
+            // Dword-permute indices that undo the 128-bit-lane interleave
+            // of packs_epi32 + packs_epi16.
+            let fix = _mm256_setr_epi32(0, 4, 1, 5, 2, 6, 3, 7);
+            let mut i = 0;
+            while i + 32 <= n {
+                let i0 = quant8(_mm256_loadu_ps(x.as_ptr().add(i)), vscale);
+                let i1 = quant8(_mm256_loadu_ps(x.as_ptr().add(i + 8)), vscale);
+                let i2 = quant8(_mm256_loadu_ps(x.as_ptr().add(i + 16)), vscale);
+                let i3 = quant8(_mm256_loadu_ps(x.as_ptr().add(i + 24)), vscale);
+                // Values are already in [-127, 127]; packs saturation is
+                // a no-op, the permute restores element order.
+                let p16a = _mm256_packs_epi32(i0, i1);
+                let p16b = _mm256_packs_epi32(i2, i3);
+                let p8 = _mm256_packs_epi16(p16a, p16b);
+                let fixed = _mm256_permutevar8x32_epi32(p8, fix);
+                _mm256_storeu_si256(out.as_mut_ptr().add(i) as *mut __m256i, fixed);
+                i += 32;
+            }
+            while i < n {
+                out[i] = super::quantize_i8_scalar(x[i], scale);
+                i += 1;
+            }
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod arm {
+    //! NEON integer arms. The float kernels stay scalar on aarch64: the
+    //! bit-identity contract is only certified for arms we can test, and
+    //! the integer kernels are exactly-representable regardless of lane
+    //! split.
+
+    use std::arch::aarch64::*;
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn dot_i8_neon(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let n = a.len();
+        let ap = a.as_ptr();
+        let bp = b.as_ptr();
+        unsafe {
+            let mut acc = vdupq_n_s32(0);
+            let mut i = 0;
+            while i + 16 <= n {
+                let va = vld1q_s8(ap.add(i));
+                let vb = vld1q_s8(bp.add(i));
+                let lo = vmull_s8(vget_low_s8(va), vget_low_s8(vb));
+                let hi = vmull_s8(vget_high_s8(va), vget_high_s8(vb));
+                acc = vpadalq_s16(acc, lo);
+                acc = vpadalq_s16(acc, hi);
+                i += 16;
+            }
+            let mut sum = vaddvq_s32(acc);
+            while i < n {
+                sum += *ap.add(i) as i32 * *bp.add(i) as i32;
+                i += 1;
+            }
+            sum
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pattern_i8(len: usize, mul: usize, add: usize) -> Vec<i8> {
+        (0..len).map(|i| ((i * mul + add) % 255) as i8 ).collect()
+    }
+
+    fn simd_arm() -> Option<SimdLevel> {
+        if SimdLevel::Avx2.available() {
+            Some(SimdLevel::Avx2)
+        } else if SimdLevel::Neon.available() {
+            Some(SimdLevel::Neon)
+        } else {
+            None
+        }
+    }
+
+    #[test]
+    fn level_is_cached_and_consistent() {
+        let first = simd_level();
+        assert_eq!(first, simd_level());
+        assert!(first.available());
+    }
+
+    #[test]
+    fn scalar_is_always_available() {
+        assert!(SimdLevel::Scalar.available());
+    }
+
+    /// Exhaustive scalar-vs-SIMD dot equivalence at every ragged length
+    /// around each vector-width boundary: `0..=4·lanes+3`.
+    #[test]
+    fn dot_equivalence_at_all_ragged_lengths() {
+        let Some(arm) = simd_arm() else { return };
+        for len in 0..=(4 * DOT_I8_SIMD_LANES + 3) {
+            let a = pattern_i8(len, 73, 5);
+            let b = pattern_i8(len, 131, 17);
+            assert_eq!(
+                dot_i8_on(SimdLevel::Scalar, &a, &b),
+                dot_i8_on(arm, &a, &b),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_equivalence_at_extremes() {
+        let Some(arm) = simd_arm() else { return };
+        for len in [1usize, 15, 16, 17, 31, 32, 33, 64, 1000] {
+            let a = vec![127i8; len];
+            let b = vec![-128i8; len];
+            assert_eq!(
+                dot_i8_on(SimdLevel::Scalar, &a, &b),
+                dot_i8_on(arm, &a, &b),
+                "extreme len {len}"
+            );
+            let c = vec![-128i8; len];
+            assert_eq!(
+                dot_i8_on(SimdLevel::Scalar, &c, &b),
+                dot_i8_on(arm, &c, &b),
+                "extreme negative len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_equivalence_at_ragged_shapes() {
+        let Some(arm) = simd_arm() else { return };
+        for (m, k, n) in [
+            (1usize, 0usize, 1usize),
+            (1, 1, 1),
+            (3, 7, 5),
+            (2, 16, 4),
+            (4, 17, 6),
+            (5, 33, 7),
+            (1, 64, 9),
+            (8, 64, 8),
+            (3, 100, 13),
+        ] {
+            let a = pattern_i8(m * k, 37, 11);
+            let b = pattern_i8(n * k, 91, 3);
+            let mut scalar = Vec::new();
+            let mut simd = Vec::new();
+            matmul_i8t_on(SimdLevel::Scalar, &a, &b, m, k, n, &mut scalar);
+            matmul_i8t_on(arm, &a, &b, m, k, n, &mut simd);
+            assert_eq!(scalar, simd, "shape ({m},{k},{n})");
+        }
+    }
+
+    #[test]
+    fn sas_exp_row_bit_identical_at_ragged_lengths() {
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        // Paper-shaped SAS parameters.
+        let threshold = -6.0f32;
+        let lut: Vec<f32> = (0..=6).map(|i| (-(i as f32)).exp()).collect();
+        let coeffs = [0.9996f32, -0.9922, 0.4626, -0.1025];
+        for len in 0..=(4 * F32_SIMD_LANES + 3) {
+            // Scores straddling the threshold, NaN, ±inf, positive jitter.
+            let scores: Vec<f32> = (0..len)
+                .map(|j| match j % 9 {
+                    0 => 0.0,
+                    1 => -1.3,
+                    2 => -6.0,
+                    3 => f32::from_bits((-6.0f32).to_bits() + 1),
+                    4 => -42.0,
+                    5 => f32::NEG_INFINITY,
+                    6 => f32::NAN,
+                    7 => 0.7,
+                    _ => -(j as f32) * 0.37,
+                })
+                .collect();
+            for m_new in [0.0f32, 2.5, -1.0] {
+                let mut simd = vec![f32::NAN; len];
+                assert!(sas_exp_row_on(
+                    SimdLevel::Avx2,
+                    &scores,
+                    m_new,
+                    threshold,
+                    &lut,
+                    coeffs,
+                    &mut simd
+                ));
+                for (j, &sv) in scores.iter().enumerate() {
+                    let want = sas_exp_scalar(sv - m_new, threshold, &lut, coeffs);
+                    assert_eq!(
+                        simd[j].to_bits(),
+                        want.to_bits(),
+                        "len {len} j {j} score {sv} m_new {m_new}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sas_exp_scaled_row_bit_identical_at_ragged_lengths() {
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        let threshold = -6.0f32;
+        let lut: Vec<f32> = (0..=6).map(|i| (-(i as f32)).exp()).collect();
+        let coeffs = [0.9996f32, -0.9922, 0.4626, -0.1025];
+        let s_scale = 3.1e-4f32;
+        for len in 0..=(4 * F32_SIMD_LANES + 3) {
+            let codes: Vec<i32> = (0..len)
+                .map(|j| ((j as i32 * 7919) % 40001) - 20000)
+                .collect();
+            for m_new in [0.0f32, 4.2] {
+                let mut simd = vec![f32::NAN; len];
+                assert!(sas_exp_scaled_row_on(
+                    SimdLevel::Avx2,
+                    &codes,
+                    s_scale,
+                    m_new,
+                    threshold,
+                    &lut,
+                    coeffs,
+                    &mut simd
+                ));
+                for (j, &cv) in codes.iter().enumerate() {
+                    let want =
+                        sas_exp_scalar(cv as f32 * s_scale - m_new, threshold, &lut, coeffs);
+                    assert_eq!(
+                        simd[j].to_bits(),
+                        want.to_bits(),
+                        "len {len} j {j} code {cv} m_new {m_new}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sas_exp_row_declines_oversized_lut() {
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        // threshold -9 needs a 10-entry LUT: no register-resident arm.
+        let lut: Vec<f32> = (0..=9).map(|i| (-(i as f32)).exp()).collect();
+        let mut out = vec![0.0f32; 4];
+        assert!(!sas_exp_row_on(
+            SimdLevel::Avx2,
+            &[0.0, -1.0, -2.0, -8.5],
+            0.0,
+            -9.0,
+            &lut,
+            [0.9996, -0.9922, 0.4626, -0.1025],
+            &mut out
+        ));
+    }
+
+    #[test]
+    fn quantize_row_bit_identical_at_ragged_lengths() {
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        for len in 0..=(4 * 32 + 3) {
+            let x: Vec<f32> = (0..len)
+                .map(|j| match j % 11 {
+                    0 => 0.0,
+                    1 => -0.0,
+                    2 => f32::NAN,
+                    3 => f32::INFINITY,
+                    4 => f32::NEG_INFINITY,
+                    5 => 0.5,   // exact midpoint: half-away rounds to 1
+                    6 => -0.5,  // exact midpoint: half-away rounds to -1
+                    7 => f32::from_bits(0.5f32.to_bits() - 1), // largest f32 < 0.5
+                    8 => 1e30,
+                    _ => (j as f32 - 40.0) * 0.73,
+                })
+                .collect();
+            for scale in [1.0f32, 0.01724, 2.5e-6] {
+                let mut simd = vec![0i8; len];
+                assert!(quantize_i8_row_on(SimdLevel::Avx2, &x, scale, &mut simd));
+                for (j, &v) in x.iter().enumerate() {
+                    assert_eq!(
+                        simd[j],
+                        quantize_i8_scalar(v, scale),
+                        "len {len} j {j} v {v} scale {scale}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantize_midpoints_round_half_away() {
+        // The scalar contract itself: every exact .5 midpoint in code
+        // range rounds away from zero (the hardware default would round
+        // half to even — 2.5 → 2 — which the vector arm must not do).
+        if !SimdLevel::Avx2.available() {
+            return;
+        }
+        let x: Vec<f32> = (0..64).map(|j| (j as f32 - 32.0) + 0.5).collect();
+        let mut simd = vec![0i8; x.len()];
+        assert!(quantize_i8_row_on(SimdLevel::Avx2, &x, 1.0, &mut simd));
+        for (j, &v) in x.iter().enumerate() {
+            assert_eq!(simd[j], quantize_i8_scalar(v, 1.0), "midpoint {v}");
+            let away = if v > 0.0 { v.ceil() } else { v.floor() };
+            assert_eq!(simd[j] as f32, away, "midpoint {v} must round away");
+        }
+    }
+
+    #[test]
+    #[cfg(target_arch = "x86_64")]
+    fn requesting_neon_on_x86_panics() {
+        let r = std::panic::catch_unwind(|| dot_i8_on(SimdLevel::Neon, &[1], &[2]));
+        assert!(r.is_err());
+    }
+}

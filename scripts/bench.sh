@@ -7,13 +7,13 @@
 #   scripts/bench.sh            # full measurement run
 #   scripts/bench.sh --check    # run fresh, compare vs committed
 #                               # BENCH_attention.json, fail if any
-#                               # decode row regressed >25%
+#                               # decode or prefill row regressed >25%
 #   TURBO_BENCH_SMOKE=1 scripts/bench.sh   # 1-iteration smoke (CI)
 #
 # In --check mode nothing is overwritten: fresh results go to a temp
 # file and are compared against the committed baseline. Under
 # TURBO_BENCH_SMOKE the medians are single-iteration noise, so --check
-# degrades to schema + row-coverage validation (every baseline decode
+# degrades to schema + row-coverage validation (every baseline gated
 # row must still exist) without the median comparison. The regression
 # threshold can be overridden with TURBO_BENCH_CHECK_THRESHOLD
 # (default 1.25 = fail on >25% slowdown).
@@ -64,12 +64,22 @@ TURBO_BENCH_SMOKE="${TURBO_BENCH_SMOKE:-}" \
 python3 - "${BASELINE}" "${OUT}" <<'EOF'
 import json, os, sys
 
-GATED_PREFIX = "attention/decode_over_256/"
+# Median-gated prefixes: any row under these regressing past the
+# threshold fails the check. Decode rows have always been gated;
+# prefill rows joined once the SIMD integer kernels made the turbo
+# prefill path actually faster than flash_f32 — before that the prefill
+# numbers were recorded but never compared, which let a 1.6x-slower
+# quantized prefill hide in the baseline for several PRs.
+GATED_PREFIXES = (
+    "attention/decode_over_256/",
+    "attention/prefill_256x64/",
+    "attention/turbo_prefill_block_size/",
+)
 # Coverage-only prefixes: rows must keep existing, but their medians are
 # not regression-gated (fleet/serving episodes are whole-scenario runs —
 # a full control loop or a 2048-sequence continuous-batching episode —
 # tracked for the requests/s and sequences/s trends rather than gated).
-COVERAGE_PREFIXES = (GATED_PREFIX, "fleet/", "serving/")
+COVERAGE_PREFIXES = GATED_PREFIXES + ("fleet/", "serving/")
 
 with open(sys.argv[1]) as f:
     baseline = json.load(f)
@@ -89,8 +99,10 @@ for b in fresh["benches"]:
 base = {b["name"]: b["median_ns"] for b in baseline["benches"]}
 new = {b["name"]: b["median_ns"] for b in fresh["benches"]}
 
-gated = sorted(n for n in base if n.startswith(GATED_PREFIX))
-assert gated, f"baseline has no rows under {GATED_PREFIX}"
+gated = sorted(n for n in base if n.startswith(GATED_PREFIXES))
+for prefix in GATED_PREFIXES:
+    assert any(n.startswith(prefix) for n in gated), \
+        f"baseline has no rows under {prefix}"
 covered = sorted(n for n in base if n.startswith(COVERAGE_PREFIXES))
 missing = [n for n in covered if n not in new]
 if missing:
@@ -112,8 +124,8 @@ for name in gated:
     if ratio > threshold:
         failed.append(name)
 if failed:
-    print(f"FAIL: {len(failed)} decode row(s) regressed more than "
+    print(f"FAIL: {len(failed)} gated row(s) regressed more than "
           f"{(threshold - 1.0) * 100:.0f}% vs baseline: {failed}", file=sys.stderr)
     sys.exit(1)
-print(f"bench check OK: {len(gated)} decode rows within {(threshold - 1.0) * 100:.0f}% of baseline")
+print(f"bench check OK: {len(gated)} gated rows within {(threshold - 1.0) * 100:.0f}% of baseline")
 EOF

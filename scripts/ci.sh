@@ -16,6 +16,12 @@ cargo clippy --all-targets -- -D warnings
 echo "==> runtime tests under a 2-worker cap (contention path)"
 TURBO_RUNTIME_THREADS=2 cargo test -q -p turbo-runtime
 
+echo "==> kernel tests with SIMD force-disabled (scalar-fallback coverage)"
+# The equivalence tests pin both dispatch arms in-process, but the
+# dispatched *call sites* (quant encode, SAS rows, attention sweeps)
+# only exercise the scalar fallback when detection says so — force it.
+TURBO_SIMD=0 cargo test -q -p turbo-tensor -p turbo-softmax -p turbo-quant -p turbo-attention
+
 echo "==> chaos smoke (64 seeded episodes, 2 replicas)"
 TURBO_CHAOS_EPISODES=64 cargo test -q -p turbo-integration-tests --test chaos_soak
 
@@ -34,10 +40,11 @@ echo "==> sharded-serving smoke (crash-cut re-sharding, 16k-token acceptance epi
 TURBO_SHARD_TOKENS=16384 TURBO_RESHARD_EPISODES=8 \
   cargo test -q -p turbo-integration-tests --test resharding
 
-echo "==> bench regression check (smoke: schema + decode-row coverage vs BENCH_attention.json)"
-# Full-measurement median gating (>25% decode regression fails) runs via
-# `scripts/bench.sh --check` without TURBO_BENCH_SMOKE; under smoke the
-# check validates schema and that every baseline decode row still exists.
+echo "==> bench regression check (smoke: schema + gated-row coverage vs BENCH_attention.json)"
+# Full-measurement median gating (>25% decode/prefill regression fails)
+# runs via `scripts/bench.sh --check` without TURBO_BENCH_SMOKE; under
+# smoke the check validates schema and that every baseline decode and
+# prefill row still exists and parses.
 TURBO_BENCH_SMOKE=1 scripts/bench.sh --check
 
 echo "==> CI green"
