@@ -48,6 +48,7 @@ pub mod capability;
 pub mod decode;
 pub mod gqa;
 pub mod head_select;
+pub mod multilayer;
 pub mod parallel;
 pub mod prefill;
 pub mod reference;
@@ -59,7 +60,12 @@ pub mod splitk;
 pub use api::{TurboAttention, TurboConfig};
 pub use capability::{capability_table, Capability, TechniqueRow};
 pub use decode::{
-    turbo_attend_cache, turbo_attend_cache_into, turbo_decode_head, turbo_decode_head_into,
+    splitk_wins, turbo_attend_cache, turbo_attend_cache_into, turbo_decode_head,
+    turbo_decode_head_into, turbo_decode_step, turbo_decode_step_on, SPLITK_MIN_TOKENS,
+};
+pub use multilayer::{
+    multilayer_episode_pipelined, multilayer_episode_pipelined_on, multilayer_episode_serialized,
+    MultiLayerOutput,
 };
 pub use gqa::GqaLayout;
 pub use head_select::{select_two_bit_heads, HeadStats, SelectionMethod};

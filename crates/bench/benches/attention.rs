@@ -5,8 +5,10 @@ use turbo_bench::harness::{BatchSize, Criterion};
 use turbo_bench::{criterion_group, criterion_main};
 use std::hint::black_box;
 use turbo_attention::{
-    flash_attention, naive_attention, turbo_attend_cache, turbo_attend_cache_into,
-    turbo_attend_cache_splitk, turbo_prefill_head, Masking, Scratch, TurboAttention,
+    flash_attention, multilayer_episode_pipelined_on, multilayer_episode_serialized,
+    naive_attention, splitk_wins, turbo_attend_cache, turbo_attend_cache_into,
+    turbo_attend_cache_splitk, turbo_attend_cache_splitk_on, turbo_prefill_head, Masking,
+    Scratch, TurboAttention, SPLITK_MIN_TOKENS,
 };
 use turbo_quant::BitWidth;
 use turbo_baselines::{
@@ -336,6 +338,95 @@ fn bench_prefill_layer_32head(c: &mut Criterion) {
     g.finish();
 }
 
+/// Multi-layer pipelined episode vs. the serialized reference: an
+/// 8-layer × 2-head shard runs a 48-token prompt (8-token chunks) plus
+/// 16 decode steps through the same [`LayerPipeline`] DAG, either in
+/// task order or released to the pool. Both engines are bit-identical by
+/// construction (the integration suite pins that), so this delta is pure
+/// scheduling: on a multi-core box the pipelined row should win by
+/// overlapping layer k+1's prefill with layer k's decode; on one core it
+/// pays only the pool's dispatch overhead. Both rows are median-gated.
+fn bench_multilayer(c: &mut Criterion) {
+    use turbo_kvcache::{DurableLayerSet, NeverCheckpoint};
+    const LAYERS: usize = 8;
+    const ML_HEADS: usize = 2;
+    const ML_D: usize = 32;
+    const PROMPT: usize = 48;
+    const DECODE: usize = 16;
+    const CHUNK: usize = 8;
+    let mut rng = TensorRng::new(53);
+    let prompt = rng.normal(PROMPT, ML_HEADS * ML_D, 0.0, 1.0);
+    let decode = rng.normal(DECODE, ML_HEADS * ML_D, 0.0, 1.0);
+    let sas = Sas::paper_default();
+    let fresh = || {
+        DurableLayerSet::new(
+            LAYERS,
+            ML_HEADS,
+            ML_D,
+            KvCacheConfig::default(),
+            Box::new(NeverCheckpoint),
+        )
+    };
+    let rt = turbo_runtime::global();
+
+    let mut g = c.benchmark_group("attention/multilayer_8layer");
+    g.bench_function("serialized", |b| {
+        b.iter_batched(
+            fresh,
+            |mut set| {
+                multilayer_episode_serialized(&mut set, &prompt, &decode, &sas, CHUNK, None)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("pipelined", |b| {
+        b.iter_batched(
+            fresh,
+            |mut set| {
+                multilayer_episode_pipelined_on(rt, &mut set, &prompt, &decode, &sas, CHUNK, None)
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+/// The split-K routing crossover: fused vs. split-K decode attention at
+/// the routing threshold ([`SPLITK_MIN_TOKENS`] cached tokens) and one
+/// octave below it. These rows pin the constant empirically — on a
+/// multi-core box split-K should win at the threshold and lose below it;
+/// on one core `splitk_wins` routes everything to the fused kernel and
+/// the rows record how far from break-even the partitioned sweep runs.
+/// Recorded for the trend, not gated (the crossover is machine-shaped).
+fn bench_splitk_crossover(c: &mut Criterion) {
+    let mut rng = TensorRng::new(59);
+    let q: Vec<f32> = (0..D).map(|_| rng.standard_normal()).collect();
+    let sas = Sas::paper_default();
+    let rt = turbo_runtime::global();
+
+    let mut g = c.benchmark_group("attention/splitk_crossover");
+    for tokens in [SPLITK_MIN_TOKENS / 2, SPLITK_MIN_TOKENS] {
+        let mut cache = HeadKvCache::new(D, KvCacheConfig::default());
+        let ctx = rng.normal(tokens, D, 0.0, 1.0);
+        for t in 0..tokens {
+            cache.append(ctx.row(t), ctx.row(t));
+        }
+        g.bench_function(format!("fused_{tokens}"), |b| {
+            b.iter(|| turbo_attend_cache(black_box(&q), &cache, &sas))
+        });
+        g.bench_function(format!("splitk_{tokens}"), |b| {
+            b.iter(|| turbo_attend_cache_splitk_on(rt, black_box(&q), &cache, &sas))
+        });
+        // Sanity: the routing predicate agrees with the threshold the
+        // rows straddle.
+        assert_eq!(
+            splitk_wins(tokens, rt.workers().max(2)),
+            tokens >= SPLITK_MIN_TOKENS
+        );
+    }
+    g.finish();
+}
+
 /// Fleet control-plane throughput: one diurnal day (8 epochs × 12
 /// requests = 96 requests) served through the SLO-driven autoscaled
 /// fleet, with and without correlated chaos bursts. Each iteration runs
@@ -527,6 +618,8 @@ criterion_group!(
     bench_decode,
     bench_i8_kernels,
     bench_block_sizes,
+    bench_multilayer,
+    bench_splitk_crossover,
     bench_prefill_layer_32head,
     bench_fleet,
     bench_continuous_serving,

@@ -54,8 +54,9 @@ pub use replica::{
 };
 pub use sched::{
     simulate_serving_continuous, simulate_serving_continuous_on,
-    simulate_serving_continuous_paged, simulate_serving_continuous_streamed, Queue, Scheduler,
-    SchedulerConfig, SchedulerStats, StepRecord, TokenEvent,
+    simulate_serving_continuous_paged, simulate_serving_continuous_streamed,
+    simulate_serving_pipelined, simulate_serving_pipelined_on, Queue, Scheduler, SchedulerConfig,
+    SchedulerStats, StepRecord, TokenEvent,
 };
 pub use serving::{
     simulate_serving, simulate_serving_batched, simulate_serving_batched_on,

@@ -54,8 +54,10 @@ use crate::kernels::{decode_latency, prefill_latency};
 use crate::memory::fits_in_memory;
 use crate::method::AttnMethod;
 use crate::serving::{RequestSpec, RobustServingStats, ServingPolicy};
+use std::sync::Mutex;
 use turbo_kvcache::{PagedKvPool, SeqId};
 use turbo_robust::{percentile, HealthEvent, HealthStats};
+use turbo_runtime::{LayerPipeline, WorkClass};
 
 /// Batch-formation budgets of the continuous-batching scheduler (the
 /// TGI `Queue` knobs).
@@ -242,6 +244,28 @@ fn record(health: Option<&HealthStats>, event: HealthEvent) {
     }
 }
 
+/// Incremental attention cost of prefilling `chunk` prompt tokens on top
+/// of `ctx` resident ones, against an explicit geometry: the cost-model
+/// delta plus a per-chunk kernel launch. The monolithic path passes the
+/// whole model; the pipelined per-layer tasks pass a single-layer
+/// geometry and sum. The per-chunk weight pass (`linear_time`) is
+/// whole-model either way, so the caller adds it once.
+fn chunk_attn_cost(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    ctx: usize,
+    chunk: usize,
+) -> f64 {
+    let full = prefill_latency(gpu, geom, method, 1, ctx + chunk);
+    if ctx == 0 {
+        full.total()
+    } else {
+        let prev = prefill_latency(gpu, geom, method, 1, ctx);
+        (full.total() - prev.total()).max(0.0) + full.launch
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct Seq {
     req: usize,
@@ -267,6 +291,11 @@ pub struct Scheduler<'a> {
     paged: Option<(&'a mut PagedKvPool, SeqId)>,
     rt: Option<&'a turbo_runtime::Runtime>,
     health: Option<&'a HealthStats>,
+    /// When set, every step's prefill and decode costs are issued as
+    /// per-`(sequence, layer)` [`LayerPipeline`] tasks and joined once
+    /// (see [`Scheduler::step_costs_pipelined`]); when clear, the
+    /// monolithic whole-model cost formulas run inline.
+    pipelined: bool,
 
     now: f64,
     next_arrival: usize,
@@ -342,6 +371,7 @@ impl<'a> Scheduler<'a> {
             paged,
             rt,
             health,
+            pipelined: false,
             now: 0.0,
             next_arrival: 0,
             queue: Queue::new(),
@@ -366,6 +396,16 @@ impl<'a> Scheduler<'a> {
     /// The waiting queue (for inspection in tests/harnesses).
     pub fn queue(&self) -> &Queue {
         &self.queue
+    }
+
+    /// Switches this scheduler to the pipelined step: all layers' prefill
+    /// and decode work is issued as tagged [`LayerPipeline`] tasks and
+    /// joined once per step. With a runtime attached the layer tasks run
+    /// pooled; without one the same pipeline runs serially in issue
+    /// order — the two are bit-identical at any worker count.
+    pub fn with_pipelined_steps(mut self) -> Self {
+        self.pipelined = true;
+        self
     }
 
     /// Current simulated time.
@@ -559,14 +599,105 @@ impl<'a> Scheduler<'a> {
     /// Summed over a whole prompt this equals the monolithic prefill
     /// plus the honest re-launch/re-stream overhead of chunking.
     fn chunk_cost(&self, ctx: usize, chunk: usize) -> f64 {
-        let full = prefill_latency(&self.gpu, self.geom, self.method, 1, ctx + chunk);
-        let attn = if ctx == 0 {
-            full.total()
-        } else {
-            let prev = prefill_latency(&self.gpu, self.geom, self.method, 1, ctx);
-            (full.total() - prev.total()).max(0.0) + full.launch
+        chunk_attn_cost(&self.gpu, self.geom, self.method, ctx, chunk)
+            + linear_time(&self.gpu, self.geom, 1, chunk)
+    }
+
+    /// Computes one step's prefill and decode costs by issuing every
+    /// layer's work as tagged [`LayerPipeline`] tasks and joining once.
+    ///
+    /// Each `(sequence, layer)` pair becomes one task — prompt chunks as
+    /// [`WorkClass::PrefillChunk`], decode steps as
+    /// [`WorkClass::DecodeStep`] — chained along the layer axis (layer
+    /// `l` of a sequence depends on its own layer `l-1`) and fully
+    /// independent across sequences, so layer `k+1` of one sequence
+    /// overlaps layer `k` of another inside the single join. Every task
+    /// is a pure cost-model evaluation writing its own slot, and the
+    /// folds below run in fixed sequence-major, layer-ascending order,
+    /// so the result is bit-identical at any worker count — including
+    /// the serial reference used when no runtime is attached.
+    ///
+    /// The decomposition evaluates the kernel model at `layers = 1` and
+    /// sums across layers. The model is mathematically linear in the
+    /// layer count, but floating-point addition does not distribute
+    /// bit-for-bit, so this path is its own reference and is compared
+    /// against the monolithic [`Scheduler::step`] costs only up to
+    /// rounding (the tests pin a tight relative tolerance). Per-chunk
+    /// and per-step weight passes (`linear_time`) are whole-model by
+    /// construction and are added once outside the pipeline.
+    fn step_costs_pipelined(&self, grants: &[(usize, usize)], decode_ctx: &[usize]) -> (f64, f64) {
+        let layers = self.geom.layers.max(1);
+        let geom1 = ModelGeometry {
+            layers: 1,
+            ..*self.geom
         };
-        attn + linear_time(&self.gpu, self.geom, 1, chunk)
+        let gpu = self.gpu;
+        let method = self.method;
+        let decode_batch = decode_ctx.len();
+
+        // Resolve grant shapes before the tasks borrow anything.
+        let grant_shapes: Vec<(usize, usize)> = grants
+            .iter()
+            .map(|&(idx, chunk)| (self.running[idx].ctx, chunk))
+            .collect();
+
+        let pcells: Vec<Mutex<f64>> = (0..grant_shapes.len() * layers)
+            .map(|_| Mutex::new(0.0))
+            .collect();
+        let dcells: Vec<Mutex<f64>> = (0..decode_ctx.len() * layers)
+            .map(|_| Mutex::new(0.0))
+            .collect();
+
+        let mut pipeline = LayerPipeline::new();
+        for (i, &(ctx, chunk)) in grant_shapes.iter().enumerate() {
+            let mut prev = None;
+            for l in 0..layers {
+                let cell = &pcells[i * layers + l];
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(pipeline.task(WorkClass::PrefillChunk, l, &deps, move || {
+                    *cell.lock().unwrap() = chunk_attn_cost(&gpu, &geom1, method, ctx, chunk);
+                }));
+            }
+        }
+        for (j, &ctx) in decode_ctx.iter().enumerate() {
+            let mut prev = None;
+            for l in 0..layers {
+                let cell = &dcells[j * layers + l];
+                let deps: Vec<_> = prev.into_iter().collect();
+                prev = Some(pipeline.task(WorkClass::DecodeStep, l, &deps, move || {
+                    *cell.lock().unwrap() =
+                        decode_latency(&gpu, &geom1, method, decode_batch, ctx).total();
+                }));
+            }
+        }
+        match self.rt {
+            Some(rt) => pipeline.run_on(rt),
+            None => pipeline.run_serial(),
+        };
+
+        let prefill_time: f64 = grant_shapes
+            .iter()
+            .enumerate()
+            .map(|(i, &(_, chunk))| {
+                (0..layers)
+                    .map(|l| *pcells[i * layers + l].lock().unwrap())
+                    .sum::<f64>()
+                    + linear_time(&gpu, self.geom, 1, chunk)
+            })
+            .sum();
+        let decode_time = if decode_batch == 0 {
+            0.0
+        } else {
+            let attn = (0..decode_ctx.len())
+                .map(|j| {
+                    (0..layers)
+                        .map(|l| *dcells[j * layers + l].lock().unwrap())
+                        .sum::<f64>()
+                })
+                .fold(0.0f64, f64::max);
+            attn + linear_time(&gpu, self.geom, decode_batch, 1)
+        };
+        (prefill_time, decode_time)
     }
 
     /// Runs one engine step (admission + fused prefill/decode), emitting
@@ -612,7 +743,9 @@ impl<'a> Scheduler<'a> {
             }
             if s.remaining_prefill > 0 {
                 let chunk = s.remaining_prefill.min(self.cfg.prefill_chunk).min(budget);
-                prefill_time += self.chunk_cost(s.ctx, chunk);
+                if !self.pipelined {
+                    prefill_time += self.chunk_cost(s.ctx, chunk);
+                }
                 grants.push((idx, chunk));
                 budget -= chunk;
             }
@@ -630,7 +763,13 @@ impl<'a> Scheduler<'a> {
             .map(|s| s.ctx)
             .collect();
         let decode_batch = decode_ctx.len();
-        let decode_time = if decode_batch == 0 {
+        let decode_time = if self.pipelined {
+            // Pipelined step: all layers' prefill-chunk and decode work
+            // issued as tagged tasks, one join for the whole step.
+            let (p, d) = self.step_costs_pipelined(&grants, &decode_ctx);
+            prefill_time = p;
+            d
+        } else if decode_batch == 0 {
             0.0
         } else {
             let attn = match self.rt {
@@ -911,6 +1050,49 @@ pub fn simulate_serving_continuous_on(
     )
 }
 
+/// As [`simulate_serving_continuous`], but every engine step issues all
+/// layers' prefill-chunk and decode work as tagged
+/// [`LayerPipeline`] tasks and joins once — this entry point is the
+/// serial reference for the pipelined scheduler (the tasks run in issue
+/// order on the caller's thread).
+///
+/// The per-layer cost decomposition is mathematically equal to the
+/// monolithic step but not bitwise (floating-point addition does not
+/// distribute over the layer sum), so compare pipelined runs against
+/// this reference, not against [`simulate_serving_continuous`].
+pub fn simulate_serving_pipelined(
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    requests: &[RequestSpec],
+    policy: &ServingPolicy,
+    health: Option<&HealthStats>,
+) -> SchedulerStats {
+    let mut sched =
+        Scheduler::new(gpu, geom, method, requests, policy, None, None, health).with_pipelined_steps();
+    while sched.step(None) {}
+    sched.finish()
+}
+
+/// As [`simulate_serving_pipelined`], but the per-layer tasks run
+/// pooled on `rt`, letting one sequence's layer `k+1` overlap another
+/// sequence's layer `k` inside the step's single join. Stats are
+/// bit-identical to [`simulate_serving_pipelined`] at any worker count.
+pub fn simulate_serving_pipelined_on(
+    rt: &turbo_runtime::Runtime,
+    gpu: &GpuSpec,
+    geom: &ModelGeometry,
+    method: AttnMethod,
+    requests: &[RequestSpec],
+    policy: &ServingPolicy,
+    health: Option<&HealthStats>,
+) -> SchedulerStats {
+    let mut sched = Scheduler::new(gpu, geom, method, requests, policy, None, Some(rt), health)
+        .with_pipelined_steps();
+    while sched.step(None) {}
+    sched.finish()
+}
+
 /// As [`simulate_serving_continuous`], but every admitted request forks
 /// a real [`PagedKvPool`] sequence off `prefix` and all cache traffic
 /// goes through the pool's non-panicking `try_*` APIs — a fork error
@@ -1118,6 +1300,117 @@ mod tests {
                 assert_eq!(serial, pooled, "{workers} workers diverged");
             }
         }
+    }
+
+    #[test]
+    fn pipelined_stats_bit_identical_across_worker_counts() {
+        let (gpu, geom) = setup();
+        let reqs = uniform_workload(24, 6.0, 1024, 32, 77);
+        let cfg = SchedulerConfig {
+            prefill_chunk: 384,
+            max_batch_prefill_tokens: 1536,
+            ..SchedulerConfig::default()
+        };
+        for method in [AttnMethod::FlashFp16, AttnMethod::Turbo { kv_bits: 3.0 }] {
+            let serial =
+                simulate_serving_pipelined(&gpu, &geom, method, &reqs, &policy(cfg), None);
+            for workers in [1usize, 2, 8] {
+                let rt = turbo_runtime::Runtime::with_workers(workers);
+                let pooled = simulate_serving_pipelined_on(
+                    &rt,
+                    &gpu,
+                    &geom,
+                    method,
+                    &reqs,
+                    &policy(cfg),
+                    None,
+                );
+                assert_eq!(serial, pooled, "{workers} workers diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_step_costs_match_monolithic_within_rounding() {
+        // The per-layer decomposition is mathematically linear in the
+        // layer count; only floating-point rounding separates it from
+        // the monolithic formulas. The trajectories should agree step
+        // for step with durations within a tight relative tolerance.
+        let (gpu, geom) = setup();
+        let reqs = uniform_workload(16, 6.0, 768, 24, 19);
+        let cfg = SchedulerConfig {
+            prefill_chunk: 256,
+            max_batch_prefill_tokens: 1024,
+            ..SchedulerConfig::default()
+        };
+        let mono = simulate_serving_continuous(
+            &gpu,
+            &geom,
+            AttnMethod::Turbo { kv_bits: 3.0 },
+            &reqs,
+            &policy(cfg),
+            None,
+        );
+        let piped = simulate_serving_pipelined(
+            &gpu,
+            &geom,
+            AttnMethod::Turbo { kv_bits: 3.0 },
+            &reqs,
+            &policy(cfg),
+            None,
+        );
+        assert_eq!(mono.steps.len(), piped.steps.len());
+        for (m, p) in mono.steps.iter().zip(&piped.steps) {
+            assert_eq!(m.admitted, p.admitted, "step {}", m.index);
+            assert_eq!(m.prefill_tokens, p.prefill_tokens, "step {}", m.index);
+            assert_eq!(m.decode_batch, p.decode_batch, "step {}", m.index);
+            assert_eq!(m.finished, p.finished, "step {}", m.index);
+            let scale = m.duration.abs().max(1e-12);
+            assert!(
+                (m.duration - p.duration).abs() / scale < 1e-9,
+                "step {} duration {} vs {}",
+                m.index,
+                m.duration,
+                p.duration
+            );
+        }
+        assert_eq!(mono.serving.completed, piped.serving.completed);
+        let rel = (mono.serving.makespan - piped.serving.makespan).abs()
+            / mono.serving.makespan.max(1e-12);
+        assert!(rel < 1e-9, "makespan diverged by {rel}");
+    }
+
+    #[test]
+    fn pipelined_budgets_hold_and_ledger_accounts_all_requests() {
+        let (gpu, geom) = setup();
+        let reqs = uniform_workload(32, 6.0, 1024, 24, 41);
+        let cfg = SchedulerConfig {
+            prefill_chunk: 256,
+            max_batch_prefill_tokens: 768,
+            max_batch_total_tokens: 24_000,
+            max_batch_size: 12,
+            ..SchedulerConfig::default()
+        };
+        let rt = turbo_runtime::Runtime::with_workers(2);
+        let stats = simulate_serving_pipelined_on(
+            &rt,
+            &gpu,
+            &geom,
+            AttnMethod::Turbo { kv_bits: 3.0 },
+            &reqs,
+            &policy(cfg),
+            None,
+        );
+        assert!(!stats.steps.is_empty());
+        for s in &stats.steps {
+            assert!(s.prefill_tokens <= cfg.max_batch_prefill_tokens);
+            assert!(s.reserved_tokens <= cfg.max_batch_total_tokens);
+            assert!(s.batch <= cfg.max_batch_size);
+        }
+        let ledger =
+            stats.serving.completed + stats.serving.truncated + stats.serving.rejected;
+        assert_eq!(ledger, reqs.len(), "every request must reach a terminal state");
+        assert_eq!(stats.streamed_tokens, stats.serving.generated_tokens);
     }
 
     #[test]

@@ -58,12 +58,13 @@ use crate::serving::{
 };
 use turbo_kvcache::{
     policy_from_env, CheckpointPolicy, DequantTile, DequantTileCache, DurableLayerSet,
-    KvCacheConfig, PagedKvPool, RecordBudget, ReplayBudget,
+    KvCacheConfig, LayerKvCache, PagedKvPool, RecordBudget, ReplayBudget,
 };
 use turbo_robust::{crc32, ChaosAction, ChaosEvent, HealthEvent, HealthStats};
-use turbo_tensor::TensorRng;
+use turbo_runtime::{LayerPipeline, TaskId, WorkClass};
+use turbo_tensor::{Matrix, TensorRng};
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Magic bytes opening every serialized shard map.
 pub const SHARD_MAP_MAGIC: [u8; 4] = *b"TSMP";
@@ -524,6 +525,78 @@ fn pop_next(queue: &mut Vec<Timed>) -> Option<Timed> {
     Some(queue.swap_remove(idx))
 }
 
+/// Appends `tokens` (global indices into `context`) to one shard's
+/// durable set through a per-shard [`LayerPipeline`].
+///
+/// The shard's layers are detached
+/// ([`DurableLayerSet::take_layers_for_pipeline`]), every `(token,
+/// layer)` cache append becomes a [`WorkClass::PrefillChunk`] task
+/// chained along the token axis within its layer (per-cell append order
+/// stays deterministic), and each token gets one chained
+/// [`WorkClass::WalCommit`] task that logs exactly the record
+/// `try_append_token` would have written. Layer `k+1`'s append for one
+/// token can overlap layer `k`'s for the next; the pipeline joins at
+/// the WAL boundary, not per layer. The WAL bytes and the restored
+/// cache state are byte-identical to the serialized append loop at any
+/// worker count, so the episode's CRC/ledger invariants are unaffected.
+fn pipelined_append_tokens(
+    rt: &turbo_runtime::Runtime,
+    durable: &mut DurableLayerSet,
+    context: &Matrix,
+    tokens: &[usize],
+    health: Option<&HealthStats>,
+) {
+    if tokens.is_empty() {
+        return;
+    }
+    let taken = durable.take_layers_for_pipeline();
+    let nlayers = taken.len();
+    let heads = taken[0].num_heads();
+    let layer_cells: Vec<Mutex<LayerKvCache>> = taken.into_iter().map(Mutex::new).collect();
+    {
+        let committer = Mutex::new(&mut *durable);
+        let mut pipeline = LayerPipeline::new();
+        let mut prev_in_layer: Vec<Option<TaskId>> = vec![None; nlayers];
+        let mut wal_prev: Option<TaskId> = None;
+        for &t in tokens {
+            let row = context.row(t);
+            let mut last = None;
+            for (l, cell) in layer_cells.iter().enumerate() {
+                let deps: Vec<TaskId> = prev_in_layer[l].into_iter().collect();
+                let id = pipeline.task(WorkClass::PrefillChunk, l, &deps, move || {
+                    let mut layer = cell.lock().unwrap();
+                    for h in 0..heads {
+                        layer.head_mut(h).append(row, row);
+                    }
+                });
+                prev_in_layer[l] = Some(id);
+                last = Some(id);
+            }
+            let deps: Vec<TaskId> = last.into_iter().chain(wal_prev).collect();
+            let committer = &committer;
+            let id = pipeline.task(
+                WorkClass::WalCommit,
+                nlayers.saturating_sub(1),
+                &deps,
+                move || {
+                    let rows: Vec<&[f32]> = vec![row; nlayers * heads];
+                    let _ = committer
+                        .lock()
+                        .unwrap()
+                        .commit_pipelined_token(&rows, &rows, health);
+                },
+            );
+            wal_prev = Some(id);
+        }
+        pipeline.run_on(rt);
+    }
+    let layers: Vec<LayerKvCache> = layer_cells
+        .into_iter()
+        .map(|m| m.into_inner().unwrap())
+        .collect();
+    durable.restore_layers_from_pipeline(layers, health);
+}
+
 /// Runs a sharded episode on the global runtime. See the module docs.
 ///
 /// # Panics
@@ -598,7 +671,6 @@ pub fn run_sharded_episode_on(
     // cell of a shard carries the same logical tokens.
     let context =
         TensorRng::new(seed ^ 0x5A8D_11E7).normal(config.context_tokens, config.dim, 0.0, 1.0);
-    let cells = config.layers * config.heads;
     let row_crc = |t: usize| -> u32 {
         let row = context.row(t);
         let mut bytes = Vec::with_capacity(row.len() * 4);
@@ -646,15 +718,14 @@ pub fn run_sharded_episode_on(
             .flat_map(|r| r.start..r.end())
             .collect();
         let half = slice.len() / 2;
-        for (i, &t) in slice.iter().enumerate() {
-            if i == half {
-                // Steady state: snapshot covers the first half, the WAL
-                // holds the rest — a kill exercises real replay.
-                durable.checkpoint(None);
-            }
-            let row = context.row(t);
-            let rows: Vec<&[f32]> = vec![row; cells];
-            let _ = durable.try_append_token(&rows, &rows, None);
+        pipelined_append_tokens(rt, &mut durable, &context, &slice[..half], None);
+        if !slice.is_empty() {
+            // Steady state: snapshot covers the first half, the WAL
+            // holds the rest — a kill exercises real replay.
+            durable.checkpoint(None);
+        }
+        pipelined_append_tokens(rt, &mut durable, &context, &slice[half..], None);
+        for &t in &slice {
             owner_crc[t] = Some((s, row_crc(t)));
             local_globals.push(t);
         }
@@ -926,10 +997,17 @@ pub fn run_sharded_episode_on(
                         if !survivors.contains(&r.shard) {
                             continue;
                         }
-                        for t in (r.start..r.end()).filter(|t| victim_globals.contains(t)) {
-                            let row = context.row(t);
-                            let rows: Vec<&[f32]> = vec![row; cells];
-                            let _ = shards[r.shard].durable.try_append_token(&rows, &rows, health);
+                        let gained: Vec<usize> = (r.start..r.end())
+                            .filter(|t| victim_globals.contains(t))
+                            .collect();
+                        pipelined_append_tokens(
+                            rt,
+                            &mut shards[r.shard].durable,
+                            &context,
+                            &gained,
+                            health,
+                        );
+                        for &t in &gained {
                             owner_crc[t] = Some((r.shard, row_crc(t)));
                             shards[r.shard].local_globals.push(t);
                         }

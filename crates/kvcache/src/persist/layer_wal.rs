@@ -740,6 +740,12 @@ pub struct DurableLayerSet {
     unsynced_appends: usize,
     /// Byte length of the durable WAL prefix — what a crash preserves.
     durable_watermark: usize,
+    /// Whether the per-layer caches are currently detached for pipelined
+    /// execution (see [`DurableLayerSet::take_layers_for_pipeline`]).
+    /// While detached, `self.layers` holds empty placeholders, so any
+    /// operation that reads or serializes cache state would silently lie;
+    /// those paths assert against this flag.
+    detached: bool,
 }
 
 impl DurableLayerSet {
@@ -773,6 +779,7 @@ impl DurableLayerSet {
             flush_every_n_tokens: 1,
             unsynced_appends: 0,
             durable_watermark: 0,
+            detached: false,
         };
         set.checkpoint = set.serialize_checkpoint_on(turbo_runtime::global());
         set.durable_watermark = set.wal.as_bytes().len();
@@ -904,6 +911,34 @@ impl DurableLayerSet {
         vs: &[&[f32]],
         health: Option<&HealthStats>,
     ) -> Result<(), CacheError> {
+        assert!(
+            !self.detached,
+            "try_append_token while layers are detached for pipelining; \
+             use commit_pipelined_token"
+        );
+        self.validate_token_rows(ks, vs)?;
+        let heads = self.heads_per_layer();
+        let mut overflowed = false;
+        for (cell, (k, v)) in ks.iter().zip(vs).enumerate() {
+            match self.layers[cell / heads].head_mut(cell % heads).try_append(k, v) {
+                Ok(()) => {}
+                Err(CacheError::ScaleOverflow) => overflowed = true,
+                Err(e) => unreachable!("rows validated before apply: {e}"),
+            }
+        }
+        self.log_token_commit(ks, vs, health);
+        self.maybe_checkpoint(health);
+        if overflowed {
+            Err(CacheError::ScaleOverflow)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Shape/finiteness validation shared by the serialized and pipelined
+    /// commit paths. Rejecting before mutating anything is what keeps a
+    /// failed token atomic across the model.
+    fn validate_token_rows(&self, ks: &[&[f32]], vs: &[&[f32]]) -> Result<(), CacheError> {
         let cells = self.cells();
         let d = self.head_dim();
         if ks.len() != cells || vs.len() != cells {
@@ -923,15 +958,15 @@ impl DurableLayerSet {
                 return Err(CacheError::NonFinite { channel });
             }
         }
-        let heads = self.heads_per_layer();
-        let mut overflowed = false;
-        for (cell, (k, v)) in ks.iter().zip(vs).enumerate() {
-            match self.layers[cell / heads].head_mut(cell % heads).try_append(k, v) {
-                Ok(()) => {}
-                Err(CacheError::ScaleOverflow) => overflowed = true,
-                Err(e) => unreachable!("rows validated before apply: {e}"),
-            }
-        }
+        Ok(())
+    }
+
+    /// The WAL/stats half of a token commit, shared verbatim by
+    /// [`DurableLayerSet::try_append_token`] and
+    /// [`DurableLayerSet::commit_pipelined_token`] so both paths emit
+    /// byte-identical group-commit records under the same sync cadence.
+    fn log_token_commit(&mut self, ks: &[&[f32]], vs: &[&[f32]], health: Option<&HealthStats>) {
+        let cells = ks.len();
         self.wal.log_group_append(ks, vs);
         self.stats.group_commits += 1;
         self.stats.rows_committed += cells;
@@ -945,12 +980,111 @@ impl DurableLayerSet {
             hs.record(HealthEvent::LayerGroupCommit);
             hs.record_n(HealthEvent::LayerGroupRows, cells as u64);
         }
-        self.maybe_checkpoint(health);
-        if overflowed {
-            Err(CacheError::ScaleOverflow)
-        } else {
-            Ok(())
+    }
+
+    /// Detaches the per-layer caches so a [`turbo_runtime::LayerPipeline`]
+    /// can advance them from concurrent per-layer tasks while this set
+    /// keeps sole custody of the WAL. The caches are handed to the caller
+    /// by value (replaced internally with empty placeholders) because the
+    /// pipeline's whole point is that layer `k+1` appends while layer `k`
+    /// still computes — a borrow through `&mut self` cannot express that.
+    ///
+    /// While detached:
+    /// * WAL commits go through
+    ///   [`DurableLayerSet::commit_pipelined_token`], which logs exactly
+    ///   the record [`DurableLayerSet::try_append_token`] would have;
+    /// * the checkpoint policy is **deferred** (a checkpoint would
+    ///   serialize the placeholders — i.e. lose data — so the policy is
+    ///   consulted once at restore instead);
+    /// * cache-reading APIs ([`DurableLayerSet::tokens`],
+    ///   [`DurableLayerSet::layer`], checkpointing, …) must not be called;
+    ///   the mutating ones assert.
+    ///
+    /// Call [`DurableLayerSet::restore_layers_from_pipeline`] with the
+    /// advanced caches once the pipeline has joined.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers are already detached.
+    pub fn take_layers_for_pipeline(&mut self) -> Vec<LayerKvCache> {
+        assert!(!self.detached, "layers already detached for pipelining");
+        self.detached = true;
+        let heads = self.heads_per_layer();
+        let d = self.head_dim();
+        let placeholders: Vec<LayerKvCache> = (0..self.layers.len())
+            .map(|_| {
+                LayerKvCache::uniform(
+                    heads,
+                    d,
+                    self.config.bits,
+                    self.config.group_size,
+                    self.config.buffer_capacity,
+                )
+            })
+            .collect();
+        std::mem::replace(&mut self.layers, placeholders)
+    }
+
+    /// Logs one token's group-commit record while the caches are detached
+    /// for pipelined execution. Byte-identical to the record
+    /// [`DurableLayerSet::try_append_token`] emits for the same rows, with
+    /// the same stats, sync-cadence, and health-event sequence — the WAL
+    /// cannot tell the two engines apart.
+    ///
+    /// The caches themselves are advanced by the pipeline's compute
+    /// tasks; capacity-overflow signalling therefore surfaces there, not
+    /// here.
+    ///
+    /// # Errors
+    ///
+    /// [`CacheError::WidthMismatch`] / [`CacheError::NonFinite`] exactly
+    /// as the serialized path: a malformed token logs nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers are not currently detached.
+    pub fn commit_pipelined_token(
+        &mut self,
+        ks: &[&[f32]],
+        vs: &[&[f32]],
+        health: Option<&HealthStats>,
+    ) -> Result<(), CacheError> {
+        assert!(
+            self.detached,
+            "commit_pipelined_token without take_layers_for_pipeline"
+        );
+        self.validate_token_rows(ks, vs)?;
+        self.log_token_commit(ks, vs, health);
+        Ok(())
+    }
+
+    /// Reattaches the caches a pipeline advanced and consults the
+    /// checkpoint policy once, covering every commit made while detached.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the layers are not detached, or if `layers` has the
+    /// wrong geometry (wrong count, heads, or head dim).
+    pub fn restore_layers_from_pipeline(
+        &mut self,
+        layers: Vec<LayerKvCache>,
+        health: Option<&HealthStats>,
+    ) {
+        assert!(
+            self.detached,
+            "restore_layers_from_pipeline without take_layers_for_pipeline"
+        );
+        assert_eq!(layers.len(), self.layers.len(), "layer count changed");
+        for layer in &layers {
+            assert_eq!(layer.num_heads(), self.heads_per_layer(), "head count changed");
+            assert_eq!(layer.head(0).head_dim(), self.head_dim(), "head dim changed");
         }
+        self.layers = layers;
+        self.detached = false;
+        // Deferred policy consultation: one decision covering the whole
+        // detached window, now that a checkpoint would serialize real
+        // state again.
+        self.maybe_checkpoint(health);
     }
 
     /// Flushes every cell's open buffer and logs **one** group-flush
@@ -963,6 +1097,10 @@ impl DurableLayerSet {
     /// quantization overflowed; that cell's buffer stays intact (exactly
     /// what replay reproduces), every other cell flushed.
     pub fn try_flush_all(&mut self, health: Option<&HealthStats>) -> Result<(), CacheError> {
+        assert!(
+            !self.detached,
+            "try_flush_all while layers are detached for pipelining"
+        );
         let had_tokens = self
             .layers
             .iter()
@@ -1029,6 +1167,11 @@ impl DurableLayerSet {
         cause: Option<CheckpointCause>,
         health: Option<&HealthStats>,
     ) -> usize {
+        assert!(
+            !self.detached,
+            "checkpoint while layers are detached for pipelining would \
+             serialize empty placeholders"
+        );
         self.checkpoint = self.serialize_checkpoint_on(rt);
         self.wal.clear();
         // The snapshot subsumes every logged record; the (empty) WAL is
@@ -1234,6 +1377,7 @@ impl DurableLayerSet {
             unsynced_appends: 0,
             // Everything that survived the crash is durable by definition.
             durable_watermark,
+            detached: false,
         };
         let checkpointed = match set
             .policy

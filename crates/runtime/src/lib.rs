@@ -39,9 +39,21 @@
 //! workers) in a [`RuntimeSnapshot`]. The worker-spawn counter is the
 //! regression guard that the pool never exceeds its configured size.
 
+//! ## Layer pipeline
+//!
+//! [`LayerPipeline`] layers a dependency-graph executor on top of
+//! [`Runtime::scope`]'s dynamic task spawning: heterogeneous work classes
+//! ([`WorkClass`] — prefill chunks, decode steps, WAL commits,
+//! checkpoints) tagged per layer, released to the pool the moment their
+//! dependency edges drop. Layer `k+1`'s prefill overlaps layer `k`'s
+//! decode while per-layer token order — and the WAL's one-record-per-token
+//! group commit — stay exact, because they are edges, not conventions.
+
 #![deny(unsafe_op_in_unsafe_fn)]
 #![warn(missing_docs)]
 
+mod pipeline;
 mod pool;
 
-pub use pool::{global, worker_count_from, Runtime, RuntimeSnapshot, ENV_WORKERS};
+pub use pipeline::{LayerPipeline, PipelineStats, TaskId, WorkClass};
+pub use pool::{global, worker_count_from, Runtime, RuntimeSnapshot, Scope, ENV_WORKERS};

@@ -1,0 +1,410 @@
+//! Dependency-graph pipeline executor with tagged per-layer work classes.
+//!
+//! A [`LayerPipeline`] is a DAG of one-shot tasks, each tagged with a
+//! [`WorkClass`] (prefill chunk, decode step, WAL commit, checkpoint) and
+//! a layer index. Tasks are submitted to the shared pool through
+//! [`Runtime::scope`] as their dependencies complete, so layer `k+1`'s
+//! prefill chunks can overlap layer `k`'s decode while every individual
+//! ordering constraint — per-layer token order, the WAL's one-record-per-
+//! token group commit — is expressed as an edge and therefore never
+//! violated.
+//!
+//! ## Determinism
+//!
+//! The executor guarantees only edge order, not a global schedule; results
+//! are bit-identical to a serial topological execution because every task
+//! writes its own disjoint slot and reads only slots its (transitive)
+//! dependencies wrote. No floating-point value ever depends on scheduling
+//! order. [`LayerPipeline::run_serial`] executes the same graph in task-id
+//! order (a topological order by construction) and is the reference the
+//! equivalence tests compare against at 1/2/8 workers.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::pool::{Runtime, Scope};
+
+/// What kind of work a pipeline task performs. Classes exist for
+/// scheduling observability (heterogeneous task mixes are the point of
+/// the pipeline) — they carry no execution semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkClass {
+    /// A chunk of prompt prefill for one layer.
+    PrefillChunk,
+    /// One decode token step for one layer.
+    DecodeStep,
+    /// A write-ahead-log group commit (one atomic record per token).
+    WalCommit,
+    /// A checkpoint / WAL-sync barrier.
+    Checkpoint,
+}
+
+impl WorkClass {
+    /// Number of distinct work classes.
+    pub const COUNT: usize = 4;
+
+    /// Dense index for per-class counters.
+    pub fn index(self) -> usize {
+        match self {
+            WorkClass::PrefillChunk => 0,
+            WorkClass::DecodeStep => 1,
+            WorkClass::WalCommit => 2,
+            WorkClass::Checkpoint => 3,
+        }
+    }
+}
+
+/// Opaque handle to a task added to a [`LayerPipeline`]; used to declare
+/// dependencies of later tasks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TaskId(usize);
+
+/// A task body: boxed once at registration, taken exactly once at run.
+type TaskBody<'env> = Option<Box<dyn FnOnce() + Send + 'env>>;
+
+/// One node of the pipeline DAG.
+struct TaskSpec<'env> {
+    class: WorkClass,
+    layer: usize,
+    deps: Vec<TaskId>,
+    body: TaskBody<'env>,
+}
+
+/// A DAG of tagged one-shot tasks executed on the shared pool with
+/// maximal overlap, or serially in task-id order for reference.
+///
+/// Tasks may only depend on previously added tasks, which makes the graph
+/// acyclic by construction and makes task-id order a topological order.
+#[derive(Default)]
+pub struct LayerPipeline<'env> {
+    tasks: Vec<TaskSpec<'env>>,
+}
+
+/// Execution statistics returned by the pipeline runners.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Total tasks executed.
+    pub tasks: usize,
+    /// Tasks executed per [`WorkClass`] (indexed by [`WorkClass::index`]).
+    pub runs_per_class: [usize; WorkClass::COUNT],
+    /// Most tasks ever simultaneously in flight — the overlap gauge.
+    /// Always 1 for [`LayerPipeline::run_serial`].
+    pub peak_in_flight: usize,
+}
+
+impl<'env> LayerPipeline<'env> {
+    /// An empty pipeline.
+    pub fn new() -> Self {
+        Self { tasks: Vec::new() }
+    }
+
+    /// Number of tasks added so far.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Whether no tasks have been added.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Adds one task tagged `class`/`layer`, runnable once every task in
+    /// `deps` has completed. Returns the new task's id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a dependency refers to a task not yet added (forward
+    /// edges are what would make cycles possible).
+    pub fn task<F>(&mut self, class: WorkClass, layer: usize, deps: &[TaskId], body: F) -> TaskId
+    where
+        F: FnOnce() + Send + 'env,
+    {
+        let id = self.tasks.len();
+        for d in deps {
+            assert!(
+                d.0 < id,
+                "pipeline dependency {} must precede task {id}",
+                d.0
+            );
+        }
+        self.tasks.push(TaskSpec {
+            class,
+            layer,
+            deps: deps.to_vec(),
+            body: Some(Box::new(body)),
+        });
+        TaskId(id)
+    }
+
+    /// Runs every task serially in task-id order (a topological order by
+    /// construction). This is the bit-identity reference for [`run_on`]:
+    /// both runners invoke the same bodies under the same ordering
+    /// constraints.
+    ///
+    /// [`run_on`]: LayerPipeline::run_on
+    pub fn run_serial(self) -> PipelineStats {
+        let mut stats = PipelineStats {
+            tasks: self.tasks.len(),
+            peak_in_flight: if self.tasks.is_empty() { 0 } else { 1 },
+            ..PipelineStats::default()
+        };
+        for spec in self.tasks {
+            stats.runs_per_class[spec.class.index()] += 1;
+            let _ = spec.layer;
+            (spec.body.expect("task body present"))();
+        }
+        stats
+    }
+
+    /// Runs the DAG on `rt` with maximal overlap: every task whose
+    /// dependencies have completed is eligible immediately, so independent
+    /// layers' work classes interleave freely on the pool.
+    ///
+    /// # Panics
+    ///
+    /// Re-throws the first task panic after the graph has drained as far
+    /// as it can (a panicked task's dependents never run).
+    pub fn run_on(self, rt: &Runtime) -> PipelineStats {
+        let n = self.tasks.len();
+        if n == 0 {
+            return PipelineStats::default();
+        }
+        // Roots are determined statically before anything runs: reading
+        // the live `pending` counters here would race with completions
+        // already decrementing them, double-launching fast dependents.
+        let roots: Vec<usize> = self
+            .tasks
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.deps.is_empty())
+            .map(|(id, _)| id)
+            .collect();
+        let exec = Exec::new(self.tasks);
+        rt.scope(|s| {
+            for &id in &roots {
+                exec.launch(s, id);
+            }
+        });
+        exec.into_stats()
+    }
+}
+
+/// Shared executor state for [`LayerPipeline::run_on`]; borrowed (`'env`
+/// of the scope) by every spawned task.
+struct Exec<'env> {
+    /// Unmet-dependency counters; a task is spawned when its count drops
+    /// to zero.
+    pending: Vec<AtomicUsize>,
+    /// Reverse edges: tasks to notify when task `i` completes.
+    children: Vec<Vec<usize>>,
+    classes: Vec<WorkClass>,
+    bodies: Vec<Mutex<TaskBody<'env>>>,
+    runs_per_class: [AtomicUsize; WorkClass::COUNT],
+    in_flight: AtomicUsize,
+    peak_in_flight: AtomicUsize,
+}
+
+impl<'env> Exec<'env> {
+    fn new(tasks: Vec<TaskSpec<'env>>) -> Self {
+        let n = tasks.len();
+        let mut children: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut pending = Vec::with_capacity(n);
+        let mut classes = Vec::with_capacity(n);
+        let mut bodies = Vec::with_capacity(n);
+        for (id, spec) in tasks.into_iter().enumerate() {
+            pending.push(AtomicUsize::new(spec.deps.len()));
+            for d in &spec.deps {
+                children[d.0].push(id);
+            }
+            classes.push(spec.class);
+            bodies.push(Mutex::new(spec.body));
+        }
+        Self {
+            pending,
+            children,
+            classes,
+            bodies,
+            runs_per_class: Default::default(),
+            in_flight: AtomicUsize::new(0),
+            peak_in_flight: AtomicUsize::new(0),
+        }
+    }
+
+    fn into_stats(self) -> PipelineStats {
+        let mut runs_per_class = [0usize; WorkClass::COUNT];
+        let mut tasks = 0;
+        for (slot, counter) in runs_per_class.iter_mut().zip(&self.runs_per_class) {
+            *slot = counter.load(Ordering::Relaxed);
+            tasks += *slot;
+        }
+        PipelineStats {
+            tasks,
+            runs_per_class,
+            peak_in_flight: self.peak_in_flight.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Spawns task `id` onto the scope; on completion, decrements each
+    /// child's pending count and launches any child that becomes ready.
+    ///
+    /// The scope's environment lifetime is deliberately independent of
+    /// `'env` (the bodies' borrows) so the executor itself can live on the
+    /// caller's stack for exactly the duration of the scope call.
+    fn launch<'scope>(&'scope self, s: &'scope Scope<'scope, '_>, id: usize) {
+        s.spawn(move || {
+            let body = self.bodies[id]
+                .lock()
+                .expect("pipeline body slot poisoned")
+                .take()
+                .expect("pipeline task launched twice");
+            let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+            let mut peak = self.peak_in_flight.load(Ordering::Relaxed);
+            while now > peak {
+                match self.peak_in_flight.compare_exchange_weak(
+                    peak,
+                    now,
+                    Ordering::Relaxed,
+                    Ordering::Relaxed,
+                ) {
+                    Ok(_) => break,
+                    Err(seen) => peak = seen,
+                }
+            }
+            body();
+            self.in_flight.fetch_sub(1, Ordering::Relaxed);
+            self.runs_per_class[self.classes[id].index()].fetch_add(1, Ordering::Relaxed);
+            // Ready children are launched breadth-first; each dependency
+            // edge is released exactly once, by the task completing it.
+            let mut ready = VecDeque::new();
+            for &child in &self.children[id] {
+                if self.pending[child].fetch_sub(1, Ordering::AcqRel) == 1 {
+                    ready.push_back(child);
+                }
+            }
+            while let Some(child) = ready.pop_front() {
+                self.launch(s, child);
+            }
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Builds a diamond graph a → {b, c} → d recording execution order.
+    fn diamond<'a>(order: &'a Mutex<Vec<&'static str>>) -> LayerPipeline<'a> {
+        let mut p = LayerPipeline::new();
+        let push = |tag: &'static str| {
+            move || order.lock().unwrap().push(tag)
+        };
+        let a = p.task(WorkClass::PrefillChunk, 0, &[], push("a"));
+        let b = p.task(WorkClass::DecodeStep, 0, &[a], push("b"));
+        let c = p.task(WorkClass::PrefillChunk, 1, &[a], push("c"));
+        let _d = p.task(WorkClass::WalCommit, 0, &[b, c], push("d"));
+        p
+    }
+
+    #[test]
+    fn diamond_respects_edges_at_every_worker_count() {
+        for workers in [1usize, 2, 8] {
+            let rt = Runtime::with_workers(workers);
+            let order = Mutex::new(Vec::new());
+            let stats = diamond(&order).run_on(&rt);
+            let order = order.into_inner().unwrap();
+            assert_eq!(stats.tasks, 4, "workers = {workers}");
+            assert_eq!(order.len(), 4);
+            assert_eq!(order[0], "a");
+            assert_eq!(order[3], "d");
+            assert_eq!(stats.runs_per_class, [2, 1, 1, 0]);
+        }
+    }
+
+    #[test]
+    fn serial_runner_executes_in_id_order() {
+        let order = Mutex::new(Vec::new());
+        let stats = diamond(&order).run_serial();
+        assert_eq!(order.into_inner().unwrap(), vec!["a", "b", "c", "d"]);
+        assert_eq!(stats.tasks, 4);
+        assert_eq!(stats.peak_in_flight, 1);
+    }
+
+    #[test]
+    fn chain_is_fully_ordered() {
+        let rt = Runtime::with_workers(8);
+        let value = AtomicU64::new(1);
+        let mut p = LayerPipeline::new();
+        let mut prev: Option<TaskId> = None;
+        // Non-commutative updates: any reordering changes the result.
+        for i in 1..=20u64 {
+            let deps: Vec<TaskId> = prev.into_iter().collect();
+            prev = Some(p.task(WorkClass::DecodeStep, 0, &deps, {
+                let value = &value;
+                move || {
+                    let v = value.load(Ordering::Relaxed);
+                    value.store(v.wrapping_mul(31).wrapping_add(i), Ordering::Relaxed);
+                }
+            }));
+        }
+        let mut expect = 1u64;
+        for i in 1..=20u64 {
+            expect = expect.wrapping_mul(31).wrapping_add(i);
+        }
+        let stats = p.run_on(&rt);
+        assert_eq!(value.load(Ordering::Relaxed), expect);
+        assert_eq!(stats.peak_in_flight, 1, "a chain can never overlap");
+    }
+
+    #[test]
+    fn independent_tasks_overlap_on_a_multi_worker_pool() {
+        let rt = Runtime::with_workers(4);
+        let mut p = LayerPipeline::new();
+        for layer in 0..8 {
+            p.task(WorkClass::PrefillChunk, layer, &[], || {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            });
+        }
+        let stats = p.run_on(&rt);
+        assert_eq!(stats.tasks, 8);
+        assert!(
+            stats.peak_in_flight >= 2,
+            "independent tasks never overlapped (peak {})",
+            stats.peak_in_flight
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must precede")]
+    fn forward_dependency_is_rejected() {
+        let mut p = LayerPipeline::new();
+        p.task(WorkClass::DecodeStep, 0, &[TaskId(3)], || {});
+    }
+
+    #[test]
+    fn panicked_task_propagates_and_skips_dependents() {
+        let rt = Runtime::with_workers(2);
+        let ran_dependent = std::sync::Arc::new(AtomicUsize::new(0));
+        let ran = std::sync::Arc::clone(&ran_dependent);
+        let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut p = LayerPipeline::new();
+            let a = p.task(WorkClass::DecodeStep, 0, &[], || panic!("pipeline task died"));
+            let ran = &ran;
+            p.task(WorkClass::WalCommit, 0, &[a], move || {
+                ran.fetch_add(1, Ordering::Relaxed);
+            });
+            p.run_on(&rt)
+        }));
+        assert!(out.is_err());
+        assert_eq!(ran_dependent.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn empty_pipeline_is_a_no_op() {
+        let rt = Runtime::with_workers(2);
+        let stats = LayerPipeline::new().run_on(&rt);
+        assert_eq!(stats, PipelineStats::default());
+        assert_eq!(LayerPipeline::new().run_serial(), PipelineStats::default());
+    }
+}

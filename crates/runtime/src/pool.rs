@@ -2,6 +2,7 @@
 
 use std::any::Any;
 use std::collections::VecDeque;
+use std::marker::PhantomData;
 use std::ops::Range;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -147,6 +148,25 @@ impl Shared {
         self.queues
             .iter()
             .any(|q| !q.lock().expect("queue poisoned").is_empty())
+    }
+
+    /// Queues one unit on the round-robin cursor's next queue and wakes
+    /// sleeping workers. Used by dynamically-spawned (scope) tasks; batch
+    /// submission keeps its single post-loop notification instead.
+    fn push_unit(&self, unit: Unit) {
+        let q = self.next_queue.fetch_add(1, Ordering::Relaxed) % self.queues.len();
+        let depth = {
+            let mut queue = self.queues[q].lock().expect("queue poisoned");
+            queue.push_back(unit);
+            queue.len()
+        };
+        Self::bump_max(&self.max_queue_depth, depth);
+        {
+            // Empty critical section orders the push before any worker's
+            // sleep decision, so the notification cannot be lost.
+            let _guard = self.sleep.lock().expect("sleep lock poisoned");
+            self.wake.notify_all();
+        }
     }
 
     fn bump_max(cell: &AtomicUsize, value: usize) {
@@ -321,8 +341,18 @@ impl Runtime {
             self.shared.wake.notify_all();
         }
 
-        // Help until the latch drops: drain any queued unit (ours or a
-        // nested batch's), otherwise wait briefly on the latch.
+        self.help_until_done(&core);
+
+        let payload = core.panic.lock().expect("panic slot poisoned").take();
+        if let Some(payload) = payload {
+            resume_unwind(payload);
+        }
+    }
+
+    /// Helps drain queued units (this batch's or any other's) until
+    /// `core`'s completion latch drops.
+    fn help_until_done(&self, core: &BatchCore) {
+        let n_queues = self.shared.queues.len();
         loop {
             if let Some((unit, _stolen)) = self.shared.grab(n_queues) {
                 self.shared.execute(unit, false, true);
@@ -340,10 +370,76 @@ impl Runtime {
                 break;
             }
         }
+    }
 
-        let payload = core.panic.lock().expect("panic slot poisoned").take();
-        if let Some(payload) = payload {
-            resume_unwind(payload);
+    /// Structured dynamic-task scope, the pool's analog of
+    /// [`std::thread::scope`]: tasks are spawned one at a time (including
+    /// from inside other tasks) rather than as a fixed-size batch, and all
+    /// of them are guaranteed to have finished when `scope` returns.
+    ///
+    /// Spawned closures may borrow anything that outlives the `scope` call
+    /// (`'env`), including the [`Scope`] handle itself for nested spawns.
+    /// The submitting thread helps drain queues while it waits, so scopes
+    /// complete even on a single-worker pool.
+    ///
+    /// # Panics
+    ///
+    /// A panic in the body is re-thrown after every spawned task has
+    /// drained; otherwise the first task panic is re-thrown.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: for<'scope> FnOnce(&'scope Scope<'scope, 'env>) -> R,
+    {
+        let tasks: Mutex<VecDeque<ScopeTask>> = Mutex::new(VecDeque::new());
+        // Each queued unit runs exactly one spawned task. `spawn` pushes
+        // the boxed task strictly before its unit, so the pop cannot miss.
+        let run = |_index: usize| {
+            let task = tasks
+                .lock()
+                .expect("scope task queue poisoned")
+                .pop_front()
+                .expect("scope unit queued without a task");
+            task();
+        };
+        // SAFETY: lifetime erasure only, same argument as `run_batch`:
+        // this frame blocks on the latch below until every queued unit has
+        // executed, so the erased reference never outlives `run` (or the
+        // `tasks` deque it borrows).
+        let run_static: &'static (dyn Fn(usize) + Sync) = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(&run)
+        };
+        // The latch starts at 1: an "owner" token held by this frame while
+        // the body runs, so in-flight spawns can never drop it to zero
+        // before the body has finished spawning.
+        let core = BatchCore {
+            run: run_static,
+            remaining: AtomicUsize::new(1),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+            panic: Mutex::new(None),
+        };
+        let scope = Scope {
+            rt: self,
+            core: &core,
+            tasks: &tasks,
+            scope_marker: PhantomData,
+            env_marker: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        // Release the owner token (even if the body panicked — already-
+        // spawned tasks still run to completion) and drain.
+        core.complete_one();
+        self.help_until_done(&core);
+
+        let task_panic = core.panic.lock().expect("panic slot poisoned").take();
+        match result {
+            Err(payload) => resume_unwind(payload),
+            Ok(r) => {
+                if let Some(payload) = task_panic {
+                    resume_unwind(payload);
+                }
+                r
+            }
         }
     }
 
@@ -459,6 +555,59 @@ impl std::fmt::Debug for Runtime {
         f.debug_struct("Runtime")
             .field("workers", &self.workers)
             .finish_non_exhaustive()
+    }
+}
+
+/// A boxed dynamically-spawned task. Stored lifetime-erased; soundness is
+/// the scope latch (see [`Runtime::scope`]).
+type ScopeTask = Box<dyn FnOnce() + Send + 'static>;
+
+/// Handle for spawning tasks inside a [`Runtime::scope`] call.
+///
+/// Mirrors [`std::thread::Scope`]: `'scope` is the lifetime of the scope
+/// itself (everything spawned joins before it ends), `'env` the lifetime
+/// of borrows from outside it. Both are invariant. Tasks capture the
+/// handle by reference to spawn nested tasks.
+pub struct Scope<'scope, 'env: 'scope> {
+    rt: &'scope Runtime,
+    core: &'scope BatchCore,
+    tasks: &'scope Mutex<VecDeque<ScopeTask>>,
+    /// Invariance over `'scope`, exactly as in `std::thread::Scope`.
+    scope_marker: PhantomData<&'scope mut &'scope ()>,
+    /// Invariance over `'env`.
+    env_marker: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns one task onto the pool. The task may borrow from `'env` and
+    /// may itself spawn further tasks through a captured `&Scope`.
+    ///
+    /// Unlike the batch APIs there is no result plumbing: tasks
+    /// communicate through whatever `'env` state they were given. Panics
+    /// are collected and re-thrown by the owning `scope` call.
+    pub fn spawn<F>(&'scope self, f: F)
+    where
+        F: FnOnce() + Send + 'scope,
+    {
+        let boxed: Box<dyn FnOnce() + Send + 'scope> = Box::new(f);
+        // SAFETY: lifetime erasure only. The owning `scope` frame cannot
+        // return before this task has executed: the latch token added
+        // below is only released by `execute` after the task body runs.
+        let boxed: ScopeTask = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, ScopeTask>(boxed)
+        };
+        // Order matters: add the latch token first (so the latch can never
+        // transiently read zero while this task is queued), then stage the
+        // body, then publish the unit that will pop it.
+        self.core.remaining.fetch_add(1, Ordering::AcqRel);
+        self.tasks
+            .lock()
+            .expect("scope task queue poisoned")
+            .push_back(boxed);
+        self.rt.shared.push_unit(Unit {
+            batch: self.core as *const _,
+            index: 0,
+        });
     }
 }
 
@@ -695,5 +844,112 @@ mod tests {
         let rt = Runtime::with_workers(3);
         rt.par_map_indexed(16, |i| i);
         drop(rt); // must not hang
+    }
+
+    #[test]
+    fn scope_joins_all_tasks_at_every_worker_count() {
+        for workers in [1usize, 2, 8] {
+            let rt = Runtime::with_workers(workers);
+            let slots: Vec<Mutex<Option<u64>>> = (0..64).map(|_| Mutex::new(None)).collect();
+            rt.scope(|s| {
+                for i in 0..64u64 {
+                    let slot = &slots[i as usize];
+                    s.spawn(move || {
+                        *slot.lock().unwrap() = Some(i * i);
+                    });
+                }
+            });
+            let out: Vec<u64> = slots
+                .iter()
+                .map(|m| m.lock().unwrap().expect("task did not run"))
+                .collect();
+            assert_eq!(out, (0..64).map(|i| i * i).collect::<Vec<_>>(), "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn scope_tasks_can_spawn_nested_tasks() {
+        for workers in [1usize, 2, 8] {
+            let rt = Runtime::with_workers(workers);
+            let hits = AtomicUsize::new(0);
+            rt.scope(|s| {
+                for _ in 0..8 {
+                    s.spawn(|| {
+                        hits.fetch_add(1, Ordering::Relaxed);
+                        for _ in 0..4 {
+                            s.spawn(|| {
+                                hits.fetch_add(1, Ordering::Relaxed);
+                            });
+                        }
+                    });
+                }
+            });
+            assert_eq!(hits.load(Ordering::Relaxed), 8 + 8 * 4, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn scope_with_no_spawns_returns_body_value() {
+        let rt = Runtime::with_workers(2);
+        assert_eq!(rt.scope(|_| 41 + 1), 42);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped task exploded")]
+    fn scope_task_panic_propagates_after_drain() {
+        let rt = Runtime::with_workers(2);
+        let ran = AtomicUsize::new(0);
+        rt.scope(|s| {
+            s.spawn(|| panic!("scoped task exploded"));
+            for _ in 0..16 {
+                s.spawn(|| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn scope_survives_body_panic_and_still_runs_spawned_tasks() {
+        let rt = Runtime::with_workers(2);
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let out = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            rt.scope(|s| {
+                let ran = &ran2;
+                for _ in 0..8 {
+                    s.spawn(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                    });
+                }
+                panic!("scope body exploded");
+            })
+        }));
+        assert!(out.is_err());
+        // Every task spawned before the panic still ran to completion.
+        assert_eq!(ran.load(Ordering::Relaxed), 8);
+        // And the pool is healthy afterwards.
+        assert_eq!(rt.par_map_indexed(4, |i| i), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn scope_runs_inside_par_map_tasks() {
+        // Heterogeneous nesting: scopes inside batch tasks must not
+        // deadlock even with one worker, because waiters help-drain.
+        let rt = Runtime::with_workers(1);
+        let out = rt.par_map_indexed(4, |outer| {
+            let total = AtomicUsize::new(0);
+            rt.scope(|s| {
+                for i in 0..4 {
+                    let total = &total;
+                    s.spawn(move || {
+                        total.fetch_add(outer * 10 + i, Ordering::Relaxed);
+                    });
+                }
+            });
+            total.load(Ordering::Relaxed)
+        });
+        let expect: Vec<usize> = (0..4).map(|o| (0..4).map(|i| o * 10 + i).sum()).collect();
+        assert_eq!(out, expect);
     }
 }

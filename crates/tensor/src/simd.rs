@@ -39,9 +39,11 @@ pub enum SimdLevel {
     /// dot/matmul via `pmaddwd`, plus vectorized SAS exponentiation and
     /// symmetric INT8 encode.
     Avx2,
-    /// 128-bit NEON integer kernels (aarch64): widening `vmull_s8` +
-    /// `vpadalq_s16` dot/matmul. Float kernels fall back to scalar on
-    /// this arm.
+    /// 128-bit NEON kernels (aarch64): widening `vmull_s8` +
+    /// `vpadalq_s16` integer dot/matmul (four `b` rows per sweep),
+    /// vectorized SAS exponentiation with a `vqtbl2q`-resident LUT, and
+    /// symmetric INT8 encode via `FRINTA` (the hardware round-half-away
+    /// the scalar twin specifies).
     Neon,
 }
 
@@ -179,14 +181,10 @@ pub fn matmul_i8t_on(
         #[cfg(target_arch = "aarch64")]
         SimdLevel::Neon => {
             assert!(level.available(), "NEON not available on this machine");
-            out.reserve(m * n);
-            for i in 0..m {
-                let arow = &a[i * k..(i + 1) * k];
-                for j in 0..n {
-                    // SAFETY: NEON support verified at runtime above.
-                    out.push(unsafe { arm::dot_i8_neon(arow, &b[j * k..(j + 1) * k]) });
-                }
-            }
+            out.resize(m * n, 0);
+            // SAFETY: NEON support verified at runtime above; `out` was
+            // just sized to exactly m*n.
+            unsafe { arm::matmul_i8t_neon(a, b, m, k, n, out) }
         }
         #[allow(unreachable_patterns)]
         other => panic!("SIMD level {other:?} is not supported on this target"),
@@ -219,8 +217,9 @@ pub fn sas_exp_scalar(x: f32, threshold: f32, lut: &[f32], coeffs: [f32; 4]) -> 
 /// `exp(scores[j] - m_new)` (per [`sas_exp_scalar`]) into `out[j]`.
 ///
 /// Returns `false` — leaving `out` untouched — when `level` has no
-/// vector arm for this kernel (Scalar/NEON) or the LUT exceeds the 8
-/// entries a 256-bit register holds (i.e. `threshold < -7`); the caller
+/// vector arm for this kernel (Scalar) or the LUT exceeds the 8 entries
+/// a register-resident table holds (i.e. `threshold < -7`: one 256-bit
+/// register on AVX2, a `vqtbl2q` byte-table pair on NEON); the caller
 /// then runs its scalar twin. Returns `true` after filling `out` with
 /// results bit-identical to the scalar twin.
 ///
@@ -245,6 +244,13 @@ pub fn sas_exp_row_on(
             assert!(level.available(), "AVX2 not available on this machine");
             // SAFETY: AVX2 support verified at runtime above.
             unsafe { x86::sas_exp_row_avx2(scores, m_new, threshold, lut, coeffs, out) };
+            true
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon if lut.len() <= F32_SIMD_LANES => {
+            assert!(level.available(), "NEON not available on this machine");
+            // SAFETY: NEON support verified at runtime above.
+            unsafe { arm::sas_exp_row_neon(scores, m_new, threshold, lut, coeffs, out) };
             true
         }
         _ => false,
@@ -282,6 +288,15 @@ pub fn sas_exp_scaled_row_on(
             };
             true
         }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon if lut.len() <= F32_SIMD_LANES => {
+            assert!(level.available(), "NEON not available on this machine");
+            // SAFETY: NEON support verified at runtime above.
+            unsafe {
+                arm::sas_exp_scaled_row_neon(codes, s_scale, m_new, threshold, lut, coeffs, out)
+            };
+            true
+        }
         _ => false,
     }
 }
@@ -298,11 +313,12 @@ pub fn quantize_i8_scalar(v: f32, scale: f32) -> i8 {
 /// [`quantize_i8_scalar`]`(x[j], scale)` into `out[j]`.
 ///
 /// Returns `false` (with `out` untouched) when `level` has no vector arm
-/// for this kernel; the caller runs its scalar twin. The vector arm uses
-/// true IEEE division and an explicit round-half-away-from-zero sequence
-/// (`trunc` + `|frac| ≥ 0.5` bump) so results are bit-identical to the
-/// scalar twin — the hardware's native round-to-nearest-even would
-/// differ on exact `.5` midpoints.
+/// for this kernel; the caller runs its scalar twin. Both vector arms use
+/// true IEEE division and round half away from zero so results are
+/// bit-identical to the scalar twin: AVX2 builds the rounding from an
+/// explicit `trunc` + `|frac| ≥ 0.5` bump (its native rounding is
+/// half-to-even, which would differ on exact `.5` midpoints), NEON uses
+/// the hardware `FRINTA`, which is half-away by definition.
 ///
 /// # Panics
 ///
@@ -316,6 +332,13 @@ pub fn quantize_i8_row_on(level: SimdLevel, x: &[f32], scale: f32, out: &mut [i8
             assert!(level.available(), "AVX2 not available on this machine");
             // SAFETY: AVX2 support verified at runtime above.
             unsafe { x86::quantize_i8_avx2(x, scale, out) };
+            true
+        }
+        #[cfg(target_arch = "aarch64")]
+        SimdLevel::Neon => {
+            assert!(level.available(), "NEON not available on this machine");
+            // SAFETY: NEON support verified at runtime above.
+            unsafe { arm::quantize_i8_neon(x, scale, out) };
             true
         }
         _ => false,
@@ -620,10 +643,13 @@ mod x86 {
 
 #[cfg(target_arch = "aarch64")]
 mod arm {
-    //! NEON integer arms. The float kernels stay scalar on aarch64: the
-    //! bit-identity contract is only certified for arms we can test, and
-    //! the integer kernels are exactly-representable regardless of lane
-    //! split.
+    //! NEON kernel arms. Every `unsafe` here is justified by the callers
+    //! in the parent module verifying NEON availability before entry;
+    //! pointer arithmetic stays inside slice bounds by the loop
+    //! conditions. The float kernels follow the same bit-identity
+    //! discipline as the AVX2 arm: separate mul/add (intrinsics never
+    //! contract to FMA), true division, and masked lanes resolving to
+    //! the exact values the scalar twin produces.
 
     use std::arch::aarch64::*;
 
@@ -651,6 +677,242 @@ mod arm {
                 i += 1;
             }
             sum
+        }
+    }
+
+    /// Widen one 16-byte chunk of each operand and accumulate the exact
+    /// `i16` products into `acc`'s four `i32` lanes.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn mac16(acc: int32x4_t, a: int8x16_t, b: int8x16_t) -> int32x4_t {
+        let lo = vmull_s8(vget_low_s8(a), vget_low_s8(b));
+        let hi = vmull_s8(vget_high_s8(a), vget_high_s8(b));
+        vpadalq_s16(vpadalq_s16(acc, lo), hi)
+    }
+
+    /// `C = A · Bᵀ` with four `b` rows per sweep, so each 16-wide `a`
+    /// chunk is loaded once per four outputs (mirrors the AVX2
+    /// micro-kernel). Exact integer sums — bit-identical to scalar at
+    /// any lane split.
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn matmul_i8t_neon(
+        a: &[i8],
+        b: &[i8],
+        m: usize,
+        k: usize,
+        n: usize,
+        out: &mut [i32],
+    ) {
+        debug_assert_eq!(out.len(), m * n);
+        unsafe {
+            for i in 0..m {
+                let arow = a.as_ptr().add(i * k);
+                let orow = out.as_mut_ptr().add(i * n);
+                let mut j = 0;
+                while j + 4 <= n {
+                    let b0 = b.as_ptr().add(j * k);
+                    let b1 = b.as_ptr().add((j + 1) * k);
+                    let b2 = b.as_ptr().add((j + 2) * k);
+                    let b3 = b.as_ptr().add((j + 3) * k);
+                    let mut acc0 = vdupq_n_s32(0);
+                    let mut acc1 = vdupq_n_s32(0);
+                    let mut acc2 = vdupq_n_s32(0);
+                    let mut acc3 = vdupq_n_s32(0);
+                    let mut t = 0;
+                    while t + 16 <= k {
+                        let va = vld1q_s8(arow.add(t));
+                        acc0 = mac16(acc0, va, vld1q_s8(b0.add(t)));
+                        acc1 = mac16(acc1, va, vld1q_s8(b1.add(t)));
+                        acc2 = mac16(acc2, va, vld1q_s8(b2.add(t)));
+                        acc3 = mac16(acc3, va, vld1q_s8(b3.add(t)));
+                        t += 16;
+                    }
+                    let mut sums = [
+                        vaddvq_s32(acc0),
+                        vaddvq_s32(acc1),
+                        vaddvq_s32(acc2),
+                        vaddvq_s32(acc3),
+                    ];
+                    while t < k {
+                        let av = *arow.add(t) as i32;
+                        sums[0] += av * *b0.add(t) as i32;
+                        sums[1] += av * *b1.add(t) as i32;
+                        sums[2] += av * *b2.add(t) as i32;
+                        sums[3] += av * *b3.add(t) as i32;
+                        t += 1;
+                    }
+                    *orow.add(j) = sums[0];
+                    *orow.add(j + 1) = sums[1];
+                    *orow.add(j + 2) = sums[2];
+                    *orow.add(j + 3) = sums[3];
+                    j += 4;
+                }
+                while j < n {
+                    let arow_s = std::slice::from_raw_parts(arow, k);
+                    let brow = std::slice::from_raw_parts(b.as_ptr().add(j * k), k);
+                    *orow.add(j) = dot_i8_neon(arow_s, brow);
+                    j += 1;
+                }
+            }
+        }
+    }
+
+    /// SAS constants pre-broadcast into registers. The ≤8-entry `f32`
+    /// LUT lives in a `vqtbl2q` byte-table pair; each lane's lookup
+    /// builds the four byte indices `4n..4n+3` of entry `n`.
+    struct SasConsts {
+        thr: float32x4_t,
+        tbl: uint8x16x2_t,
+        c0: float32x4_t,
+        c1: float32x4_t,
+        c2: float32x4_t,
+        c3: float32x4_t,
+        zero: float32x4_t,
+    }
+
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn sas_consts(threshold: f32, lut: &[f32], coeffs: [f32; 4]) -> SasConsts {
+        debug_assert!(lut.len() <= 8);
+        let mut padded = [0.0f32; 8];
+        padded[..lut.len()].copy_from_slice(lut);
+        unsafe {
+            SasConsts {
+                thr: vdupq_n_f32(threshold),
+                tbl: uint8x16x2_t(
+                    vreinterpretq_u8_f32(vld1q_f32(padded.as_ptr())),
+                    vreinterpretq_u8_f32(vld1q_f32(padded.as_ptr().add(4))),
+                ),
+                c0: vdupq_n_f32(coeffs[0]),
+                c1: vdupq_n_f32(coeffs[1]),
+                c2: vdupq_n_f32(coeffs[2]),
+                c3: vdupq_n_f32(coeffs[3]),
+                zero: vdupq_n_f32(0.0),
+            }
+        }
+    }
+
+    /// Four lanes of [`super::sas_exp_scalar`], bit-identical per lane:
+    /// the keep-mask (`x ≥ thr`, false for NaN) reproduces both the
+    /// sparsification cutoff and the NaN→0 rule; `min(x, 0)` clamps
+    /// positive jitter (a NaN lane propagates NaN here, unlike the AVX2
+    /// `min`, but the keep-mask AND resolves both to `+0.0`); `FCVTZS`
+    /// truncates like `cvttps`; Horner runs as separate mul/add; the
+    /// LUT lookup is a byte-table permute whose out-of-range indices
+    /// (only on masked lanes) read as 0.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn sas_exp4(x: float32x4_t, c: &SasConsts) -> float32x4_t {
+        let keep = vcgeq_f32(x, c.thr);
+        let xz = vminq_f32(x, c.zero);
+        let t = vnegq_f32(xz);
+        let n = vcvtq_s32_f32(t);
+        let frac = vsubq_f32(t, vcvtq_f32_s32(n));
+        let mut p = vaddq_f32(vmulq_f32(c.c3, frac), c.c2);
+        p = vaddq_f32(vmulq_f32(p, frac), c.c1);
+        p = vaddq_f32(vmulq_f32(p, frac), c.c0);
+        // Entry n occupies bytes 4n..4n+3: replicate 4n into each byte
+        // of the lane and add the 0,1,2,3 offsets.
+        let n4 = vmulq_s32(vshlq_n_s32::<2>(n), vdupq_n_s32(0x0101_0101));
+        let idx = vreinterpretq_u8_s32(vaddq_s32(n4, vdupq_n_s32(0x0302_0100)));
+        let lutv = vreinterpretq_f32_u8(vqtbl2q_u8(c.tbl, idx));
+        vreinterpretq_f32_u32(vandq_u32(vreinterpretq_u32_f32(vmulq_f32(lutv, p)), keep))
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn sas_exp_row_neon(
+        scores: &[f32],
+        m_new: f32,
+        threshold: f32,
+        lut: &[f32],
+        coeffs: [f32; 4],
+        out: &mut [f32],
+    ) {
+        let n = scores.len();
+        unsafe {
+            let c = sas_consts(threshold, lut, coeffs);
+            let vm = vdupq_n_f32(m_new);
+            let mut i = 0;
+            while i + 4 <= n {
+                let x = vsubq_f32(vld1q_f32(scores.as_ptr().add(i)), vm);
+                vst1q_f32(out.as_mut_ptr().add(i), sas_exp4(x, &c));
+                i += 4;
+            }
+            while i < n {
+                out[i] = super::sas_exp_scalar(scores[i] - m_new, threshold, lut, coeffs);
+                i += 1;
+            }
+        }
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn sas_exp_scaled_row_neon(
+        codes: &[i32],
+        s_scale: f32,
+        m_new: f32,
+        threshold: f32,
+        lut: &[f32],
+        coeffs: [f32; 4],
+        out: &mut [f32],
+    ) {
+        let n = codes.len();
+        unsafe {
+            let c = sas_consts(threshold, lut, coeffs);
+            let vs = vdupq_n_f32(s_scale);
+            let vm = vdupq_n_f32(m_new);
+            let mut i = 0;
+            while i + 4 <= n {
+                let ci = vld1q_s32(codes.as_ptr().add(i));
+                let x = vsubq_f32(vmulq_f32(vcvtq_f32_s32(ci), vs), vm);
+                vst1q_f32(out.as_mut_ptr().add(i), sas_exp4(x, &c));
+                i += 4;
+            }
+            while i < n {
+                let x = codes[i] as f32 * s_scale - m_new;
+                out[i] = super::sas_exp_scalar(x, threshold, lut, coeffs);
+                i += 1;
+            }
+        }
+    }
+
+    /// Four lanes of `(v / scale).round().clamp(-127, 127)` as `i32`,
+    /// bit-identical to the scalar twin: true division, then `FRINTA`
+    /// (round to nearest, ties away from zero — exactly Rust's
+    /// `f32::round`), then clamp. A NaN lane propagates through
+    /// round/clamp and `FCVTZS` converts it to 0, matching the scalar
+    /// saturating cast; ±∞ clamps to ±127.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn quant4(v: float32x4_t, vscale: float32x4_t) -> int32x4_t {
+        let q = vdivq_f32(v, vscale);
+        let r = vrndaq_f32(q);
+        let clamped = vmaxq_f32(vdupq_n_f32(-127.0), vminq_f32(r, vdupq_n_f32(127.0)));
+        vcvtq_s32_f32(clamped)
+    }
+
+    #[target_feature(enable = "neon")]
+    pub(super) unsafe fn quantize_i8_neon(x: &[f32], scale: f32, out: &mut [i8]) {
+        let n = x.len();
+        unsafe {
+            let vscale = vdupq_n_f32(scale);
+            let mut i = 0;
+            while i + 16 <= n {
+                let i0 = quant4(vld1q_f32(x.as_ptr().add(i)), vscale);
+                let i1 = quant4(vld1q_f32(x.as_ptr().add(i + 4)), vscale);
+                let i2 = quant4(vld1q_f32(x.as_ptr().add(i + 8)), vscale);
+                let i3 = quant4(vld1q_f32(x.as_ptr().add(i + 12)), vscale);
+                // Values are already in [-127, 127]; the saturating
+                // narrows are exact.
+                let p16a = vcombine_s16(vqmovn_s32(i0), vqmovn_s32(i1));
+                let p16b = vcombine_s16(vqmovn_s32(i2), vqmovn_s32(i3));
+                let p8 = vcombine_s8(vqmovn_s16(p16a), vqmovn_s16(p16b));
+                vst1q_s8(out.as_mut_ptr().add(i), p8);
+                i += 16;
+            }
+            while i < n {
+                out[i] = super::quantize_i8_scalar(x[i], scale);
+                i += 1;
+            }
         }
     }
 }
@@ -747,9 +1009,7 @@ mod tests {
 
     #[test]
     fn sas_exp_row_bit_identical_at_ragged_lengths() {
-        if !SimdLevel::Avx2.available() {
-            return;
-        }
+        let Some(arm) = simd_arm() else { return };
         // Paper-shaped SAS parameters.
         let threshold = -6.0f32;
         let lut: Vec<f32> = (0..=6).map(|i| (-(i as f32)).exp()).collect();
@@ -772,7 +1032,7 @@ mod tests {
             for m_new in [0.0f32, 2.5, -1.0] {
                 let mut simd = vec![f32::NAN; len];
                 assert!(sas_exp_row_on(
-                    SimdLevel::Avx2,
+                    arm,
                     &scores,
                     m_new,
                     threshold,
@@ -794,9 +1054,7 @@ mod tests {
 
     #[test]
     fn sas_exp_scaled_row_bit_identical_at_ragged_lengths() {
-        if !SimdLevel::Avx2.available() {
-            return;
-        }
+        let Some(arm) = simd_arm() else { return };
         let threshold = -6.0f32;
         let lut: Vec<f32> = (0..=6).map(|i| (-(i as f32)).exp()).collect();
         let coeffs = [0.9996f32, -0.9922, 0.4626, -0.1025];
@@ -808,7 +1066,7 @@ mod tests {
             for m_new in [0.0f32, 4.2] {
                 let mut simd = vec![f32::NAN; len];
                 assert!(sas_exp_scaled_row_on(
-                    SimdLevel::Avx2,
+                    arm,
                     &codes,
                     s_scale,
                     m_new,
@@ -832,14 +1090,12 @@ mod tests {
 
     #[test]
     fn sas_exp_row_declines_oversized_lut() {
-        if !SimdLevel::Avx2.available() {
-            return;
-        }
+        let Some(arm) = simd_arm() else { return };
         // threshold -9 needs a 10-entry LUT: no register-resident arm.
         let lut: Vec<f32> = (0..=9).map(|i| (-(i as f32)).exp()).collect();
         let mut out = vec![0.0f32; 4];
         assert!(!sas_exp_row_on(
-            SimdLevel::Avx2,
+            arm,
             &[0.0, -1.0, -2.0, -8.5],
             0.0,
             -9.0,
@@ -851,9 +1107,7 @@ mod tests {
 
     #[test]
     fn quantize_row_bit_identical_at_ragged_lengths() {
-        if !SimdLevel::Avx2.available() {
-            return;
-        }
+        let Some(arm) = simd_arm() else { return };
         for len in 0..=(4 * 32 + 3) {
             let x: Vec<f32> = (0..len)
                 .map(|j| match j % 11 {
@@ -871,7 +1125,7 @@ mod tests {
                 .collect();
             for scale in [1.0f32, 0.01724, 2.5e-6] {
                 let mut simd = vec![0i8; len];
-                assert!(quantize_i8_row_on(SimdLevel::Avx2, &x, scale, &mut simd));
+                assert!(quantize_i8_row_on(arm, &x, scale, &mut simd));
                 for (j, &v) in x.iter().enumerate() {
                     assert_eq!(
                         simd[j],
@@ -888,12 +1142,10 @@ mod tests {
         // The scalar contract itself: every exact .5 midpoint in code
         // range rounds away from zero (the hardware default would round
         // half to even — 2.5 → 2 — which the vector arm must not do).
-        if !SimdLevel::Avx2.available() {
-            return;
-        }
+        let Some(arm) = simd_arm() else { return };
         let x: Vec<f32> = (0..64).map(|j| (j as f32 - 32.0) + 0.5).collect();
         let mut simd = vec![0i8; x.len()];
-        assert!(quantize_i8_row_on(SimdLevel::Avx2, &x, 1.0, &mut simd));
+        assert!(quantize_i8_row_on(arm, &x, 1.0, &mut simd));
         for (j, &v) in x.iter().enumerate() {
             assert_eq!(simd[j], quantize_i8_scalar(v, 1.0), "midpoint {v}");
             let away = if v > 0.0 { v.ceil() } else { v.floor() };

@@ -69,17 +69,26 @@ import json, os, sys
 # prefill rows joined once the SIMD integer kernels made the turbo
 # prefill path actually faster than flash_f32 — before that the prefill
 # numbers were recorded but never compared, which let a 1.6x-slower
-# quantized prefill hide in the baseline for several PRs.
+# quantized prefill hide in the baseline for several PRs. The multilayer
+# rows gate the layer-pipeline engines: both the serialized reference
+# and the pipelined path must hold their medians, so neither a slow DAG
+# build nor pool-dispatch bloat can creep in unnoticed.
 GATED_PREFIXES = (
     "attention/decode_over_256/",
     "attention/prefill_256x64/",
     "attention/turbo_prefill_block_size/",
+    "attention/multilayer_8layer/",
 )
 # Coverage-only prefixes: rows must keep existing, but their medians are
 # not regression-gated (fleet/serving episodes are whole-scenario runs —
 # a full control loop or a 2048-sequence continuous-batching episode —
-# tracked for the requests/s and sequences/s trends rather than gated).
-COVERAGE_PREFIXES = GATED_PREFIXES + ("fleet/", "serving/")
+# tracked for the requests/s and sequences/s trends rather than gated;
+# the split-K crossover rows are machine-shaped by design).
+COVERAGE_PREFIXES = GATED_PREFIXES + (
+    "fleet/",
+    "serving/",
+    "attention/splitk_crossover/",
+)
 
 with open(sys.argv[1]) as f:
     baseline = json.load(f)

@@ -31,6 +31,17 @@ TURBO_FLEET_EPISODES=16 cargo test -q -p turbo-integration-tests --test fleet_so
 echo "==> layer-WAL smoke (group-commit crash points + chaos)"
 cargo test -q -p turbo-integration-tests --test crash_consistency layer_wal
 
+echo "==> layer-pipeline smoke (2-worker bit-identity, scalar kernels, crash cuts)"
+# The pipelined engines' worker-count sweeps run in the plain suite on
+# the detected core count; this stage pins the interesting corner — a
+# 2-worker pool (real overlap, minimal parallelism) with SIMD forced
+# off, covering the pipelined scheduler, the multilayer engine, and the
+# mid-pipeline crash-cut replay on the scalar arm.
+TURBO_RUNTIME_THREADS=2 TURBO_SIMD=0 cargo test -q -p turbo-gpusim pipelined
+TURBO_RUNTIME_THREADS=2 TURBO_SIMD=0 cargo test -q -p turbo-attention multilayer
+TURBO_RUNTIME_THREADS=2 TURBO_SIMD=0 \
+  cargo test -q -p turbo-integration-tests --test crash_consistency pipelined
+
 echo "==> continuous-batching scheduler smoke (budget invariants + worker bit-identity)"
 cargo test -q -p turbo-integration-tests --test continuous_batching
 

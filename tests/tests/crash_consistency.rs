@@ -9,6 +9,7 @@
 //! second drives the same contract across both snapshot format versions
 //! at every framing boundary.
 
+use turbo_attention::{multilayer_episode_pipelined_on, multilayer_episode_serialized};
 use turbo_kvcache::{
     frame_boundaries, recover_head_cache, serialize_head_cache_v1, DurableHeadCache,
     DurableLayerSet, HeadKvCache, KvCacheConfig, LayerWriteAheadLog, NeverCheckpoint,
@@ -16,6 +17,8 @@ use turbo_kvcache::{
 };
 use turbo_quant::BitWidth;
 use turbo_robust::FaultInjector;
+use turbo_runtime::Runtime;
+use turbo_softmax::Sas;
 use turbo_tensor::{Matrix, TensorRng};
 
 fn cfg() -> KvCacheConfig {
@@ -518,6 +521,108 @@ fn layer_wal_chaos_smoke() {
             }
         }
     }
+}
+
+/// Killing the pipelined multi-layer engine mid-episode loses nothing
+/// the serialized engine would have kept: both engines emit
+/// byte-identical durable state, and at *every* WAL cut — each record
+/// boundary plus eight torn offsets inside the following record —
+/// recovery from the pipelined WAL lands on exactly the same token
+/// prefix, with every cell bit-identical to recovery from the serialized
+/// WAL at the same cut. The pipeline's commit chain joins at the token
+/// boundary, so a kill can never expose a half-token.
+#[test]
+fn pipelined_crash_cut_replays_same_wal_prefix_as_serialized() {
+    const ML_LAYERS: usize = 3;
+    const ML_HEADS: usize = 2;
+    const PROMPT: usize = 14;
+    const DECODE: usize = 6;
+    let d = 4;
+    let mut rng = TensorRng::new(0xD1A6);
+    let prompt = rng.normal(PROMPT, ML_HEADS * d, 0.0, 1.0);
+    let decode_in = rng.normal(DECODE, ML_HEADS * d, 0.0, 1.0);
+    let sas = Sas::paper_default();
+    let fresh = || {
+        let mut set =
+            DurableLayerSet::new(ML_LAYERS, ML_HEADS, d, cfg(), Box::new(NeverCheckpoint));
+        set.set_flush_every_n_tokens(1);
+        set
+    };
+
+    let mut ser = fresh();
+    multilayer_episode_serialized(&mut ser, &prompt, &decode_in, &sas, 4, None);
+    let rt = Runtime::with_workers(8);
+    let mut pip = fresh();
+    multilayer_episode_pipelined_on(&rt, &mut pip, &prompt, &decode_in, &sas, 4, None);
+
+    let (snap_s, wal_s) = ser.durable_state();
+    let (snap_p, wal_p) = pip.durable_state();
+    assert_eq!(snap_s, snap_p, "engines must checkpoint identically");
+    assert_eq!(wal_s, wal_p, "engines must emit byte-identical WALs");
+
+    let boundaries = LayerWriteAheadLog::record_boundaries(&wal_p);
+    let recover = |snap: &[u8], wal: &[u8]| {
+        DurableLayerSet::recover(
+            ML_LAYERS,
+            ML_HEADS,
+            d,
+            cfg(),
+            Box::new(NeverCheckpoint),
+            snap,
+            wal,
+            None,
+        )
+        .expect("a clean checkpoint anchors recovery at any WAL cut")
+    };
+
+    let mut prev_tokens = 0usize;
+    for (n, &boundary) in boundaries.iter().enumerate() {
+        let mut cuts = vec![boundary];
+        if n + 1 < boundaries.len() {
+            let next = boundaries[n + 1];
+            for j in 1..=8usize {
+                let cut = boundary + j * (next - boundary) / 9;
+                if cut > boundary && cut < next {
+                    cuts.push(cut);
+                }
+            }
+        }
+        for cut in cuts {
+            let (back_p, out_p) = recover(&snap_p, &wal_p[..cut]);
+            let (back_s, out_s) = recover(&snap_s, &wal_s[..cut]);
+            assert_eq!(
+                out_p.tokens, out_s.tokens,
+                "pipelined kill at cut {cut} replays a different prefix"
+            );
+            for l in 0..ML_LAYERS {
+                for h in 0..ML_HEADS {
+                    assert_eq!(
+                        back_p.layer(l).head(h).to_bytes(),
+                        back_s.layer(l).head(h).to_bytes(),
+                        "cell ({l},{h}) diverged at cut {cut}"
+                    );
+                }
+            }
+            // A torn cut falls back to the boundary before it: token
+            // counts never run ahead of the clean-boundary prefix.
+            assert_eq!(out_p.tokens, prev_tokens, "cut {cut}");
+        }
+        // Advance the expected prefix for the *next* boundary: each
+        // group-commit record carries exactly one token.
+        if n + 1 < boundaries.len() {
+            let (_, out_next) = recover(&snap_p, &wal_p[..boundaries[n + 1]]);
+            assert!(
+                out_next.tokens == prev_tokens || out_next.tokens == prev_tokens + 1,
+                "a single WAL record must carry at most one token"
+            );
+            prev_tokens = out_next.tokens;
+        }
+    }
+    assert_eq!(
+        prev_tokens,
+        PROMPT + DECODE,
+        "the full episode must replay from the undamaged WAL"
+    );
 }
 
 /// The recovered prefix is usable, not just structurally coherent: a
